@@ -1,0 +1,140 @@
+//! Shared classification helpers used by several analysis stages.
+
+use crate::afftest::{overlap_test, IvBox, Overlap};
+use crate::matrix::AliasLabel;
+use nachos_ir::{AffineExpr, MemRef, PtrExpr};
+
+/// Linearizes a pointer expression into a single affine byte offset from
+/// its base, when every stride is a compile-time constant. Returns `None`
+/// for unknown-provenance pointers and symbolic-stride multidimensional
+/// accesses.
+#[must_use]
+pub fn linearize(mem: &MemRef) -> Option<AffineExpr> {
+    match &mem.ptr {
+        PtrExpr::Affine { offset, .. } => Some(offset.clone()),
+        PtrExpr::MultiDim { subs, .. } => {
+            let mut total = AffineExpr::zero();
+            for sub in subs {
+                if sub.stride.is_symbolic() {
+                    return None;
+                }
+                total = total.add(&sub.index.clone().scaled(sub.stride.scale));
+            }
+            Some(total)
+        }
+        PtrExpr::Unknown { .. } => None,
+    }
+}
+
+/// Maps an [`Overlap`] verdict to an [`AliasLabel`].
+#[must_use]
+pub fn overlap_to_label(o: Overlap) -> AliasLabel {
+    match o {
+        Overlap::Disjoint => AliasLabel::No,
+        Overlap::Exact => AliasLabel::MustExact,
+        Overlap::Partial => AliasLabel::MustPartial,
+        Overlap::Unknown => AliasLabel::May,
+    }
+}
+
+/// Classifies two accesses known to target the **same object**, comparing
+/// their linearized offsets.
+///
+/// `allow_multi_iv` selects the analysis power: Stage 1 (SCEV-style)
+/// decides only constant and single-induction-variable differences and
+/// reports MAY otherwise; Stage 4 (polyhedral-style) also decides
+/// multi-variable differences using the iteration box.
+#[must_use]
+pub fn classify_same_object(
+    mem_a: &MemRef,
+    mem_b: &MemRef,
+    bx: &IvBox,
+    allow_multi_iv: bool,
+) -> AliasLabel {
+    let (Some(off_a), Some(off_b)) = (linearize(mem_a), linearize(mem_b)) else {
+        return AliasLabel::May;
+    };
+    let delta = off_a.sub(&off_b);
+    if !allow_multi_iv && delta.num_ivs() > 1 {
+        return AliasLabel::May;
+    }
+    overlap_to_label(overlap_test(
+        &delta,
+        bx,
+        u32::from(mem_a.size),
+        u32::from(mem_b.size),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nachos_ir::{BaseId, LoopId, ParamId, ScaledParam, Subscript, UnknownId};
+
+    fn l(i: usize) -> LoopId {
+        LoopId::new(i)
+    }
+
+    #[test]
+    fn linearize_affine_passthrough() {
+        let m = MemRef::affine(BaseId::new(0), AffineExpr::var(l(0)).scaled(8).plus(4));
+        assert_eq!(linearize(&m), Some(AffineExpr::var(l(0)).scaled(8).plus(4)));
+    }
+
+    #[test]
+    fn linearize_constant_stride_multidim() {
+        // A[i][j] with 10 columns of 8-byte elements.
+        let m = MemRef::multi_dim(
+            BaseId::new(0),
+            vec![
+                Subscript {
+                    index: AffineExpr::var(l(0)),
+                    stride: ScaledParam::constant(80),
+                    extent: None,
+                },
+                Subscript {
+                    index: AffineExpr::var(l(1)),
+                    stride: ScaledParam::constant(8),
+                    extent: Some(ScaledParam::constant(10)),
+                },
+            ],
+        );
+        let lin = linearize(&m).unwrap();
+        assert_eq!(lin.coeff(l(0)), 80);
+        assert_eq!(lin.coeff(l(1)), 8);
+    }
+
+    #[test]
+    fn linearize_rejects_symbolic_and_unknown() {
+        let m = MemRef::multi_dim(
+            BaseId::new(0),
+            vec![Subscript {
+                index: AffineExpr::var(l(0)),
+                stride: ScaledParam::symbolic(8, ParamId::new(0)),
+                extent: None,
+            }],
+        );
+        assert_eq!(linearize(&m), None);
+        assert_eq!(linearize(&MemRef::unknown(UnknownId::new(0), 0)), None);
+    }
+
+    #[test]
+    fn same_object_constant_delta() {
+        let bx = IvBox::from_bounds(vec![]);
+        let a = MemRef::affine(BaseId::new(0), AffineExpr::constant_expr(0));
+        let b = MemRef::affine(BaseId::new(0), AffineExpr::constant_expr(8));
+        assert_eq!(classify_same_object(&a, &b, &bx, false), AliasLabel::No);
+        assert_eq!(classify_same_object(&a, &a, &bx, false), AliasLabel::MustExact);
+    }
+
+    #[test]
+    fn multi_iv_gated_by_power() {
+        let bx = IvBox::from_bounds(vec![(1, 4), (0, 7)]);
+        // a = 64*i, b = 8*j: delta = 64*i - 8*j in [8, 256] — disjoint, but
+        // only the multi-IV-capable stage may conclude that.
+        let a = MemRef::affine(BaseId::new(0), AffineExpr::var(l(0)).scaled(64));
+        let b = MemRef::affine(BaseId::new(0), AffineExpr::var(l(1)).scaled(8));
+        assert_eq!(classify_same_object(&a, &b, &bx, false), AliasLabel::May);
+        assert_eq!(classify_same_object(&a, &b, &bx, true), AliasLabel::No);
+    }
+}

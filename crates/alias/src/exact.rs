@@ -1,0 +1,250 @@
+//! Exact integer reachability of an affine expression over a box.
+//!
+//! The interval+GCD test of [`crate::afftest`] is sound but incomplete for
+//! multi-variable differences: `Δ = 2x + 3y` with `x, y ∈ [0, 1]` reaches
+//! only `{0, 2, 3, 5}`, yet its interval `[0, 5]` and coefficient gcd `1`
+//! cannot exclude a window like `[1, 1]`. Because our iteration domains
+//! are boxes, the reachable-value set is a sumset of arithmetic
+//! progressions and can be computed *exactly* with a bitset dynamic
+//! program when the value span is moderate — the integer-exactness step
+//! that plays the role of the Omega test's final refinement for this
+//! domain shape.
+
+use crate::afftest::IvBox;
+use nachos_ir::AffineExpr;
+
+/// Budget knobs for the exact test; defaults keep compile times trivial
+/// for every Table II region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExactBudget {
+    /// Maximum value span (`max − min + 1`) tracked by the bitset.
+    pub max_span: u64,
+    /// Maximum trip count any single variable may contribute.
+    pub max_trips: u64,
+}
+
+impl Default for ExactBudget {
+    fn default() -> Self {
+        Self {
+            max_span: 1 << 22,
+            max_trips: 4096,
+        }
+    }
+}
+
+/// Dense bitset over the value range `[min, min + span)`.
+struct ValueSet {
+    min: i128,
+    words: Vec<u64>,
+}
+
+impl ValueSet {
+    fn new(min: i128, span: u64) -> Self {
+        Self {
+            min,
+            words: vec![0; (span as usize).div_ceil(64)],
+        }
+    }
+
+    fn insert(&mut self, v: i128) {
+        let off = (v - self.min) as usize;
+        self.words[off / 64] |= 1 << (off % 64);
+    }
+
+    #[cfg(test)]
+    fn contains(&self, v: i128) -> bool {
+        if v < self.min {
+            return false;
+        }
+        let off = (v - self.min) as usize;
+        off / 64 < self.words.len() && self.words[off / 64] & (1 << (off % 64)) != 0
+    }
+
+    /// `self ∪ (self << shift_bits)` within the allocated range, where the
+    /// shift is in value units.
+    fn or_shifted(&mut self, shift: i128) {
+        debug_assert!(shift >= 0);
+        let bits = shift as usize;
+        let (word_shift, bit_shift) = (bits / 64, bits % 64);
+        let n = self.words.len();
+        if word_shift >= n {
+            return;
+        }
+        // Walk top-down so each source word is read before being merged.
+        for i in (word_shift..n).rev() {
+            let mut v = self.words[i - word_shift] << bit_shift;
+            if bit_shift > 0 && i > word_shift {
+                v |= self.words[i - word_shift - 1] >> (64 - bit_shift);
+            }
+            self.words[i] |= v;
+        }
+    }
+
+    fn any_in(&self, lo: i128, hi: i128) -> bool {
+        let lo = lo.max(self.min);
+        let hi = hi.min(self.min + self.words.len() as i128 * 64 - 1);
+        if lo > hi {
+            return false;
+        }
+        // Scan word-aligned with edge masks.
+        let (lo_off, hi_off) = ((lo - self.min) as usize, (hi - self.min) as usize);
+        let (lw, hw) = (lo_off / 64, hi_off / 64);
+        for w in lw..=hw {
+            if w >= self.words.len() {
+                break;
+            }
+            let mut mask = u64::MAX;
+            if w == lw {
+                mask &= u64::MAX << (lo_off % 64);
+            }
+            if w == hw {
+                let top = hi_off % 64;
+                mask &= if top == 63 { u64::MAX } else { (1u64 << (top + 1)) - 1 };
+            }
+            if self.words[w] & mask != 0 {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Computes whether `delta(iv)` can take a value in `[window_lo,
+/// window_hi]` for some integer `iv` in the box — **exactly**. Returns
+/// `None` when the instance exceeds the budget (caller falls back to the
+/// conservative answer).
+#[must_use]
+pub fn window_reachable(
+    delta: &AffineExpr,
+    bx: &IvBox,
+    window_lo: i128,
+    window_hi: i128,
+    budget: ExactBudget,
+) -> Option<bool> {
+    // Value extremes via interval arithmetic.
+    let (mut lo, mut hi) = (i128::from(delta.constant()), i128::from(delta.constant()));
+    for (l, c) in delta.terms() {
+        let (bl, bh) = bx.bound(l.index());
+        let c = i128::from(c);
+        let (a, b) = (c * i128::from(bl), c * i128::from(bh));
+        lo += a.min(b);
+        hi += a.max(b);
+        let trips = (bh - bl + 1) as u64;
+        if trips > budget.max_trips {
+            return None;
+        }
+    }
+    let span = (hi - lo + 1) as u64;
+    if span > budget.max_span {
+        return None;
+    }
+    let mut set = ValueSet::new(lo, span);
+    // Seed with the constant plus each variable pinned at the end that
+    // minimizes its contribution; then fold in each variable's
+    // progression.
+    let mut base = i128::from(delta.constant());
+    for (l, c) in delta.terms() {
+        let (bl, bh) = bx.bound(l.index());
+        let c = i128::from(c);
+        base += (c * i128::from(bl)).min(c * i128::from(bh));
+    }
+    set.insert(base);
+    for (l, c) in delta.terms() {
+        let (bl, bh) = bx.bound(l.index());
+        let step = i128::from(c).unsigned_abs() as i128;
+        if step == 0 {
+            continue;
+        }
+        for _ in bl..bh {
+            set.or_shifted(step);
+        }
+    }
+    Some(set.any_in(window_lo, window_hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nachos_ir::LoopId;
+
+    fn l(i: usize) -> LoopId {
+        LoopId::new(i)
+    }
+
+    #[test]
+    fn catches_what_gcd_misses() {
+        // 2x + 3y, x,y in [0,1]: reachable {0,2,3,5}; window [1,1] and
+        // [4,4] unreachable, [2,3] reachable.
+        let delta = AffineExpr::from_terms(&[(l(0), 2), (l(1), 3)], 0);
+        let bx = IvBox::from_bounds(vec![(0, 1), (0, 1)]);
+        let b = ExactBudget::default();
+        assert_eq!(window_reachable(&delta, &bx, 1, 1, b), Some(false));
+        assert_eq!(window_reachable(&delta, &bx, 4, 4, b), Some(false));
+        assert_eq!(window_reachable(&delta, &bx, 2, 3, b), Some(true));
+        assert_eq!(window_reachable(&delta, &bx, 0, 0, b), Some(true));
+        assert_eq!(window_reachable(&delta, &bx, 5, 9, b), Some(true));
+        assert_eq!(window_reachable(&delta, &bx, 6, 9, b), Some(false));
+    }
+
+    #[test]
+    fn negative_coefficients() {
+        // 4x - 6y, x in [0,2], y in [0,1]: {0,4,8} ∪ {-6,-2,2}.
+        let delta = AffineExpr::from_terms(&[(l(0), 4), (l(1), -6)], 0);
+        let bx = IvBox::from_bounds(vec![(0, 2), (0, 1)]);
+        let b = ExactBudget::default();
+        assert_eq!(window_reachable(&delta, &bx, -1, -1, b), Some(false));
+        assert_eq!(window_reachable(&delta, &bx, -2, -2, b), Some(true));
+        assert_eq!(window_reachable(&delta, &bx, 3, 3, b), Some(false));
+        assert_eq!(window_reachable(&delta, &bx, -6, -6, b), Some(true));
+    }
+
+    #[test]
+    fn constant_expression() {
+        let delta = AffineExpr::constant_expr(7);
+        let bx = IvBox::from_bounds(vec![]);
+        let b = ExactBudget::default();
+        assert_eq!(window_reachable(&delta, &bx, 7, 7, b), Some(true));
+        assert_eq!(window_reachable(&delta, &bx, 0, 6, b), Some(false));
+    }
+
+    #[test]
+    fn budget_overflow_returns_none() {
+        let delta = AffineExpr::from_terms(&[(l(0), 1 << 20)], 0);
+        let bx = IvBox::from_bounds(vec![(0, 1 << 15)]);
+        assert_eq!(
+            window_reachable(&delta, &bx, 0, 0, ExactBudget::default()),
+            None
+        );
+        let tight = ExactBudget {
+            max_trips: 4,
+            ..ExactBudget::default()
+        };
+        let small = AffineExpr::from_terms(&[(l(0), 2)], 0);
+        let bx5 = IvBox::from_bounds(vec![(0, 5)]);
+        assert_eq!(window_reachable(&small, &bx5, 0, 0, tight), None);
+    }
+
+    #[test]
+    fn matches_bruteforce_on_grid() {
+        let b = ExactBudget::default();
+        for c0 in [-3i64, 2, 5] {
+            for c1 in [-7i64, 4] {
+                let delta = AffineExpr::from_terms(&[(l(0), c0), (l(1), c1)], 1);
+                let bx = IvBox::from_bounds(vec![(-2, 3), (0, 4)]);
+                let mut reachable = std::collections::HashSet::new();
+                for x in -2..=3i128 {
+                    for y in 0..=4i128 {
+                        reachable.insert(1 + i128::from(c0) * x + i128::from(c1) * y);
+                    }
+                }
+                for w in -60..=60i128 {
+                    assert_eq!(
+                        window_reachable(&delta, &bx, w, w, b),
+                        Some(reachable.contains(&w)),
+                        "c0={c0} c1={c1} w={w}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! The pairwise alias-label matrix over a region's memory operations.
+
+use nachos_ir::{NodeId, Region};
+use std::fmt;
+
+/// The alias label the compiler assigns to a pair of memory operations.
+///
+/// MUST labels additionally record whether the overlap is *exact* (same
+/// address, same size — eligible for store-to-load forwarding) or *partial*
+/// (overlapping but not identical — enforced as an ordering edge only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AliasLabel {
+    /// Provably disjoint; the operations may execute in parallel.
+    No,
+    /// The compiler is uncertain (alias analysis gave up).
+    May,
+    /// Provably the same address and size.
+    MustExact,
+    /// Provably overlapping, but not an exact match.
+    MustPartial,
+}
+
+impl AliasLabel {
+    /// `true` for either MUST variant.
+    #[must_use]
+    pub fn is_must(self) -> bool {
+        matches!(self, AliasLabel::MustExact | AliasLabel::MustPartial)
+    }
+
+    /// `true` for MAY.
+    #[must_use]
+    pub fn is_may(self) -> bool {
+        self == AliasLabel::May
+    }
+
+    /// `true` for NO.
+    #[must_use]
+    pub fn is_no(self) -> bool {
+        self == AliasLabel::No
+    }
+}
+
+impl fmt::Display for AliasLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AliasLabel::No => "NO",
+            AliasLabel::May => "MAY",
+            AliasLabel::MustExact => "MUST(exact)",
+            AliasLabel::MustPartial => "MUST(partial)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The kind of an (older, younger) memory-operation pair.
+///
+/// Only ST-ST, ST-LD and LD-ST pairs require ordering; LD-LD pairs are
+/// irrelevant in a single-threaded region and are not tracked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PairKind {
+    /// Older store, younger store (final-value order).
+    StSt,
+    /// Older store, younger load (forwarding).
+    StLd,
+    /// Older load, younger store (anti-dependence).
+    LdSt,
+    /// Two loads — no ordering required.
+    LdLd,
+}
+
+impl PairKind {
+    /// `true` if the pair requires disambiguation at all.
+    #[must_use]
+    pub fn needs_ordering(self) -> bool {
+        self != PairKind::LdLd
+    }
+}
+
+/// A pair of memory operations identified by their indices into the
+/// matrix's op list (`older < younger` in program order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Pair {
+    /// Index of the older operation.
+    pub older: usize,
+    /// Index of the younger operation.
+    pub younger: usize,
+}
+
+/// Triangular matrix of [`AliasLabel`]s over the disambiguation-relevant
+/// memory operations of a region (loads/stores to main memory; scratchpad
+/// accesses are perfectly disambiguated by the compiler and excluded).
+///
+/// Pair labels are stored for ST-ST, ST-LD and LD-ST pairs; LD-LD pairs
+/// report `None`.
+#[derive(Clone, Debug)]
+pub struct AliasMatrix {
+    ops: Vec<NodeId>,
+    is_store: Vec<bool>,
+    labels: Vec<Option<AliasLabel>>,
+}
+
+impl AliasMatrix {
+    /// Builds the (unlabeled) matrix for a region over its
+    /// disambiguation-relevant (main-memory) operations. All
+    /// ordering-relevant pairs start as [`AliasLabel::May`] — the sound
+    /// default before any analysis runs.
+    #[must_use]
+    pub fn new(region: &Region) -> Self {
+        Self::for_space(region, nachos_ir::MemSpace::Memory)
+    }
+
+    /// Builds the matrix over the memory operations of one address space.
+    /// The scratchpad variant is used by the compiler's local-dependency
+    /// pass (scratchpad data is perfectly disambiguated but still needs
+    /// its true dependencies wired into the dataflow graph).
+    #[must_use]
+    pub fn for_space(region: &Region, space: nachos_ir::MemSpace) -> Self {
+        let ops: Vec<NodeId> = region
+            .dfg
+            .mem_ops()
+            .iter()
+            .copied()
+            .filter(|&n| {
+                region
+                    .dfg
+                    .node(n)
+                    .kind
+                    .mem_ref()
+                    .is_some_and(|m| m.space == space)
+            })
+            .collect();
+        let is_store: Vec<bool> = ops
+            .iter()
+            .map(|&n| region.dfg.node(n).kind.is_store())
+            .collect();
+        let n = ops.len();
+        let mut labels = vec![None; n * n.saturating_sub(1) / 2];
+        for j in 1..n {
+            for i in 0..j {
+                if is_store[i] || is_store[j] {
+                    labels[Self::tri_index(i, j)] = Some(AliasLabel::May);
+                }
+            }
+        }
+        Self {
+            ops,
+            is_store,
+            labels,
+        }
+    }
+
+    fn tri_index(older: usize, younger: usize) -> usize {
+        debug_assert!(older < younger);
+        younger * (younger - 1) / 2 + older
+    }
+
+    /// The disambiguation-relevant memory operations, oldest first.
+    #[must_use]
+    pub fn ops(&self) -> &[NodeId] {
+        &self.ops
+    }
+
+    /// Number of tracked operations.
+    #[must_use]
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if operation `idx` is a store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn is_store(&self, idx: usize) -> bool {
+        self.is_store[idx]
+    }
+
+    /// The kind of a pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or not `older < younger`.
+    #[must_use]
+    pub fn kind(&self, pair: Pair) -> PairKind {
+        assert!(pair.older < pair.younger && pair.younger < self.ops.len());
+        match (self.is_store[pair.older], self.is_store[pair.younger]) {
+            (true, true) => PairKind::StSt,
+            (true, false) => PairKind::StLd,
+            (false, true) => PairKind::LdSt,
+            (false, false) => PairKind::LdLd,
+        }
+    }
+
+    /// The label of a pair; `None` for untracked (LD-LD) pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or not `older < younger`.
+    #[must_use]
+    pub fn get(&self, pair: Pair) -> Option<AliasLabel> {
+        assert!(pair.older < pair.younger && pair.younger < self.ops.len());
+        self.labels[Self::tri_index(pair.older, pair.younger)]
+    }
+
+    /// Sets the label of an ordering-relevant pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair is LD-LD (untracked) or out of range.
+    pub fn set(&mut self, pair: Pair, label: AliasLabel) {
+        assert!(
+            self.kind(pair).needs_ordering(),
+            "cannot label an LD-LD pair"
+        );
+        self.labels[Self::tri_index(pair.older, pair.younger)] = Some(label);
+    }
+
+    /// Iterates over all ordering-relevant pairs with their labels.
+    pub fn pairs(&self) -> impl Iterator<Item = (Pair, PairKind, AliasLabel)> + '_ {
+        (1..self.ops.len()).flat_map(move |younger| {
+            (0..younger).filter_map(move |older| {
+                let pair = Pair { older, younger };
+                self.get(pair).map(|label| (pair, self.kind(pair), label))
+            })
+        })
+    }
+
+    /// Number of ordering-relevant pairs (the denominator of the paper's
+    /// "% pairwise alias relations").
+    #[must_use]
+    pub fn num_tracked_pairs(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Counts tracked pairs currently carrying each label, as
+    /// `(no, may, must)`.
+    #[must_use]
+    pub fn label_counts(&self) -> LabelCounts {
+        let mut counts = LabelCounts::default();
+        for label in self.labels.iter().flatten() {
+            match label {
+                AliasLabel::No => counts.no += 1,
+                AliasLabel::May => counts.may += 1,
+                AliasLabel::MustExact | AliasLabel::MustPartial => counts.must += 1,
+            }
+        }
+        counts
+    }
+
+    /// The node id of operation `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn node(&self, idx: usize) -> NodeId {
+        self.ops[idx]
+    }
+}
+
+/// Aggregate label counts over tracked pairs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LabelCounts {
+    /// Pairs labeled NO.
+    pub no: usize,
+    /// Pairs labeled MAY.
+    pub may: usize,
+    /// Pairs labeled MUST (exact or partial).
+    pub must: usize,
+}
+
+impl LabelCounts {
+    /// Total tracked pairs.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.no + self.may + self.must
+    }
+
+    /// MAY pairs as a percentage of tracked pairs (0 when empty).
+    #[must_use]
+    pub fn pct_may(&self) -> f64 {
+        percent(self.may, self.total())
+    }
+
+    /// MUST pairs as a percentage of tracked pairs (0 when empty).
+    #[must_use]
+    pub fn pct_must(&self) -> f64 {
+        percent(self.must, self.total())
+    }
+
+    /// NO pairs as a percentage of tracked pairs (0 when empty).
+    #[must_use]
+    pub fn pct_no(&self) -> f64 {
+        percent(self.no, self.total())
+    }
+}
+
+fn percent(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nachos_ir::{AffineExpr, MemRef, MemSpace, RegionBuilder};
+
+    fn region_lsls() -> Region {
+        // load, store, load, store on one global.
+        let mut b = RegionBuilder::new("t");
+        let g = b.global("g", 256, 0);
+        let m = |o: i64| MemRef::affine(g, AffineExpr::constant_expr(o));
+        b.load(m(0), &[]);
+        b.store(m(8), &[]);
+        b.load(m(16), &[]);
+        b.store(m(24), &[]);
+        b.finish()
+    }
+
+    #[test]
+    fn matrix_tracks_non_ldld_pairs() {
+        let r = region_lsls();
+        let m = AliasMatrix::new(&r);
+        assert_eq!(m.num_ops(), 4);
+        // 6 pairs total; (ld0, ld2) is LD-LD and untracked.
+        assert_eq!(m.num_tracked_pairs(), 5);
+        assert_eq!(m.get(Pair { older: 0, younger: 2 }), None);
+        assert_eq!(
+            m.get(Pair { older: 0, younger: 1 }),
+            Some(AliasLabel::May),
+            "tracked pairs default to MAY"
+        );
+    }
+
+    #[test]
+    fn pair_kinds() {
+        let r = region_lsls();
+        let m = AliasMatrix::new(&r);
+        assert_eq!(m.kind(Pair { older: 0, younger: 1 }), PairKind::LdSt);
+        assert_eq!(m.kind(Pair { older: 1, younger: 2 }), PairKind::StLd);
+        assert_eq!(m.kind(Pair { older: 1, younger: 3 }), PairKind::StSt);
+        assert_eq!(m.kind(Pair { older: 0, younger: 2 }), PairKind::LdLd);
+        assert!(!PairKind::LdLd.needs_ordering());
+    }
+
+    #[test]
+    fn set_get_roundtrip_and_counts() {
+        let r = region_lsls();
+        let mut m = AliasMatrix::new(&r);
+        m.set(Pair { older: 0, younger: 1 }, AliasLabel::No);
+        m.set(Pair { older: 1, younger: 2 }, AliasLabel::MustExact);
+        let c = m.label_counts();
+        assert_eq!(c.no, 1);
+        assert_eq!(c.must, 1);
+        assert_eq!(c.may, 3);
+        assert_eq!(c.total(), 5);
+        assert!((c.pct_may() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "LD-LD")]
+    fn setting_ldld_panics() {
+        let r = region_lsls();
+        let mut m = AliasMatrix::new(&r);
+        m.set(Pair { older: 0, younger: 2 }, AliasLabel::No);
+    }
+
+    #[test]
+    fn scratchpad_ops_are_excluded() {
+        let mut b = RegionBuilder::new("t");
+        let g = b.global("g", 256, 0);
+        let mem = MemRef::affine(g, AffineExpr::zero());
+        let local = mem.clone().with_space(MemSpace::Scratchpad);
+        b.load(mem, &[]);
+        b.store(local, &[]);
+        let r = b.finish();
+        let m = AliasMatrix::new(&r);
+        assert_eq!(m.num_ops(), 1);
+        assert_eq!(m.num_tracked_pairs(), 0);
+    }
+
+    #[test]
+    fn pairs_iterator_covers_all_tracked() {
+        let r = region_lsls();
+        let m = AliasMatrix::new(&r);
+        let listed: Vec<_> = m.pairs().collect();
+        assert_eq!(listed.len(), 5);
+        assert!(listed
+            .iter()
+            .all(|&(p, k, _)| k.needs_ordering() && p.older < p.younger));
+    }
+
+    #[test]
+    fn label_predicates() {
+        assert!(AliasLabel::MustExact.is_must());
+        assert!(AliasLabel::MustPartial.is_must());
+        assert!(AliasLabel::May.is_may());
+        assert!(AliasLabel::No.is_no());
+        assert!(!AliasLabel::No.is_must());
+        assert_eq!(AliasLabel::MustExact.to_string(), "MUST(exact)");
+    }
+
+    #[test]
+    fn empty_counts_percentages() {
+        let c = LabelCounts::default();
+        assert_eq!(c.pct_may(), 0.0);
+        assert_eq!(c.pct_must(), 0.0);
+        assert_eq!(c.pct_no(), 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Incremental transitive reachability over a DAG.
+//!
+//! Stage 3 repeatedly asks "is the younger operation already reachable from
+//! the older one?" while *adding* the edges it decides to keep. This module
+//! maintains a full transitive-closure bit matrix with cheap incremental
+//! edge insertion: adding `u → v` ORs `reach(v) ∪ {v}` into every vertex
+//! that reaches `u`.
+
+use nachos_ir::{Dfg, EdgeKind, NodeId};
+
+/// Transitive-closure bit matrix over a fixed vertex set.
+#[derive(Clone, Debug)]
+pub struct Reachability {
+    n: usize,
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl Reachability {
+    /// Builds the closure of `dfg` restricted to edges of the given kinds.
+    #[must_use]
+    pub fn of_dfg(dfg: &Dfg, kinds: &[EdgeKind]) -> Self {
+        let mut r = Self::empty(dfg.num_nodes());
+        // Process in reverse topological order so each vertex's row is
+        // final when its predecessors consume it.
+        let order = dfg.topo_order();
+        for &n in order.iter().rev() {
+            for e in dfg.out_edges(n) {
+                if kinds.contains(&e.kind) {
+                    r.set_bit(n.index(), e.dst.index());
+                    r.or_row(n.index(), e.dst.index());
+                }
+            }
+        }
+        r
+    }
+
+    /// An empty relation over `n` vertices.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        let words = n.div_ceil(64).max(1);
+        Self {
+            n,
+            words,
+            bits: vec![0; n * words],
+        }
+    }
+
+    fn set_bit(&mut self, src: usize, dst: usize) {
+        self.bits[src * self.words + dst / 64] |= 1 << (dst % 64);
+    }
+
+    fn or_row(&mut self, dst_row: usize, src_row: usize) {
+        let (d, s) = (dst_row * self.words, src_row * self.words);
+        for w in 0..self.words {
+            let v = self.bits[s + w];
+            self.bits[d + w] |= v;
+        }
+    }
+
+    /// `true` if `to` is reachable from `from` via one or more edges.
+    #[must_use]
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        let (f, t) = (from.index(), to.index());
+        debug_assert!(f < self.n && t < self.n);
+        self.bits[f * self.words + t / 64] & (1 << (t % 64)) != 0
+    }
+
+    /// Inserts edge `u → v` and restores transitive closure.
+    #[allow(clippy::needless_range_loop)] // `w` indexes two buffers in lockstep
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        let (ui, vi) = (u.index(), v.index());
+        debug_assert!(ui < self.n && vi < self.n);
+        if self.reaches(u, v) {
+            return;
+        }
+        // Row to merge: reach(v) ∪ {v}.
+        let mut merged = vec![0u64; self.words];
+        merged.copy_from_slice(&self.bits[vi * self.words..(vi + 1) * self.words]);
+        merged[vi / 64] |= 1 << (vi % 64);
+        // Update u itself and everything that reaches u.
+        for a in 0..self.n {
+            let reaches_u =
+                a == ui || self.bits[a * self.words + ui / 64] & (1 << (ui % 64)) != 0;
+            if reaches_u {
+                let base = a * self.words;
+                for w in 0..self.words {
+                    self.bits[base + w] |= merged[w];
+                }
+            }
+        }
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nachos_ir::{AffineExpr, IntOp, MemRef, OpKind, RegionBuilder};
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn closure_of_chain() {
+        let mut b = RegionBuilder::new("t");
+        let g = b.global("g", 64, 0);
+        let a = b.load(MemRef::affine(g, AffineExpr::zero()), &[]);
+        let c = b.int_op(IntOp::Add, &[a]);
+        let d = b.store(MemRef::affine(g, AffineExpr::zero()), &[c]);
+        let r = b.finish();
+        let reach = Reachability::of_dfg(&r.dfg, &[EdgeKind::Data]);
+        assert!(reach.reaches(a, c));
+        assert!(reach.reaches(a, d));
+        assert!(reach.reaches(c, d));
+        assert!(!reach.reaches(d, a));
+        assert!(!reach.reaches(a, a), "reachability excludes the empty path");
+    }
+
+    #[test]
+    fn closure_respects_kind_filter() {
+        let mut b = RegionBuilder::new("t");
+        let g = b.global("g", 64, 0);
+        let a = b.load(MemRef::affine(g, AffineExpr::zero()), &[]);
+        let d = b.store(MemRef::affine(g, AffineExpr::zero()), &[]);
+        let mut r = b.finish();
+        r.dfg.add_edge(a, d, EdgeKind::Order).unwrap();
+        let data_only = Reachability::of_dfg(&r.dfg, &[EdgeKind::Data]);
+        assert!(!data_only.reaches(a, d));
+        let both = Reachability::of_dfg(&r.dfg, &[EdgeKind::Data, EdgeKind::Order]);
+        assert!(both.reaches(a, d));
+    }
+
+    #[test]
+    fn incremental_add_edge_matches_recompute() {
+        let mut r = Reachability::empty(5);
+        r.add_edge(n(0), n(1));
+        r.add_edge(n(1), n(2));
+        assert!(r.reaches(n(0), n(2)));
+        r.add_edge(n(3), n(0));
+        assert!(r.reaches(n(3), n(2)));
+        assert!(!r.reaches(n(2), n(3)));
+        r.add_edge(n(2), n(4));
+        // Everything upstream now reaches 4.
+        for i in 0..4 {
+            assert!(r.reaches(n(i), n(4)), "{i} should reach 4");
+        }
+        // Redundant insert is a no-op.
+        let before = r.clone().bits;
+        r.add_edge(n(0), n(4));
+        assert_eq!(before, r.bits);
+    }
+
+    #[test]
+    fn wide_graph_crosses_word_boundary() {
+        let mut r = Reachability::empty(130);
+        for i in 0..129 {
+            r.add_edge(n(i), n(i + 1));
+        }
+        assert!(r.reaches(n(0), n(129)));
+        assert!(!r.reaches(n(129), n(0)));
+    }
+
+    #[test]
+    fn diamond_dataflow() {
+        let mut b = RegionBuilder::new("t");
+        let x = b.input();
+        let l2 = b.int_op(IntOp::Add, &[x]);
+        let r2 = b.int_op(IntOp::Mul, &[x]);
+        let join = b.int_op(IntOp::Add, &[l2, r2]);
+        let reg = b.finish();
+        let reach = Reachability::of_dfg(&reg.dfg, &[EdgeKind::Data]);
+        assert!(reach.reaches(x, join));
+        assert!(!reach.reaches(l2, r2));
+        assert_eq!(reach.num_vertices(), 4);
+        // Keep OpKind import alive for clarity of test inputs.
+        assert!(matches!(reg.dfg.node(x).kind, OpKind::Input { .. }));
+    }
+}

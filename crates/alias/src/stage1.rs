@@ -1,0 +1,339 @@
+//! Stage 1 — intraprocedural alias analysis (LLVM-style).
+//!
+//! Assigns an initial NO / MAY / MUST label to every ordering-relevant pair
+//! of memory operations, using the analyses LLVM 3.8 applies inside a
+//! function (paper §V-B): stateless base-object disambiguation (BasicAA),
+//! type-based checks (TBAA), `restrict`-scope checks (ScopedNoAlias) and
+//! single-induction-variable affine reasoning over pointer arithmetic
+//! (SCEV). Multi-variable and symbolic-stride differences are beyond this
+//! stage and remain MAY (Stage 4's territory); unknown provenance remains
+//! MAY unless a non-escaping local rules it out.
+
+use crate::afftest::IvBox;
+use crate::classify::classify_same_object;
+use crate::matrix::{AliasLabel, AliasMatrix};
+use nachos_ir::{BaseKind, MemRef, PtrExpr, Region};
+
+/// How the provenance of two pointers relates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BaseRel {
+    /// Provably different objects.
+    Distinct,
+    /// Provably the same object — fall through to offset analysis.
+    Same,
+    /// Cannot tell.
+    Unknown,
+}
+
+fn base_relation(region: &Region, a: &MemRef, b: &MemRef) -> BaseRel {
+    match (&a.ptr, &b.ptr) {
+        (PtrExpr::Unknown { source: sa, .. }, PtrExpr::Unknown { source: sb, .. }) => {
+            if sa == sb {
+                BaseRel::Same
+            } else {
+                BaseRel::Unknown
+            }
+        }
+        (PtrExpr::Unknown { .. }, _) | (_, PtrExpr::Unknown { .. }) => {
+            // An unknown pointer cannot point at a non-escaping region
+            // stack slot.
+            let known = a.ptr.base().or(b.ptr.base()).expect("one side has a base");
+            match region.base(known).kind {
+                BaseKind::Stack { .. } => BaseRel::Distinct,
+                _ => BaseRel::Unknown,
+            }
+        }
+        _ => {
+            let (ba, bb) = (
+                a.ptr.base().expect("affine/multidim has base"),
+                b.ptr.base().expect("affine/multidim has base"),
+            );
+            if ba == bb {
+                return BaseRel::Same;
+            }
+            let (ka, kb) = (&region.base(ba).kind, &region.base(bb).kind);
+            match (ka, kb) {
+                // Two distinct globals may still be the same caller object
+                // only if their caller identities coincide.
+                (BaseKind::Global { .. }, BaseKind::Global { .. }) => {
+                    match (region.base(ba).caller_object, region.base(bb).caller_object) {
+                        (Some(ca), Some(cb)) if ca == cb => BaseRel::Same,
+                        _ => BaseRel::Distinct,
+                    }
+                }
+                // Identified objects of different identity never overlap.
+                _ if ka.is_identified_object() && kb.is_identified_object() => BaseRel::Distinct,
+                // An argument cannot alias a non-escaping stack slot.
+                (BaseKind::Arg { .. }, BaseKind::Stack { .. })
+                | (BaseKind::Stack { .. }, BaseKind::Arg { .. }) => BaseRel::Distinct,
+                // Argument vs global/heap/argument: unknown without
+                // inter-procedural information (Stage 2).
+                _ => BaseRel::Unknown,
+            }
+        }
+    }
+}
+
+/// Classifies a single pair of memory references (Stage 1 power).
+#[must_use]
+pub fn classify_pair(region: &Region, bx: &IvBox, a: &MemRef, b: &MemRef) -> AliasLabel {
+    // ScopedNoAlias: pointers from different `restrict` scopes never alias.
+    if let (Some(sa), Some(sb)) = (a.noalias_scope, b.noalias_scope) {
+        if sa != sb {
+            return AliasLabel::No;
+        }
+    }
+    // TBAA: incompatible access types never alias.
+    if !a.ty.compatible(b.ty) {
+        return AliasLabel::No;
+    }
+    match base_relation(region, a, b) {
+        BaseRel::Distinct => AliasLabel::No,
+        BaseRel::Unknown => AliasLabel::May,
+        BaseRel::Same => match (&a.ptr, &b.ptr) {
+            (
+                PtrExpr::Unknown { offset: oa, .. },
+                PtrExpr::Unknown { offset: ob, .. },
+            ) => {
+                // Same unknown pointer, constant offsets.
+                let delta = oa - ob;
+                if delta == 0 && a.size == b.size {
+                    AliasLabel::MustExact
+                } else if delta > -i64::from(a.size) && delta < i64::from(b.size) {
+                    AliasLabel::MustPartial
+                } else {
+                    AliasLabel::No
+                }
+            }
+            _ => classify_same_object(a, b, bx, false),
+        },
+    }
+}
+
+/// Runs Stage 1 over every tracked pair of the matrix.
+pub fn run(region: &Region, matrix: &mut AliasMatrix) {
+    let bx = IvBox::from_nest(&region.loops);
+    let pairs: Vec<_> = matrix.pairs().map(|(p, _, _)| p).collect();
+    for pair in pairs {
+        let a = region
+            .dfg
+            .node(matrix.node(pair.older))
+            .kind
+            .mem_ref()
+            .expect("matrix tracks memory ops")
+            .clone();
+        let b = region
+            .dfg
+            .node(matrix.node(pair.younger))
+            .kind
+            .mem_ref()
+            .expect("matrix tracks memory ops")
+            .clone();
+        matrix.set(pair, classify_pair(region, &bx, &a, &b));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Pair;
+    use nachos_ir::{
+        AccessType, AffineExpr, LoopInfo, MemRef, Provenance, RegionBuilder, ScopeId,
+    };
+
+    fn bx() -> IvBox {
+        IvBox::from_bounds(vec![(0, 7)])
+    }
+
+    #[test]
+    fn distinct_globals_no_alias() {
+        let mut b = RegionBuilder::new("t");
+        let g1 = b.global("a", 64, 0);
+        let g2 = b.global("b", 64, 1);
+        let r = {
+            b.store(MemRef::affine(g1, AffineExpr::zero()), &[]);
+            b.load(MemRef::affine(g2, AffineExpr::zero()), &[]);
+            b.finish()
+        };
+        let mut m = AliasMatrix::new(&r);
+        run(&r, &mut m);
+        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::No));
+    }
+
+    #[test]
+    fn globals_with_same_caller_identity_are_same_object() {
+        let mut b = RegionBuilder::new("t");
+        let g1 = b.global("alias_a", 64, 7);
+        let g2 = b.global("alias_b", 64, 7);
+        b.store(MemRef::affine(g1, AffineExpr::zero()), &[]);
+        b.load(MemRef::affine(g2, AffineExpr::zero()), &[]);
+        let r = b.finish();
+        let mut m = AliasMatrix::new(&r);
+        run(&r, &mut m);
+        assert_eq!(
+            m.get(Pair { older: 0, younger: 1 }),
+            Some(AliasLabel::MustExact)
+        );
+    }
+
+    #[test]
+    fn same_base_offsets() {
+        let mut b = RegionBuilder::new("t");
+        let g = b.global("g", 64, 0);
+        b.store(MemRef::affine(g, AffineExpr::constant_expr(0)), &[]);
+        b.load(MemRef::affine(g, AffineExpr::constant_expr(8)), &[]);
+        b.store(MemRef::affine(g, AffineExpr::constant_expr(0)), &[]);
+        b.load(
+            MemRef::affine(g, AffineExpr::constant_expr(4)).with_size(4),
+            &[],
+        );
+        let r = b.finish();
+        let mut m = AliasMatrix::new(&r);
+        run(&r, &mut m);
+        // st@0 vs ld@8: disjoint.
+        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::No));
+        // st@0 vs st@0: exact.
+        assert_eq!(
+            m.get(Pair { older: 0, younger: 2 }),
+            Some(AliasLabel::MustExact)
+        );
+        // st@0 (8B) vs ld@4 (4B): partial overlap.
+        assert_eq!(
+            m.get(Pair { older: 0, younger: 3 }),
+            Some(AliasLabel::MustPartial)
+        );
+    }
+
+    #[test]
+    fn strided_accesses_use_scev_reasoning() {
+        let mut b = RegionBuilder::new("t");
+        let i = b.enclosing_loop(LoopInfo::range("i", 0, 8));
+        let g = b.global("g", 1024, 0);
+        // st g[8i], ld g[8i+4] (4-byte): constant delta 4 with 4B accesses
+        // at delta -4..? window: a=st size 4, b=ld size 4, delta -4 => disjoint.
+        b.store(
+            MemRef::affine(g, AffineExpr::var(i).scaled(8)).with_size(4),
+            &[],
+        );
+        b.load(
+            MemRef::affine(g, AffineExpr::var(i).scaled(8).plus(4)).with_size(4),
+            &[],
+        );
+        let r = b.finish();
+        let mut m = AliasMatrix::new(&r);
+        run(&r, &mut m);
+        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::No));
+    }
+
+    #[test]
+    fn tbaa_and_scopes() {
+        let mut b = RegionBuilder::new("t");
+        let g = b.global("g", 64, 0);
+        let int_ty = AccessType(1);
+        let fp_ty = AccessType(2);
+        b.store(
+            MemRef::affine(g, AffineExpr::zero()).with_type(int_ty),
+            &[],
+        );
+        b.load(MemRef::affine(g, AffineExpr::zero()).with_type(fp_ty), &[]);
+        b.store(
+            MemRef::affine(g, AffineExpr::zero()).with_scope(ScopeId::new(0)),
+            &[],
+        );
+        b.load(
+            MemRef::affine(g, AffineExpr::zero()).with_scope(ScopeId::new(1)),
+            &[],
+        );
+        let r = b.finish();
+        let mut m = AliasMatrix::new(&r);
+        run(&r, &mut m);
+        // TBAA-incompatible.
+        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::No));
+        // Different restrict scopes.
+        assert_eq!(m.get(Pair { older: 2, younger: 3 }), Some(AliasLabel::No));
+    }
+
+    #[test]
+    fn args_are_opaque_in_stage1() {
+        let mut b = RegionBuilder::new("t");
+        let a0 = b.arg(0, Provenance::Object(0));
+        let a1 = b.arg(1, Provenance::Object(1));
+        let s = b.stack("local", 64);
+        let g = b.global("g", 64, 5);
+        b.store(MemRef::affine(a0, AffineExpr::zero()), &[]);
+        b.load(MemRef::affine(a1, AffineExpr::zero()), &[]);
+        b.store(MemRef::affine(s, AffineExpr::zero()), &[]);
+        b.load(MemRef::affine(g, AffineExpr::zero()), &[]);
+        let r = b.finish();
+        let mut m = AliasMatrix::new(&r);
+        run(&r, &mut m);
+        // arg vs arg: MAY (despite provenance — that is Stage 2's job).
+        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::May));
+        // arg vs stack: NO.
+        assert_eq!(m.get(Pair { older: 0, younger: 2 }), Some(AliasLabel::No));
+        // arg vs global: MAY.
+        assert_eq!(m.get(Pair { older: 0, younger: 3 }), Some(AliasLabel::May));
+    }
+
+    #[test]
+    fn unknown_pointers() {
+        let mut b = RegionBuilder::new("t");
+        let u0 = b.unknown_ptr();
+        let u1 = b.unknown_ptr();
+        let s = b.stack("local", 64);
+        b.store(MemRef::unknown(u0, 0), &[]);
+        b.load(MemRef::unknown(u0, 0), &[]);
+        b.load(MemRef::unknown(u0, 32), &[]);
+        b.load(MemRef::unknown(u1, 0), &[]);
+        b.store(MemRef::affine(s, AffineExpr::zero()), &[]);
+        let r = b.finish();
+        let mut m = AliasMatrix::new(&r);
+        run(&r, &mut m);
+        // Same unknown source, same offset: MUST exact.
+        assert_eq!(
+            m.get(Pair { older: 0, younger: 1 }),
+            Some(AliasLabel::MustExact)
+        );
+        // Same source, far offset: NO.
+        assert_eq!(m.get(Pair { older: 0, younger: 2 }), Some(AliasLabel::No));
+        // Different unknown sources: MAY.
+        assert_eq!(m.get(Pair { older: 0, younger: 3 }), Some(AliasLabel::May));
+        // Unknown vs non-escaping stack slot: NO.
+        assert_eq!(m.get(Pair { older: 0, younger: 4 }), Some(AliasLabel::No));
+        assert_eq!(m.get(Pair { older: 3, younger: 4 }), Some(AliasLabel::No));
+    }
+
+    #[test]
+    fn multidim_symbolic_stride_is_may_in_stage1() {
+        use nachos_ir::{ParamInfo, ScaledParam, Subscript};
+        let mut b = RegionBuilder::new("t");
+        let i = b.enclosing_loop(LoopInfo::range("i", 0, 8));
+        let n = b.param(ParamInfo::at_least("n", 1));
+        let g = b.global("A", 4096, 0);
+        let sub = |idx: AffineExpr| Subscript {
+            index: idx,
+            stride: ScaledParam::symbolic(8, n),
+            extent: None,
+        };
+        b.store(MemRef::multi_dim(g, vec![sub(AffineExpr::var(i))]), &[]);
+        b.load(
+            MemRef::multi_dim(g, vec![sub(AffineExpr::var(i).plus(1))]),
+            &[],
+        );
+        let r = b.finish();
+        let mut m = AliasMatrix::new(&r);
+        run(&r, &mut m);
+        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::May));
+    }
+
+    #[test]
+    fn classify_pair_direct() {
+        let mut b = RegionBuilder::new("t");
+        let g = b.global("g", 64, 0);
+        let r = b.finish();
+        let a = MemRef::affine(g, AffineExpr::zero());
+        let c = MemRef::affine(g, AffineExpr::constant_expr(16));
+        assert_eq!(classify_pair(&r, &bx(), &a, &c), AliasLabel::No);
+        assert_eq!(classify_pair(&r, &bx(), &a, &a), AliasLabel::MustExact);
+    }
+}

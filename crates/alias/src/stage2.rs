@@ -1,0 +1,233 @@
+//! Stage 2 — inter-procedural provenance refinement (MAY → NO).
+//!
+//! Standard LLVM 3.8 alias analyses cannot reason across function
+//! boundaries, so pointers that arrive as region arguments stay MAY in
+//! Stage 1 even when the caller passes distinct objects. The paper's
+//! workloads invoke each accelerated path from a single call site with no
+//! function-pointer indirection, so a limited context-sensitive analysis
+//! can trace each argument's data dependence back to a source object in
+//! the caller. Two operations whose pointers trace to *different* caller
+//! objects are refined to NO; pointers tracing to the *same* caller object
+//! become same-object queries and re-run the Stage-1 offset analysis.
+//!
+//! Convention: `Heap` base objects denote allocations that are fresh
+//! within the offloaded path, so they are distinct from any caller object.
+
+use crate::afftest::IvBox;
+use crate::classify::classify_same_object;
+use crate::matrix::{AliasLabel, AliasMatrix};
+use nachos_ir::{BaseKind, MemRef, Provenance, Region};
+
+/// The identity of the object a pointer refers to, after provenance
+/// tracing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EffObj {
+    /// An object in the caller's namespace (globals, traced arguments).
+    Caller(u32),
+    /// A region-local object (stack slot or fresh heap allocation),
+    /// identified by its base id.
+    Local(nachos_ir::BaseId),
+    /// Untraceable.
+    Opaque,
+}
+
+fn effective_object(region: &Region, mem: &MemRef) -> EffObj {
+    let Some(base) = mem.ptr.base() else {
+        return EffObj::Opaque;
+    };
+    let obj = region.base(base);
+    match &obj.kind {
+        BaseKind::Global { .. } => match obj.caller_object {
+            Some(c) => EffObj::Caller(c),
+            None => EffObj::Local(base),
+        },
+        BaseKind::Stack { .. } | BaseKind::Heap { .. } => EffObj::Local(base),
+        BaseKind::Arg { index } => match region.context.provenance(*index) {
+            Provenance::Object(c) => EffObj::Caller(c),
+            Provenance::Unknown => EffObj::Opaque,
+        },
+    }
+}
+
+/// Attempts to refine one MAY pair using caller provenance. Returns the new
+/// label, or `None` when Stage 2 has nothing to say.
+#[must_use]
+pub fn refine_pair(region: &Region, bx: &IvBox, a: &MemRef, b: &MemRef) -> Option<AliasLabel> {
+    let (ea, eb) = (effective_object(region, a), effective_object(region, b));
+    match (ea, eb) {
+        (EffObj::Opaque, _) | (_, EffObj::Opaque) => None,
+        (EffObj::Caller(ca), EffObj::Caller(cb)) => {
+            if ca == cb {
+                // Same caller object: compare offsets. Arguments are
+                // assumed to point at the object base (offset folded into
+                // the access expression), matching how NEEDLE outlines
+                // regions.
+                Some(classify_same_object(a, b, bx, false))
+            } else {
+                Some(AliasLabel::No)
+            }
+        }
+        // Region-local objects are distinct from caller objects, and two
+        // distinct locals were already separated by Stage 1; if both trace
+        // locally the pair would not have stayed MAY, so the remaining
+        // informative case is local-vs-caller.
+        (EffObj::Local(_), EffObj::Caller(_)) | (EffObj::Caller(_), EffObj::Local(_)) => {
+            Some(AliasLabel::No)
+        }
+        (EffObj::Local(_), EffObj::Local(_)) => None,
+    }
+}
+
+/// Runs Stage 2 over every MAY pair, returning how many labels changed.
+pub fn run(region: &Region, matrix: &mut AliasMatrix) -> usize {
+    let bx = IvBox::from_nest(&region.loops);
+    let may_pairs: Vec<_> = matrix
+        .pairs()
+        .filter(|&(_, _, l)| l.is_may())
+        .map(|(p, _, _)| p)
+        .collect();
+    let mut changed = 0;
+    for pair in may_pairs {
+        let a = region
+            .dfg
+            .node(matrix.node(pair.older))
+            .kind
+            .mem_ref()
+            .expect("matrix tracks memory ops")
+            .clone();
+        let b = region
+            .dfg
+            .node(matrix.node(pair.younger))
+            .kind
+            .mem_ref()
+            .expect("matrix tracks memory ops")
+            .clone();
+        if let Some(label) = refine_pair(region, &bx, &a, &b) {
+            if label != AliasLabel::May {
+                matrix.set(pair, label);
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Pair;
+    use crate::stage1;
+    use nachos_ir::{AffineExpr, RegionBuilder};
+
+    #[test]
+    fn distinct_caller_objects_become_no() {
+        let mut b = RegionBuilder::new("parser-like");
+        // Two pointer arguments that the caller derives from different
+        // tables — e.g. parser's local pointer vs a global
+        // `Table_connector **table`.
+        let a0 = b.arg(0, Provenance::Object(10));
+        let a1 = b.arg(1, Provenance::Object(11));
+        b.store(MemRef::affine(a0, AffineExpr::zero()), &[]);
+        b.load(MemRef::affine(a1, AffineExpr::zero()), &[]);
+        let r = b.finish();
+        let mut m = AliasMatrix::new(&r);
+        stage1::run(&r, &mut m);
+        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::May));
+        let changed = run(&r, &mut m);
+        assert_eq!(changed, 1);
+        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::No));
+    }
+
+    #[test]
+    fn same_caller_object_reruns_offset_analysis() {
+        let mut b = RegionBuilder::new("t");
+        let a0 = b.arg(0, Provenance::Object(10));
+        let a1 = b.arg(1, Provenance::Object(10));
+        b.store(MemRef::affine(a0, AffineExpr::zero()), &[]);
+        b.load(MemRef::affine(a1, AffineExpr::zero()), &[]);
+        b.load(MemRef::affine(a1, AffineExpr::constant_expr(64)), &[]);
+        let r = b.finish();
+        let mut m = AliasMatrix::new(&r);
+        stage1::run(&r, &mut m);
+        run(&r, &mut m);
+        assert_eq!(
+            m.get(Pair { older: 0, younger: 1 }),
+            Some(AliasLabel::MustExact)
+        );
+        assert_eq!(m.get(Pair { older: 0, younger: 2 }), Some(AliasLabel::No));
+    }
+
+    #[test]
+    fn arg_vs_global_with_distinct_identity() {
+        let mut b = RegionBuilder::new("t");
+        let a0 = b.arg(0, Provenance::Object(10));
+        let g = b.global("g", 64, 3);
+        b.store(MemRef::affine(a0, AffineExpr::zero()), &[]);
+        b.load(MemRef::affine(g, AffineExpr::zero()), &[]);
+        let r = b.finish();
+        let mut m = AliasMatrix::new(&r);
+        stage1::run(&r, &mut m);
+        run(&r, &mut m);
+        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::No));
+    }
+
+    #[test]
+    fn arg_vs_global_same_identity_is_must() {
+        let mut b = RegionBuilder::new("t");
+        let a0 = b.arg(0, Provenance::Object(3));
+        let g = b.global("g", 64, 3);
+        b.store(MemRef::affine(a0, AffineExpr::zero()), &[]);
+        b.load(MemRef::affine(g, AffineExpr::zero()), &[]);
+        let r = b.finish();
+        let mut m = AliasMatrix::new(&r);
+        stage1::run(&r, &mut m);
+        run(&r, &mut m);
+        assert_eq!(
+            m.get(Pair { older: 0, younger: 1 }),
+            Some(AliasLabel::MustExact)
+        );
+    }
+
+    #[test]
+    fn untraceable_args_stay_may() {
+        let mut b = RegionBuilder::new("t");
+        let a0 = b.arg(0, Provenance::Unknown);
+        let a1 = b.arg(1, Provenance::Object(1));
+        b.store(MemRef::affine(a0, AffineExpr::zero()), &[]);
+        b.load(MemRef::affine(a1, AffineExpr::zero()), &[]);
+        let r = b.finish();
+        let mut m = AliasMatrix::new(&r);
+        stage1::run(&r, &mut m);
+        let changed = run(&r, &mut m);
+        assert_eq!(changed, 0);
+        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::May));
+    }
+
+    #[test]
+    fn fresh_heap_vs_caller_object_is_no() {
+        let mut b = RegionBuilder::new("t");
+        let a0 = b.arg(0, Provenance::Object(2));
+        let h = b.heap(0, Some(256));
+        b.store(MemRef::affine(h, AffineExpr::zero()), &[]);
+        b.load(MemRef::affine(a0, AffineExpr::zero()), &[]);
+        let r = b.finish();
+        let mut m = AliasMatrix::new(&r);
+        stage1::run(&r, &mut m);
+        run(&r, &mut m);
+        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::No));
+    }
+
+    #[test]
+    fn unknown_ptr_pairs_not_touched() {
+        let mut b = RegionBuilder::new("t");
+        let u0 = b.unknown_ptr();
+        let u1 = b.unknown_ptr();
+        b.store(MemRef::unknown(u0, 0), &[]);
+        b.load(MemRef::unknown(u1, 0), &[]);
+        let r = b.finish();
+        let mut m = AliasMatrix::new(&r);
+        stage1::run(&r, &mut m);
+        assert_eq!(run(&r, &mut m), 0);
+        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::May));
+    }
+}

@@ -1,0 +1,32 @@
+//! Criterion micro-benchmarks: throughput of the NACHOS-SW compiler
+//! pipeline, per stage, on the largest Table II region (equake).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nachos_alias::{analyze, StageConfig};
+use nachos_workloads::{by_name, generate};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let w = generate(&by_name("183.equake").expect("spec"));
+    let mut group = c.benchmark_group("alias_pipeline");
+    group.bench_function("stage1_only", |b| {
+        b.iter(|| analyze(black_box(&w.region), StageConfig::stage1_only()))
+    });
+    group.bench_function("baseline_s1_s3", |b| {
+        b.iter(|| analyze(black_box(&w.region), StageConfig::baseline()))
+    });
+    group.bench_function("full_s1_s4", |b| {
+        b.iter(|| analyze(black_box(&w.region), StageConfig::full()))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("alias_pipeline_small");
+    let small = generate(&by_name("gzip").expect("spec"));
+    group.bench_function("gzip_full", |b| {
+        b.iter(|| analyze(black_box(&small.region), StageConfig::full()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

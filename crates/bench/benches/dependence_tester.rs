@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks: cost of the Stage-4 polyhedral dependence
+//! tests (per-dimension subscript comparison over the iteration box).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nachos_alias::afftest::{overlap_test, IvBox};
+use nachos_alias::{analyze, StageConfig};
+use nachos_ir::{AffineExpr, LoopId};
+use nachos_workloads::{by_name, generate};
+use std::hint::black_box;
+
+fn bench_tester(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dependence_tester");
+
+    // Multi-IV interval + GCD query.
+    let delta = AffineExpr::from_terms(
+        &[(LoopId::new(0), 64), (LoopId::new(1), -8), (LoopId::new(2), 1)],
+        4,
+    );
+    let bx = IvBox::from_bounds(vec![(0, 127), (0, 63), (0, 7)]);
+    group.bench_function("multi_iv_query", |b| {
+        b.iter(|| overlap_test(black_box(&delta), &bx, 8, 8))
+    });
+
+    // Full Stage-4 pass over the stencil-heavy namd region.
+    let w = generate(&by_name("namd").expect("spec"));
+    group.bench_function("stage4_namd_region", |b| {
+        b.iter(|| {
+            let with = analyze(black_box(&w.region), StageConfig::full());
+            black_box(with.report.stage4_refined)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tester);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks: one OPT-LSQ search (bloom + CAM scan)
+//! versus one decentralized `==?` overlap check — the mechanism-level
+//! contrast behind the appendix's energy argument.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nachos_alias::afftest::{overlap_test, IvBox};
+use nachos_ir::AffineExpr;
+use nachos_lsq::{Lsq, LsqConfig};
+use std::hint::black_box;
+
+fn bench_checks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disambiguation_check");
+
+    group.bench_function("lsq_search_48_in_flight", |b| {
+        b.iter_with_setup(
+            || {
+                let mut lsq = Lsq::new(LsqConfig::default());
+                let kinds: Vec<bool> = (0..48).map(|k| k % 2 == 0).collect();
+                lsq.begin_invocation(&kinds);
+                let mut cycle = 0;
+                let mut allocated = 0;
+                while allocated < 48 {
+                    if lsq.allocate_next(cycle).is_some() {
+                        allocated += 1;
+                    } else {
+                        cycle += 1;
+                    }
+                }
+                for age in 0..48u32 {
+                    lsq.bind_address(age, 0x1000 + u64::from(age) * 64, 8);
+                }
+                lsq
+            },
+            |mut lsq| black_box(lsq.search_load(47)),
+        )
+    });
+
+    group.bench_function("pairwise_comparator", |b| {
+        let a = (0x1000u64, 8u8);
+        let q = (0x1008u64, 8u8);
+        b.iter(|| {
+            let (a, q) = (black_box(a), black_box(q));
+            black_box(a.0 < q.0 + u64::from(q.1) && q.0 < a.0 + u64::from(a.1))
+        })
+    });
+
+    group.bench_function("static_overlap_test", |b| {
+        let delta = AffineExpr::var(nachos_ir::LoopId::new(0)).scaled(8).plus(4);
+        let bx = IvBox::from_bounds(vec![(0, 63)]);
+        b.iter(|| overlap_test(black_box(&delta), &bx, 8, 8))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_checks);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks: cache-hierarchy access throughput under
+//! hit- and miss-dominated streams.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nachos_mem::{HierarchyConfig, MemoryHierarchy};
+use std::hint::black_box;
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory_hierarchy");
+
+    group.bench_function("l1_hits_1k", |b| {
+        b.iter_with_setup(
+            || {
+                let mut h = MemoryHierarchy::new(HierarchyConfig::default());
+                for k in 0..64u64 {
+                    h.access(k * 64, false, 0);
+                }
+                h
+            },
+            |mut h| {
+                let mut t = 1_000;
+                for k in 0..1_000u64 {
+                    let r = h.access((k % 64) * 64, false, t);
+                    t = r.complete_at;
+                }
+                black_box(t)
+            },
+        )
+    });
+
+    group.bench_function("streaming_misses_1k", |b| {
+        b.iter_with_setup(
+            || MemoryHierarchy::new(HierarchyConfig::default()),
+            |mut h| {
+                let mut t = 0;
+                for k in 0..1_000u64 {
+                    let r = h.access(k * 64, false, t);
+                    t = r.complete_at;
+                }
+                black_box(t)
+            },
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation: comparators per `==?` site. The paper provisions one and
+//! observes fan-in contention on bzip2/sar-pfa (§VII, §VIII-A); this sweep
+//! shows the contention dissolving as sites gain check bandwidth.
+
+use nachos::{run_backend, Backend, EnergyModel, SimConfig};
+use nachos_workloads::{by_name, generate};
+
+fn main() {
+    nachos_bench::banner(
+        "Ablation: comparators per MAY site",
+        "§VII 'Why decentralized checking?'",
+    );
+    let energy = EnergyModel::default();
+    println!(
+        "{:<14} {:>6} {:>10} {:>10} {:>10} {:>10}",
+        "App", "fanin*", "1 cmp", "2 cmp", "4 cmp", "8 cmp"
+    );
+    for name in ["401.bzip2", "sar-pfa.", "453.povray", "fft-2d"] {
+        let spec = by_name(name).expect("spec");
+        let w = generate(&spec);
+        let a = nachos_alias::analyze(&w.region, nachos_alias::StageConfig::full());
+        let max_fanin = nachos_alias::may_fanin(&a).into_iter().max().unwrap_or(0);
+        print!("{name:<14} {max_fanin:>6}");
+        for comparators in [1u32, 2, 4, 8] {
+            let config = SimConfig {
+                comparators_per_site: comparators,
+                ..SimConfig::default()
+            }
+            .with_invocations(32);
+            let run = run_backend(&w.region, &w.binding, Backend::Nachos, &config, &energy)
+                .expect("simulate");
+            print!(" {:>10}", run.sim.cycles);
+        }
+        println!();
+    }
+    println!();
+    println!("* largest number of MAY parents any single operation faces (Fig. 14)");
+}

@@ -1,0 +1,64 @@
+//! Ablation: every subset of the optional compiler stages (2/3/4), on the
+//! workloads where each stage matters. Extends the paper's Figure 12,
+//! which is the {stage 2, stage 4}-off point of this sweep.
+
+use nachos::{pct_slowdown, run_backend_with_stages, Backend, EnergyModel, SimConfig};
+use nachos_alias::{analyze, StageConfig};
+use nachos_workloads::{by_name, generate};
+
+fn main() {
+    nachos_bench::banner(
+        "Ablation: compiler stage subsets (NACHOS-SW vs full pipeline)",
+        "an extension of Figure 12",
+    );
+    let configs: [(&str, StageConfig); 8] = [
+        ("s1", StageConfig { stage2: false, stage3: false, stage4: false }),
+        ("s1+s2", StageConfig { stage2: true, stage3: false, stage4: false }),
+        ("s1+s3", StageConfig { stage2: false, stage3: true, stage4: false }),
+        ("s1+s4", StageConfig { stage2: false, stage3: false, stage4: true }),
+        ("s1+s2+s3", StageConfig { stage2: true, stage3: true, stage4: false }),
+        ("s1+s2+s4", StageConfig { stage2: true, stage3: false, stage4: true }),
+        ("s1+s3+s4", StageConfig { stage2: false, stage3: true, stage4: true }),
+        ("full", StageConfig::full()),
+    ];
+    let witnesses = ["parser", "183.equake", "histog.", "453.povray"];
+    let sim = SimConfig::default().with_invocations(32);
+    let energy = EnergyModel::default();
+
+    print!("{:<10}", "config");
+    for name in witnesses {
+        print!(" | {name:>20}");
+    }
+    println!();
+    println!("{:-<10}{}", "", " | cycles  MDEs  %vs-full".repeat(witnesses.len()));
+
+    let mut fulls = Vec::new();
+    for name in witnesses {
+        let w = generate(&by_name(name).expect("spec"));
+        let full = run_backend_with_stages(
+            &w.region, &w.binding, Backend::NachosSw, &sim, &energy, StageConfig::full(),
+        )
+        .expect("simulate");
+        fulls.push((w, full.sim.cycles));
+    }
+    for (label, cfg) in configs {
+        print!("{label:<10}");
+        for (w, full_cycles) in &fulls {
+            let a = analyze(&w.region, cfg);
+            let run = run_backend_with_stages(
+                &w.region, &w.binding, Backend::NachosSw, &sim, &energy, cfg,
+            )
+            .expect("simulate");
+            print!(
+                " | {:>7} {:>5} {:>+7.0}%",
+                run.sim.cycles,
+                a.plan.num_mdes(),
+                pct_slowdown(run.sim.cycles, *full_cycles)
+            );
+        }
+        println!();
+    }
+    println!();
+    println!("parser needs stage 2, equake stage 4, histogram both; stage 3");
+    println!("cuts MDE counts without changing labels.");
+}

@@ -1,0 +1,53 @@
+//! Appendix: limits of decentralized checking. Evaluates the analytic
+//! model `TOT_nachos/TOT_lsq = (Pairs_MAY/N)·(E_MAY/E_lsq)` on every
+//! workload and cross-checks it against the simulator's measured energy.
+
+use nachos::DecentralizedModel;
+use nachos_bench::{run_suite, DEFAULT_INVOCATIONS};
+
+fn main() {
+    nachos_bench::banner(
+        "Appendix: decentralized-checking energy model",
+        "the Appendix equations",
+    );
+    let model = DecentralizedModel::default();
+    println!(
+        "Break-even MAY parents per memory op: {:.1} (paper: 6)",
+        model.breakeven_may_per_op()
+    );
+    println!();
+    println!(
+        "{:<14} {:>8} {:>8} {:>12} {:>12} {:>12}",
+        "App", "#MEM", "MAY-MDEs", "MAY/op", "model ratio", "measured"
+    );
+    let results = run_suite(DEFAULT_INVOCATIONS);
+    let mut exceeds = 0;
+    for r in &results {
+        let n = r.workload.region.num_global_mem_ops();
+        if n == 0 {
+            continue;
+        }
+        let may = r.analysis_full.plan.may.len();
+        let per_op = may as f64 / n as f64;
+        if per_op >= 1.0 {
+            exceeds += 1;
+        }
+        let ratio = model.energy_ratio(may, n);
+        // Measured: NACHOS disambiguation energy over the LSQ's.
+        let measured = if r.lsq.sim.energy.lsq() > 0.0 {
+            r.hw.sim.energy.mde / r.lsq.sim.energy.lsq()
+        } else {
+            0.0
+        };
+        println!(
+            "{:<14} {:>8} {:>8} {:>12.2} {:>12.3} {:>12.3}",
+            r.spec.name, n, may, per_op, ratio, measured
+        );
+    }
+    println!();
+    println!(
+        "Workloads with >= 1 MAY alias per memory op: {exceeds} \
+         (paper: 7 — bzip2, soplex, povray, fft, freqmine, sar, histogram)"
+    );
+    println!("Ratios below 1.0 mean decentralized checking is profitable.");
+}

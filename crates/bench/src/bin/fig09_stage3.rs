@@ -1,0 +1,62 @@
+//! Figure 9: Stage-3 simplification — the fraction of alias relations
+//! retained (as MDEs) after redundancy pruning, relative to the relations
+//! identified by the earlier stages. Top five paths per benchmark.
+
+use nachos_alias::{analyze, StageConfig};
+use nachos_workloads::generate_path;
+
+fn main() {
+    nachos_bench::banner(
+        "Figure 9: Stage 3 — alias relations retained after simplification",
+        "Figure 9 / §V-D",
+    );
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>12}",
+        "App", "relations", "retained", "pruned", "%pruned"
+    );
+    let mut pcts: Vec<f64> = Vec::new();
+    for spec in nachos_workloads::all() {
+        // The paper's framing: the denominator is every MUST/MAY relation
+        // Stage 1 determined; "retained" is what stages 2+3 still have to
+        // enforce as MDEs (Figure 9 precedes the Stage-4 discussion).
+        let (mut relations, mut retained, mut pruned) = (0usize, 0usize, 0usize);
+        for path in 0..5 {
+            let w = generate_path(&spec, path);
+            let a = analyze(
+                &w.region,
+                StageConfig {
+                    stage2: true,
+                    stage3: true,
+                    stage4: false,
+                },
+            );
+            let stage1_rel = a.report.after_stage1.may + a.report.after_stage1.must;
+            let enforced = a.plan.num_mdes();
+            relations += stage1_rel;
+            retained += enforced;
+            pruned += stage1_rel.saturating_sub(enforced);
+        }
+        let pct = if relations == 0 {
+            0.0
+        } else {
+            100.0 * pruned as f64 / relations as f64
+        };
+        if relations > 0 {
+            pcts.push(pct);
+        }
+        println!(
+            "{:<14} {:>10} {:>10} {:>10} {:>11.1}%",
+            spec.name, relations, retained, pruned, pct
+        );
+    }
+    println!();
+    let overall = if pcts.is_empty() {
+        0.0
+    } else {
+        pcts.iter().sum::<f64>() / pcts.len() as f64
+    };
+    println!(
+        "Mean across workloads with relations: {overall:.1}% pruned \
+         (paper: ~68%, up to 84% in fft-2d / 93% in histogram)"
+    );
+}

@@ -1,0 +1,33 @@
+//! Figure 11: performance of NACHOS-SW normalized to OPT-LSQ.
+//! Positive = % slowdown, negative = % speedup.
+
+use nachos_bench::{run_suite, DEFAULT_INVOCATIONS};
+
+fn main() {
+    nachos_bench::banner(
+        "Figure 11: NACHOS-SW vs OPT-LSQ performance",
+        "Figure 11 / §VI",
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>10}",
+        "App", "LSQ cyc", "SW cyc", "%slowdown"
+    );
+    let results = run_suite(DEFAULT_INVOCATIONS);
+    let (mut slower, mut faster) = (0, 0);
+    for r in &results {
+        let s = r.sw_slowdown_pct();
+        if s > 4.0 {
+            slower += 1;
+        }
+        if s < -4.0 {
+            faster += 1;
+        }
+        println!(
+            "{:<14} {:>12} {:>12} {:>+9.1}%",
+            r.spec.name, r.lsq.sim.cycles, r.sw.sim.cycles, s
+        );
+    }
+    println!();
+    println!("Workloads >4% slower than OPT-LSQ:  {slower} (paper: 6, 18%-100% slower)");
+    println!("Workloads >4% faster than OPT-LSQ:  {faster} (paper: ~7, 8%-62% faster)");
+}

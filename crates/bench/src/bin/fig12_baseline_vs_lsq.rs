@@ -1,0 +1,34 @@
+//! Figure 12: % slowdown of the *baseline compiler* (Stage 1 + Stage 3
+//! only — no inter-procedural or polyhedral analysis) normalized to
+//! OPT-LSQ. Shows why stages 2 and 4 matter.
+
+use nachos_bench::{run_suite, DEFAULT_INVOCATIONS};
+
+fn main() {
+    nachos_bench::banner(
+        "Figure 12: baseline compiler (Stage 1+3) vs OPT-LSQ",
+        "Figure 12 / §VI",
+    );
+    println!(
+        "{:<14} {:>12} {:>14} {:>12} {:>12}",
+        "App", "base %slow", "full-SW %slow", "s2 gain", "s4 gain"
+    );
+    let results = run_suite(DEFAULT_INVOCATIONS);
+    let mut over_10 = 0;
+    for r in &results {
+        let base = r.baseline_slowdown_pct();
+        let full = r.sw_slowdown_pct();
+        if base > 10.0 {
+            over_10 += 1;
+        }
+        let s2 = r.sw.analysis.as_ref().map_or(0, |a| a.report.stage2_refined);
+        let s4 = r.sw.analysis.as_ref().map_or(0, |a| a.report.stage4_refined);
+        println!(
+            "{:<14} {:>+11.1}% {:>+13.1}% {:>12} {:>12}",
+            r.spec.name, base, full, s2, s4
+        );
+    }
+    println!();
+    println!("Workloads slowed >10% by the baseline compiler: {over_10} (paper: 10, max 4x)");
+    println!("The gap between the two slowdown columns is what stages 2 and 4 buy.");
+}

@@ -1,0 +1,44 @@
+//! Figure 14: distribution of the number of older MAY-alias parents per
+//! memory operation (the fan-in each NACHOS `==?` site must arbitrate).
+
+use nachos_alias::{analyze, may_fanin, StageConfig};
+use nachos_workloads::generate;
+
+fn main() {
+    nachos_bench::banner(
+        "Figure 14: MAY-alias fan-in per memory operation",
+        "Figure 14 / §VII",
+    );
+    println!(
+        "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "App", "=0", "=1", "=2", ">2", "max"
+    );
+    let mut no_fanin_workloads = 0;
+    for spec in nachos_workloads::all() {
+        let w = generate(&spec);
+        let a = analyze(&w.region, StageConfig::full());
+        let fanin = may_fanin(&a);
+        let n = fanin.len().max(1);
+        let count = |pred: &dyn Fn(usize) -> bool| {
+            100.0 * fanin.iter().filter(|&&f| pred(f)).count() as f64 / n as f64
+        };
+        let max = fanin.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            no_fanin_workloads += 1;
+        }
+        println!(
+            "{:<14} {:>7.0}% {:>7.0}% {:>7.0}% {:>7.0}% {:>8}",
+            spec.name,
+            count(&|f| f == 0),
+            count(&|f| f == 1),
+            count(&|f| f == 2),
+            count(&|f| f > 2),
+            max
+        );
+    }
+    println!();
+    println!(
+        "Workloads with no MAY fan-in at all: {no_fanin_workloads} \
+         (paper: 9 with only independent ops; bzip2 has 3 ops with ~50 parents)"
+    );
+}

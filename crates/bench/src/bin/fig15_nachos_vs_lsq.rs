@@ -1,0 +1,41 @@
+//! Figure 15: performance of NACHOS normalized to OPT-LSQ, with the
+//! NACHOS-SW result as the marker the paper overlays.
+
+use nachos_bench::{run_suite, DEFAULT_INVOCATIONS};
+
+fn main() {
+    nachos_bench::banner(
+        "Figure 15: NACHOS vs OPT-LSQ performance (markers: NACHOS-SW)",
+        "Figure 15 / §VIII-A",
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "App", "LSQ cyc", "NACHOS cyc", "NACHOS %", "SW %", "may checks"
+    );
+    let results = run_suite(DEFAULT_INVOCATIONS);
+    let (mut within, mut faster, mut slower) = (0, 0, 0);
+    for r in &results {
+        let hw = r.hw_slowdown_pct();
+        let sw = r.sw_slowdown_pct();
+        if hw.abs() <= 2.5 {
+            within += 1;
+        } else if hw < -2.5 {
+            faster += 1;
+        } else {
+            slower += 1;
+        }
+        println!(
+            "{:<14} {:>12} {:>12} {:>+11.1}% {:>+11.1}% {:>12}",
+            r.spec.name,
+            r.lsq.sim.cycles,
+            r.hw.sim.cycles,
+            hw,
+            sw,
+            r.hw.sim.events.may_checks
+        );
+    }
+    println!();
+    println!("Within 2.5% of OPT-LSQ: {within} (paper: 19)");
+    println!("Faster than OPT-LSQ:    {faster} (paper: 6, by 6%-70%)");
+    println!("Slower than OPT-LSQ:    {slower} (paper: 2 — bzip2/sar-pfa fan-in contention, ~8%)");
+}

@@ -1,0 +1,61 @@
+//! Figure 17: NACHOS energy breakdown (COMPUTE / MDEs / L1) and the net
+//! energy reduction relative to OPT-LSQ.
+
+use nachos_bench::{run_suite, DEFAULT_INVOCATIONS};
+
+fn main() {
+    nachos_bench::banner(
+        "Figure 17: NACHOS energy breakdown and reduction vs OPT-LSQ",
+        "Figure 17 / §VIII-B",
+    );
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} | {:>10} {:>9}",
+        "App", "%COMPUTE", "%MDE", "%L1", "vs LSQ", "%mem-ops"
+    );
+    let results = run_suite(DEFAULT_INVOCATIONS);
+    let (mut zero_overhead, mut sum_mde_pct, mut sum_saving, mut counted) = (0, 0.0, 0.0, 0);
+    for r in &results {
+        let e = &r.hw.sim.energy;
+        let total = e.total();
+        let lsq_total = r.lsq.sim.energy.total();
+        let saving = if lsq_total > 0.0 {
+            100.0 * (lsq_total - total) / lsq_total
+        } else {
+            0.0
+        };
+        let mde_pct = e.pct(e.mde);
+        // "No energy overhead" = no dynamic MAY checks (the pay-as-you-go
+        // cost); compile-time-resolved MUST tokens are 1-bit signals.
+        if r.hw.sim.events.may_checks == 0 {
+            zero_overhead += 1;
+        }
+        if total > 0.0 {
+            sum_mde_pct += mde_pct;
+            sum_saving += saving;
+            counted += 1;
+        }
+        let pct_mem = 100.0 * r.workload.region.num_global_mem_ops() as f64
+            / r.workload.region.dfg.num_nodes() as f64;
+        println!(
+            "{:<14} {:>8.1}% {:>8.1}% {:>8.1}% | {:>+9.1}% {:>8.0}%",
+            r.spec.name,
+            e.pct(e.compute),
+            mde_pct,
+            e.pct(e.l1),
+            saving,
+            pct_mem
+        );
+    }
+    println!();
+    println!("Workloads with zero dynamic-check overhead: {zero_overhead} (paper: 15 of 27)");
+    if counted > 0 {
+        println!(
+            "Average MDE share of total energy: {:.1}% (paper: ~6%)",
+            sum_mde_pct / f64::from(counted)
+        );
+        println!(
+            "Average energy saving vs OPT-LSQ:  {:.1}% (paper: ~21%, range 12-40%)",
+            sum_saving / f64::from(counted)
+        );
+    }
+}

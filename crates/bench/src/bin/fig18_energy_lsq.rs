@@ -1,0 +1,52 @@
+//! Figure 18: OPT-LSQ dynamic energy breakdown (COMPUTE / LSQ-BLOOM /
+//! LSQ-CAM / L1) plus the bloom-hit-rate class table.
+
+use nachos_bench::{run_suite, DEFAULT_INVOCATIONS};
+
+fn main() {
+    nachos_bench::banner(
+        "Figure 18: OPT-LSQ dynamic energy and bloom-filter behaviour",
+        "Figure 18 / §VIII-C",
+    );
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} {:>9} | {:>9}",
+        "App", "%COMPUTE", "%BLOOM", "%CAM", "%L1", "bloom-hit"
+    );
+    let results = run_suite(DEFAULT_INVOCATIONS);
+    let mut classes: [Vec<&str>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    let mut lsq_share_sum = 0.0;
+    for r in &results {
+        let e = &r.lsq.sim.energy;
+        let hit = r.lsq.sim.bloom.hit_pct();
+        let class = if hit == 0.0 {
+            0
+        } else if hit < 10.0 {
+            1
+        } else if hit < 20.0 {
+            2
+        } else {
+            3
+        };
+        classes[class].push(r.spec.name);
+        lsq_share_sum += e.pct(e.lsq());
+        println!(
+            "{:<14} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% | {:>8.1}%",
+            r.spec.name,
+            e.pct(e.compute),
+            e.pct(e.lsq_bloom),
+            e.pct(e.lsq_cam),
+            e.pct(e.l1),
+            hit
+        );
+    }
+    println!();
+    println!(
+        "Average LSQ share of total energy: {:.1}% (paper: 27% incl. L1)",
+        lsq_share_sum / results.len() as f64
+    );
+    println!();
+    println!("Bloom-hit classes (paper's table under Figure 18):");
+    for (label, names) in ["0%", "0-10%", "10-20%", "20%+"].iter().zip(&classes) {
+        println!("  {:>6}: {}", label, names.join(", "));
+    }
+}

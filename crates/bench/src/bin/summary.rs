@@ -1,0 +1,111 @@
+//! The paper's headline claims, measured end-to-end. Prints a
+//! paper-vs-measured comparison suitable for EXPERIMENTS.md.
+
+use nachos_bench::{run_suite, DEFAULT_INVOCATIONS};
+
+fn main() {
+    nachos_bench::banner(
+        "Summary: paper-vs-measured headline results",
+        "the abstract and §VI/§VIII",
+    );
+    let results = run_suite(DEFAULT_INVOCATIONS);
+
+    // NACHOS-SW vs OPT-LSQ.
+    let sw_slow: Vec<_> = results
+        .iter()
+        .filter(|r| r.sw_slowdown_pct() > 4.0)
+        .map(|r| (r.spec.name, r.sw_slowdown_pct()))
+        .collect();
+    let sw_fast: Vec<_> = results
+        .iter()
+        .filter(|r| r.sw_slowdown_pct() < -4.0)
+        .map(|r| (r.spec.name, -r.sw_slowdown_pct()))
+        .collect();
+
+    // NACHOS vs OPT-LSQ.
+    let hw_within = results.iter().filter(|r| r.hw_slowdown_pct().abs() <= 2.5).count();
+    let hw_fast: Vec<_> = results
+        .iter()
+        .filter(|r| r.hw_slowdown_pct() < -2.5)
+        .map(|r| (r.spec.name, -r.hw_slowdown_pct()))
+        .collect();
+    let hw_slow: Vec<_> = results
+        .iter()
+        .filter(|r| r.hw_slowdown_pct() > 2.5)
+        .map(|r| (r.spec.name, r.hw_slowdown_pct()))
+        .collect();
+
+    // Energy.
+    let zero_mde = results.iter().filter(|r| r.hw.sim.events.may_checks == 0).count();
+    let avg = |xs: &[f64]| if xs.is_empty() { 0.0 } else { xs.iter().sum::<f64>() / xs.len() as f64 };
+    let mde_pcts: Vec<f64> = results
+        .iter()
+        .map(|r| r.hw.sim.energy.pct(r.hw.sim.energy.mde))
+        .collect();
+    let lsq_pcts: Vec<f64> = results
+        .iter()
+        .map(|r| r.lsq.sim.energy.pct(r.lsq.sim.energy.lsq()))
+        .collect();
+    let savings: Vec<f64> = results
+        .iter()
+        .filter(|r| r.lsq.sim.energy.total() > 0.0)
+        .map(|r| {
+            100.0 * (r.lsq.sim.energy.total() - r.hw.sim.energy.total())
+                / r.lsq.sim.energy.total()
+        })
+        .collect();
+
+    println!("claim                                      paper          measured");
+    println!("-----------------------------------------  -------------  --------------------");
+    println!(
+        "NACHOS-SW slower than OPT-LSQ              6 apps 18-100%  {} apps, max {:.0}%",
+        sw_slow.len(),
+        sw_slow.iter().map(|&(_, s)| s).fold(0.0f64, f64::max)
+    );
+    println!(
+        "NACHOS-SW faster than OPT-LSQ              ~7 apps 8-62%   {} apps, max {:.0}%",
+        sw_fast.len(),
+        sw_fast.iter().map(|&(_, s)| s).fold(0.0f64, f64::max)
+    );
+    println!("NACHOS within 2.5% of OPT-LSQ              19 apps         {hw_within} apps");
+    println!(
+        "NACHOS faster than OPT-LSQ                 6 apps 6-70%    {} apps, max {:.0}%",
+        hw_fast.len(),
+        hw_fast.iter().map(|&(_, s)| s).fold(0.0f64, f64::max)
+    );
+    println!(
+        "NACHOS slower (fan-in contention)          2 apps ~8%      {} apps, max {:.0}%",
+        hw_slow.len(),
+        hw_slow.iter().map(|&(_, s)| s).fold(0.0f64, f64::max)
+    );
+    println!("Zero MDE energy overhead                   15 of 27        {zero_mde} of 27");
+    println!(
+        "MDE share of total energy (avg)            ~6%             {:.1}%",
+        avg(&mde_pcts)
+    );
+    println!(
+        "OPT-LSQ share of total energy (avg)        27%             {:.1}%",
+        avg(&lsq_pcts)
+    );
+    println!(
+        "Net energy saving of NACHOS vs OPT-LSQ     ~21% (12-40%)   {:.1}%",
+        avg(&savings)
+    );
+    println!();
+    println!("Per-benchmark detail:");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} | {:>8} {:>8}",
+        "App", "SW %slow", "HW %slow", "base %sl", "%LSQ-E", "%MDE-E"
+    );
+    for r in &results {
+        println!(
+            "{:<14} {:>+9.1}% {:>+9.1}% {:>+9.1}% | {:>7.1}% {:>7.1}%",
+            r.spec.name,
+            r.sw_slowdown_pct(),
+            r.hw_slowdown_pct(),
+            r.baseline_slowdown_pct(),
+            r.lsq.sim.energy.pct(r.lsq.sim.energy.lsq()),
+            r.hw.sim.energy.pct(r.hw.sim.energy.mde),
+        );
+    }
+}

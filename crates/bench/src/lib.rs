@@ -1,0 +1,147 @@
+//! # nachos-bench — the experiment harness
+//!
+//! Regenerates every quantitative table and figure of *NACHOS* (HPCA
+//! 2018). Each `src/bin/<experiment>.rs` binary prints the same rows or
+//! series the paper reports; this library provides the shared runner that
+//! compiles and simulates every Table II workload under every backend.
+//!
+//! Run an experiment with e.g.
+//! `cargo run --release -p nachos-bench --bin fig15_nachos_vs_lsq`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nachos::{
+    pct_slowdown, run_backend, run_backend_with_stages, Backend, EnergyModel, ExperimentRun,
+    SimConfig,
+};
+use nachos_alias::{analyze, Analysis, StageConfig};
+use nachos_workloads::{generate, BenchSpec, Workload};
+
+/// Default invocation count for the experiment harness: enough to warm
+/// the cache and amortize start-up without inflating run times.
+pub const DEFAULT_INVOCATIONS: u64 = 64;
+
+/// Everything measured for one benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// The Table II row.
+    pub spec: BenchSpec,
+    /// The generated workload.
+    pub workload: Workload,
+    /// Full four-stage compiler analysis.
+    pub analysis_full: Analysis,
+    /// Baseline compiler analysis (Stage 1 + Stage 3 only).
+    pub analysis_baseline: Analysis,
+    /// OPT-LSQ run.
+    pub lsq: ExperimentRun,
+    /// NACHOS-SW run (full compiler, MAY serialized).
+    pub sw: ExperimentRun,
+    /// NACHOS run (full compiler, hardware MAY checks).
+    pub hw: ExperimentRun,
+    /// NACHOS-SW with the baseline compiler (Figure 12).
+    pub sw_baseline: ExperimentRun,
+}
+
+impl BenchResult {
+    /// % slowdown of NACHOS-SW vs OPT-LSQ (Figure 11; negative = speedup).
+    #[must_use]
+    pub fn sw_slowdown_pct(&self) -> f64 {
+        pct_slowdown(self.sw.sim.cycles, self.lsq.sim.cycles)
+    }
+
+    /// % slowdown of NACHOS vs OPT-LSQ (Figure 15; negative = speedup).
+    #[must_use]
+    pub fn hw_slowdown_pct(&self) -> f64 {
+        pct_slowdown(self.hw.sim.cycles, self.lsq.sim.cycles)
+    }
+
+    /// % slowdown of the baseline compiler vs OPT-LSQ (Figure 12).
+    #[must_use]
+    pub fn baseline_slowdown_pct(&self) -> f64 {
+        pct_slowdown(self.sw_baseline.sim.cycles, self.lsq.sim.cycles)
+    }
+}
+
+/// Runs one benchmark through the whole experiment matrix.
+///
+/// # Panics
+///
+/// Panics if a simulation fails (generated workloads always fit the grid).
+#[must_use]
+pub fn run_bench(spec: &BenchSpec, invocations: u64) -> BenchResult {
+    let workload = generate(spec);
+    let config = SimConfig::default().with_invocations(invocations);
+    let energy = EnergyModel::default();
+    let analysis_full = analyze(&workload.region, StageConfig::full());
+    let analysis_baseline = analyze(&workload.region, StageConfig::baseline());
+    let lsq = run_backend(&workload.region, &workload.binding, Backend::OptLsq, &config, &energy)
+        .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    let sw = run_backend(&workload.region, &workload.binding, Backend::NachosSw, &config, &energy)
+        .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    let hw = run_backend(&workload.region, &workload.binding, Backend::Nachos, &config, &energy)
+        .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    let sw_baseline = run_backend_with_stages(
+        &workload.region,
+        &workload.binding,
+        Backend::NachosSw,
+        &config,
+        &energy,
+        StageConfig::baseline(),
+    )
+    .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    BenchResult {
+        spec: *spec,
+        workload,
+        analysis_full,
+        analysis_baseline,
+        lsq,
+        sw,
+        hw,
+        sw_baseline,
+    }
+}
+
+/// Runs the full 27-benchmark suite.
+#[must_use]
+pub fn run_suite(invocations: u64) -> Vec<BenchResult> {
+    nachos_workloads::all()
+        .iter()
+        .map(|s| run_bench(s, invocations))
+        .collect()
+}
+
+/// Prints a standard experiment banner.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!("==============================================================");
+    println!("{title}");
+    println!("(reproduces {paper_ref} of the NACHOS paper, HPCA 2018)");
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nachos_workloads::by_name;
+
+    #[test]
+    fn run_bench_produces_consistent_matrix() {
+        let spec = by_name("gzip").unwrap();
+        let r = run_bench(&spec, 4);
+        assert_eq!(r.lsq.sim.backend, Backend::OptLsq);
+        assert_eq!(r.sw.sim.backend, Backend::NachosSw);
+        assert_eq!(r.hw.sim.backend, Backend::Nachos);
+        assert!(r.lsq.analysis.is_none());
+        assert!(r.sw.analysis.is_some());
+        // gzip is fully resolved: NACHOS == NACHOS-SW.
+        assert_eq!(r.sw.sim.cycles, r.hw.sim.cycles);
+    }
+
+    #[test]
+    fn slowdown_helpers_are_consistent() {
+        let spec = by_name("parser").unwrap();
+        let r = run_bench(&spec, 4);
+        let direct = pct_slowdown(r.sw.sim.cycles, r.lsq.sim.cycles);
+        assert!((r.sw_slowdown_pct() - direct).abs() < 1e-12);
+    }
+}

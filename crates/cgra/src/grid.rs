@@ -1,0 +1,90 @@
+//! The CGRA grid: coordinates, geometry and the operand mesh.
+
+use std::fmt;
+
+/// Grid geometry. The paper's accelerator is a 32×32 array of homogeneous
+/// functional units.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GridConfig {
+    /// Number of rows.
+    pub rows: u32,
+    /// Number of columns.
+    pub cols: u32,
+}
+
+impl GridConfig {
+    /// The paper's 32×32 grid.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self { rows: 32, cols: 32 }
+    }
+
+    /// Total functional units.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.rows as usize * self.cols as usize
+    }
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A functional-unit coordinate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coord {
+    /// Row (0 at the cache edge).
+    pub row: u32,
+    /// Column.
+    pub col: u32,
+}
+
+impl Coord {
+    /// Manhattan distance to another coordinate — the number of mesh links
+    /// an operand traverses between the two FUs.
+    #[must_use]
+    pub fn hops_to(self, other: Coord) -> u32 {
+        self.row.abs_diff(other.row) + self.col.abs_diff(other.col)
+    }
+
+    /// Mesh links from this FU to the cache interface at the row-0 edge
+    /// (one extra link for the edge crossing itself).
+    #[must_use]
+    pub fn hops_to_mem_edge(self) -> u32 {
+        self.row + 1
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.row, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_capacity() {
+        assert_eq!(GridConfig::paper().capacity(), 1024);
+        assert_eq!(GridConfig::default(), GridConfig::paper());
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Coord { row: 1, col: 2 };
+        let b = Coord { row: 4, col: 0 };
+        assert_eq!(a.hops_to(b), 5);
+        assert_eq!(b.hops_to(a), 5);
+        assert_eq!(a.hops_to(a), 0);
+    }
+
+    #[test]
+    fn memory_edge_distance_grows_with_row() {
+        assert_eq!(Coord { row: 0, col: 5 }.hops_to_mem_edge(), 1);
+        assert_eq!(Coord { row: 7, col: 0 }.hops_to_mem_edge(), 8);
+    }
+}

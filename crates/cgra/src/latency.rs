@@ -1,0 +1,89 @@
+//! Functional-unit and operand-network latency model.
+
+use nachos_ir::{FpOp, IntOp, OpKind};
+
+/// Cycle latencies of the CGRA's functional units and mesh links.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Integer ALU operation latency.
+    pub int_alu: u64,
+    /// Integer multiply latency.
+    pub int_mul: u64,
+    /// FP add latency.
+    pub fp_add: u64,
+    /// FP multiply / FMA latency.
+    pub fp_mul: u64,
+    /// FP divide latency.
+    pub fp_div: u64,
+    /// Cycles per mesh link traversed by an operand.
+    pub per_hop: u64,
+    /// Address-generation cycles inside a load/store FU (before the
+    /// request leaves for the cache or LSQ).
+    pub mem_agen: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            int_alu: 1,
+            int_mul: 3,
+            fp_add: 3,
+            fp_mul: 4,
+            fp_div: 12,
+            per_hop: 1,
+            mem_agen: 1,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Execution latency of one operation (excluding operand routing and,
+    /// for memory operations, the cache access itself).
+    #[must_use]
+    pub fn op_latency(&self, kind: &OpKind) -> u64 {
+        match kind {
+            OpKind::Input { .. } | OpKind::Const { .. } | OpKind::Output => 0,
+            OpKind::Int(IntOp::Mul) => self.int_mul,
+            OpKind::Int(_) => self.int_alu,
+            OpKind::Fp(FpOp::Add) => self.fp_add,
+            OpKind::Fp(FpOp::Mul | FpOp::MulAdd) => self.fp_mul,
+            OpKind::Fp(FpOp::Div) => self.fp_div,
+            OpKind::Load(_) | OpKind::Store(_) => self.mem_agen,
+        }
+    }
+
+    /// Routing delay for an operand crossing `hops` mesh links.
+    #[must_use]
+    pub fn route_latency(&self, hops: u32) -> u64 {
+        self.per_hop * u64::from(hops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nachos_ir::{AffineExpr, BaseId, MemRef};
+
+    #[test]
+    fn latencies_by_kind() {
+        let m = LatencyModel::default();
+        assert_eq!(m.op_latency(&OpKind::Int(IntOp::Add)), 1);
+        assert_eq!(m.op_latency(&OpKind::Int(IntOp::Mul)), 3);
+        assert_eq!(m.op_latency(&OpKind::Fp(FpOp::Div)), 12);
+        assert_eq!(m.op_latency(&OpKind::Const { value: 0 }), 0);
+        let mem = MemRef::affine(BaseId::new(0), AffineExpr::zero());
+        assert_eq!(m.op_latency(&OpKind::Load(mem)), 1);
+    }
+
+    #[test]
+    fn route_latency_scales_with_hops() {
+        let m = LatencyModel::default();
+        assert_eq!(m.route_latency(0), 0);
+        assert_eq!(m.route_latency(5), 5);
+        let slow = LatencyModel {
+            per_hop: 2,
+            ..LatencyModel::default()
+        };
+        assert_eq!(slow.route_latency(5), 10);
+    }
+}

@@ -1,0 +1,37 @@
+//! # nachos-cgra — the CGRA fabric model
+//!
+//! The spatial accelerator substrate of the NACHOS (HPCA 2018)
+//! reproduction: a grid of homogeneous functional units (32×32 in the
+//! paper) connected by a static mesh operand network, onto which the
+//! offloaded dataflow graph is placed one operation per FU.
+//!
+//! The crate provides:
+//!
+//! * [`GridConfig`] / [`Coord`] — grid geometry and Manhattan routing,
+//! * [`Placement`] — a layered topological placement pass keeping operand
+//!   routes short (the mapping step of the paper's Figure 3),
+//! * [`LatencyModel`] — per-FU operation latencies and per-hop link delay.
+//!
+//! ```
+//! use nachos_cgra::{GridConfig, Placement};
+//! use nachos_ir::{IntOp, RegionBuilder};
+//!
+//! let mut b = RegionBuilder::new("demo");
+//! let x = b.input();
+//! let y = b.int_op(IntOp::Add, &[x]);
+//! let region = b.finish();
+//! let place = Placement::compute(&region.dfg, GridConfig::paper())?;
+//! assert!(place.hops(x, y) >= 1);
+//! # Ok::<(), nachos_cgra::PlaceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grid;
+mod latency;
+mod place;
+
+pub use grid::{Coord, GridConfig};
+pub use latency::LatencyModel;
+pub use place::{PlaceError, Placement};

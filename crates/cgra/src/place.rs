@@ -1,0 +1,260 @@
+//! Placement of a dataflow graph onto the CGRA grid.
+//!
+//! The mapping pass (paper Figure 3, Step 2) assigns each DFG node to one
+//! functional unit. We use a layered topological placement: nodes are
+//! grouped by dataflow depth (ASAP level), each level occupies consecutive
+//! rows starting at the memory edge, and within a level nodes are placed
+//! at the column nearest the mean column of their predecessors — a
+//! standard list-scheduling heuristic that keeps operand routes short.
+
+use crate::grid::{Coord, GridConfig};
+use nachos_ir::{Dfg, EdgeKind, NodeId};
+use std::fmt;
+
+/// Placement failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlaceError {
+    /// More nodes than functional units.
+    TooManyNodes {
+        /// DFG nodes requested.
+        nodes: usize,
+        /// Grid capacity available.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::TooManyNodes { nodes, capacity } => write!(
+                f,
+                "dataflow graph has {nodes} nodes but the grid has only {capacity} FUs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// A computed node→FU assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Placement {
+    grid: GridConfig,
+    coords: Vec<Coord>,
+}
+
+impl Placement {
+    /// Places `dfg` onto `grid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError::TooManyNodes`] when the graph exceeds the
+    /// grid's capacity.
+    pub fn compute(dfg: &Dfg, grid: GridConfig) -> Result<Self, PlaceError> {
+        let n = dfg.num_nodes();
+        if n > grid.capacity() {
+            return Err(PlaceError::TooManyNodes {
+                nodes: n,
+                capacity: grid.capacity(),
+            });
+        }
+        // ASAP level per node over data edges.
+        let mut level = vec![0u32; n];
+        for node in dfg.topo_order() {
+            for e in dfg.out_edges(node) {
+                if e.kind == EdgeKind::Data {
+                    level[e.dst.index()] = level[e.dst.index()].max(level[node.index()] + 1);
+                }
+            }
+        }
+        // Bucket nodes by level, then assign row-major with a preferred
+        // column derived from predecessors.
+        let max_level = level.iter().copied().max().unwrap_or(0);
+        let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); max_level as usize + 1];
+        for node in dfg.node_ids() {
+            buckets[level[node.index()] as usize].push(node);
+        }
+        let mut coords = vec![Coord { row: 0, col: 0 }; n];
+        let mut occupied = vec![false; grid.capacity()];
+        let mut row_cursor = 0u32;
+        for bucket in &buckets {
+            let rows_needed = (bucket.len() as u32).div_ceil(grid.cols).max(1);
+            // Serpentine row assignment: graphs deeper than the grid fold
+            // back instead of piling onto the last row, keeping
+            // consecutive levels on adjacent rows.
+            let base_row = serpentine_row(row_cursor, grid.rows);
+            for &node in bucket {
+                // Preferred column: mean of placed predecessors.
+                let (mut sum, mut cnt) = (0u64, 0u64);
+                for e in dfg.in_edges(node) {
+                    if e.kind == EdgeKind::Data {
+                        sum += u64::from(coords[e.src.index()].col);
+                        cnt += 1;
+                    }
+                }
+                let pref = sum
+                    .checked_div(cnt)
+                    .map_or(grid.cols / 2, |mean| mean as u32);
+                let coord = nearest_free(grid, &occupied, base_row, pref);
+                occupied[(coord.row * grid.cols + coord.col) as usize] = true;
+                coords[node.index()] = coord;
+            }
+            row_cursor += rows_needed;
+        }
+        Ok(Self { grid, coords })
+    }
+
+    /// The FU assigned to `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn coord(&self, node: NodeId) -> Coord {
+        self.coords[node.index()]
+    }
+
+    /// Mesh links between the FUs of two nodes.
+    #[must_use]
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
+        self.coord(src).hops_to(self.coord(dst))
+    }
+
+    /// Mesh links from a node's FU to the cache edge.
+    #[must_use]
+    pub fn hops_to_mem(&self, node: NodeId) -> u32 {
+        self.coord(node).hops_to_mem_edge()
+    }
+
+    /// The grid this placement targets.
+    #[must_use]
+    pub fn grid(&self) -> GridConfig {
+        self.grid
+    }
+
+    /// Average operand-route length over the graph's data edges.
+    #[must_use]
+    pub fn mean_route_hops(&self, dfg: &Dfg) -> f64 {
+        let (mut total, mut count) = (0u64, 0u64);
+        for e in dfg.edges() {
+            total += u64::from(self.hops(e.src, e.dst));
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        }
+    }
+}
+
+/// Maps a monotonically increasing row cursor onto the grid in a
+/// serpentine (reflecting) pattern: 0, 1, …, rows-1, rows-1, rows-2, …
+fn serpentine_row(cursor: u32, rows: u32) -> u32 {
+    if rows == 1 {
+        return 0;
+    }
+    let period = 2 * rows;
+    let r = cursor % period;
+    if r < rows {
+        r
+    } else {
+        period - 1 - r
+    }
+}
+
+/// Finds the free FU closest to `(base_row, pref_col)`, scanning outward.
+fn nearest_free(grid: GridConfig, occupied: &[bool], base_row: u32, pref_col: u32) -> Coord {
+    let target = Coord {
+        row: base_row,
+        col: pref_col.min(grid.cols - 1),
+    };
+    let mut best: Option<(u32, Coord)> = None;
+    for row in 0..grid.rows {
+        for col in 0..grid.cols {
+            if occupied[(row * grid.cols + col) as usize] {
+                continue;
+            }
+            let c = Coord { row, col };
+            let d = c.hops_to(target);
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, c));
+            }
+        }
+    }
+    best.expect("capacity checked before placement").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nachos_ir::{AffineExpr, IntOp, MemRef, RegionBuilder};
+
+    fn chain_region(len: usize) -> nachos_ir::Region {
+        let mut b = RegionBuilder::new("chain");
+        let mut prev = b.input();
+        for _ in 0..len {
+            prev = b.int_op(IntOp::Add, &[prev]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn chain_is_placed_in_distinct_fus() {
+        let r = chain_region(10);
+        let p = Placement::compute(&r.dfg, GridConfig::paper()).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for node in r.dfg.node_ids() {
+            assert!(seen.insert(p.coord(node)), "FU assigned twice");
+        }
+    }
+
+    #[test]
+    fn dependent_nodes_are_near() {
+        let r = chain_region(6);
+        let p = Placement::compute(&r.dfg, GridConfig::paper()).unwrap();
+        for e in r.dfg.edges() {
+            assert!(p.hops(e.src, e.dst) <= 4, "route unexpectedly long");
+        }
+        assert!(p.mean_route_hops(&r.dfg) <= 2.5);
+    }
+
+    #[test]
+    fn capacity_overflow_is_reported() {
+        let r = chain_region(10);
+        let tiny = GridConfig { rows: 2, cols: 2 };
+        let err = Placement::compute(&r.dfg, tiny).unwrap_err();
+        assert!(matches!(err, PlaceError::TooManyNodes { nodes: 11, .. }));
+        assert!(err.to_string().contains("11 nodes"));
+    }
+
+    #[test]
+    fn wide_level_wraps_rows() {
+        let mut b = RegionBuilder::new("wide");
+        let x = b.input();
+        for _ in 0..70 {
+            b.int_op(IntOp::Add, &[x]);
+        }
+        let r = b.finish();
+        let grid = GridConfig { rows: 8, cols: 16 };
+        let p = Placement::compute(&r.dfg, grid).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for node in r.dfg.node_ids() {
+            let c = p.coord(node);
+            assert!(c.row < grid.rows && c.col < grid.cols);
+            assert!(seen.insert(c));
+        }
+    }
+
+    #[test]
+    fn memory_ops_participate_normally() {
+        let mut b = RegionBuilder::new("mem");
+        let g = b.global("g", 64, 0);
+        let ld = b.load(MemRef::affine(g, AffineExpr::zero()), &[]);
+        let st = b.store(MemRef::affine(g, AffineExpr::zero()), &[ld]);
+        let r = b.finish();
+        let p = Placement::compute(&r.dfg, GridConfig::paper()).unwrap();
+        assert!(p.hops_to_mem(ld) >= 1);
+        assert!(p.hops_to_mem(st) >= 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! The paper's appendix model: limits of decentralized checking.
+//!
+//! For `N` memory operations, an LSQ spends `TOT_lsq = N · E_lsq` while
+//! NACHOS spends `TOT_nachos ≈ Pairs_MAY · E_MAY` (NO pairs are free and
+//! MUST pairs are single-bit, so both terms vanish). The ratio
+//!
+//! ```text
+//!   TOT_nachos / TOT_lsq = (Pairs_MAY / N) · (E_MAY / E_lsq)
+//! ```
+//!
+//! makes decentralized checking profitable whenever the average number of
+//! MAY parents per memory operation is below `E_lsq / E_MAY` (≈ 6 with the
+//! paper's conservative 500 fJ comparator vs 3000 fJ LSQ check).
+
+/// Inputs of the appendix energy model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DecentralizedModel {
+    /// Energy per MAY-alias comparator check, femtojoules (paper: 500).
+    pub e_may: f64,
+    /// Energy per 1-to-N LSQ check, femtojoules (paper: 3000).
+    pub e_lsq: f64,
+}
+
+impl Default for DecentralizedModel {
+    fn default() -> Self {
+        Self {
+            e_may: 500.0,
+            e_lsq: 3000.0,
+        }
+    }
+}
+
+impl DecentralizedModel {
+    /// `E_lsq / E_MAY`: the break-even number of MAY parents per memory
+    /// operation (paper: 6).
+    #[must_use]
+    pub fn breakeven_may_per_op(&self) -> f64 {
+        self.e_lsq / self.e_may
+    }
+
+    /// `TOT_nachos / TOT_lsq` for a region with `num_ops` memory
+    /// operations and `may_pairs` enforced MAY relations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_ops` is zero.
+    #[must_use]
+    pub fn energy_ratio(&self, may_pairs: usize, num_ops: usize) -> f64 {
+        assert!(num_ops > 0, "region without memory operations");
+        (may_pairs as f64 / num_ops as f64) * (self.e_may / self.e_lsq)
+    }
+
+    /// `true` when NACHOS spends less disambiguation energy than the LSQ
+    /// for the given region shape.
+    #[must_use]
+    pub fn profitable(&self, may_pairs: usize, num_ops: usize) -> bool {
+        self.energy_ratio(may_pairs, num_ops) < 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_breakeven_is_six() {
+        let m = DecentralizedModel::default();
+        assert!((m.breakeven_may_per_op() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_matches_formula() {
+        let m = DecentralizedModel::default();
+        // 12 MAY pairs over 4 ops: 3 per op -> ratio 0.5.
+        assert!((m.energy_ratio(12, 4) - 0.5).abs() < 1e-12);
+        assert!(m.profitable(12, 4));
+        // 24 MAY pairs over 4 ops: 6 per op -> break-even (not strictly
+        // profitable).
+        assert!(!m.profitable(24, 4));
+    }
+
+    #[test]
+    fn zero_mays_is_free() {
+        let m = DecentralizedModel::default();
+        assert_eq!(m.energy_ratio(0, 10), 0.0);
+        assert!(m.profitable(0, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "without memory operations")]
+    fn zero_ops_panics() {
+        let _ = DecentralizedModel::default().energy_ratio(1, 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Simulator configuration: backend selection and structural parameters.
+
+use nachos_cgra::{GridConfig, LatencyModel};
+use nachos_lsq::LsqConfig;
+use nachos_mem::HierarchyConfig;
+use std::fmt;
+
+/// Which memory-disambiguation scheme the accelerator uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The optimized LSQ baseline (§VIII-C): program-order allocation,
+    /// banked CAM with bloom filtering, fixed load-to-use penalty.
+    OptLsq,
+    /// NACHOS-SW (§V): compiler MDEs only; MAY edges serialize like MUST.
+    NachosSw,
+    /// NACHOS (§VII): compiler MDEs plus per-site hardware comparators
+    /// that disambiguate MAY edges at run time.
+    Nachos,
+}
+
+impl Backend {
+    /// All three backends, in the paper's comparison order.
+    pub const ALL: [Backend; 3] = [Backend::OptLsq, Backend::NachosSw, Backend::Nachos];
+
+    /// `true` for the backends that rely on compiler-inserted MDEs.
+    #[must_use]
+    pub fn uses_mdes(self) -> bool {
+        !matches!(self, Backend::OptLsq)
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Backend::OptLsq => "OPT-LSQ",
+            Backend::NachosSw => "NACHOS-SW",
+            Backend::Nachos => "NACHOS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Full structural configuration of one simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimConfig {
+    /// CGRA grid geometry.
+    pub grid: GridConfig,
+    /// FU and network latencies.
+    pub latency: LatencyModel,
+    /// Cache hierarchy parameters.
+    pub hierarchy: HierarchyConfig,
+    /// OPT-LSQ parameters (used by [`Backend::OptLsq`] only).
+    pub lsq: LsqConfig,
+    /// Cache requests accepted per cycle at the grid edge.
+    pub mem_ports: u32,
+    /// `==?` comparators per younger-operation site (paper: 1; the
+    /// arbiter serializes checks when several parents are ready at once).
+    pub comparators_per_site: u32,
+    /// Region invocations to simulate.
+    pub invocations: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            grid: GridConfig::paper(),
+            latency: LatencyModel::default(),
+            hierarchy: HierarchyConfig::default(),
+            lsq: LsqConfig::default(),
+            mem_ports: 4,
+            comparators_per_site: 1,
+            invocations: 64,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Sets the number of invocations, builder-style.
+    #[must_use]
+    pub fn with_invocations(mut self, invocations: u64) -> Self {
+        self.invocations = invocations;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_display_and_mde_use() {
+        assert_eq!(Backend::OptLsq.to_string(), "OPT-LSQ");
+        assert_eq!(Backend::Nachos.to_string(), "NACHOS");
+        assert!(!Backend::OptLsq.uses_mdes());
+        assert!(Backend::NachosSw.uses_mdes());
+        assert!(Backend::Nachos.uses_mdes());
+        assert_eq!(Backend::ALL.len(), 3);
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = SimConfig::default();
+        assert_eq!(c.grid.capacity(), 1024);
+        assert_eq!(c.hierarchy.mem_latency, 200);
+        assert_eq!(c.lsq.entries_per_bank, 48);
+        assert_eq!(c.comparators_per_site, 1);
+        assert_eq!(c.with_invocations(10).invocations, 10);
+    }
+}

@@ -1,0 +1,103 @@
+//! High-level driver: compile a region for a backend and simulate it.
+
+use crate::config::{Backend, SimConfig};
+use crate::energy::EnergyModel;
+use crate::engine::{simulate, SimError, SimResult};
+use nachos_alias::{compile, Analysis, StageConfig};
+use nachos_ir::{Binding, Region};
+
+/// The outcome of compiling and simulating one region under one backend.
+#[derive(Clone, Debug)]
+pub struct ExperimentRun {
+    /// Compiler analysis (absent for OPT-LSQ, which needs no MDEs).
+    pub analysis: Option<Analysis>,
+    /// Simulation result.
+    pub sim: SimResult,
+}
+
+/// Compiles `region` as required by `backend` (full NACHOS-SW pipeline for
+/// the MDE backends, MDE-free for OPT-LSQ) and simulates it.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+pub fn run_backend(
+    region: &Region,
+    binding: &Binding,
+    backend: Backend,
+    config: &SimConfig,
+    energy: &EnergyModel,
+) -> Result<ExperimentRun, SimError> {
+    run_backend_with_stages(region, binding, backend, config, energy, StageConfig::full())
+}
+
+/// Like [`run_backend`] but with an explicit compiler stage configuration
+/// (used for the baseline-compiler experiments of Figures 12 and 16).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+pub fn run_backend_with_stages(
+    region: &Region,
+    binding: &Binding,
+    backend: Backend,
+    config: &SimConfig,
+    energy: &EnergyModel,
+    stages: StageConfig,
+) -> Result<ExperimentRun, SimError> {
+    let mut compiled = region.clone();
+    let analysis = if backend.uses_mdes() {
+        Some(compile(&mut compiled, stages))
+    } else {
+        // OPT-LSQ needs no MDEs for main memory, but scratchpad data
+        // bypasses the LSQ in every scheme, so its compiler-known
+        // dependencies must still be wired into the dataflow graph.
+        compiled.dfg.clear_mdes();
+        nachos_alias::wire_local_deps(&mut compiled);
+        None
+    };
+    let sim = simulate(&compiled, binding, backend, config, energy)?;
+    Ok(ExperimentRun { analysis, sim })
+}
+
+/// Runs all three backends on the same region/binding, in the paper's
+/// comparison order `[OPT-LSQ, NACHOS-SW, NACHOS]`.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] encountered.
+pub fn run_all_backends(
+    region: &Region,
+    binding: &Binding,
+    config: &SimConfig,
+    energy: &EnergyModel,
+) -> Result<[ExperimentRun; 3], SimError> {
+    Ok([
+        run_backend(region, binding, Backend::OptLsq, config, energy)?,
+        run_backend(region, binding, Backend::NachosSw, config, energy)?,
+        run_backend(region, binding, Backend::Nachos, config, energy)?,
+    ])
+}
+
+/// Percent slowdown of `test` relative to `baseline` cycle counts
+/// (negative = speedup), the normalization of Figures 11, 12 and 15.
+#[must_use]
+pub fn pct_slowdown(test_cycles: u64, baseline_cycles: u64) -> f64 {
+    if baseline_cycles == 0 {
+        0.0
+    } else {
+        100.0 * (test_cycles as f64 - baseline_cycles as f64) / baseline_cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowdown_sign_convention() {
+        assert_eq!(pct_slowdown(110, 100), 10.0);
+        assert_eq!(pct_slowdown(90, 100), -10.0);
+        assert_eq!(pct_slowdown(100, 0), 0.0);
+    }
+}

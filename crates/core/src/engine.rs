@@ -1,0 +1,1187 @@
+//! The cycle-level accelerator simulator.
+//!
+//! Executes a (compiled) region on the CGRA model for a configured number
+//! of invocations under one of three disambiguation backends
+//! ([`Backend`]): OPT-LSQ, NACHOS-SW or NACHOS. Invocations are
+//! block-atomic (the paper's accelerated paths restrict the execution
+//! window); the cache hierarchy stays warm across invocations.
+//!
+//! The engine is event-driven with resource calendars for the structural
+//! hazards that matter: cache ports at the grid edge, LSQ
+//! allocation/retirement bandwidth and bank capacity, and the one-per-cycle
+//! `==?` comparator arbitration at each MAY site (paper §VII).
+//!
+//! Alongside timing, the engine performs *functional* execution against a
+//! [`DataMemory`] with the shared value semantics of [`crate::value`], so
+//! every run can be checked against the in-order reference executor.
+
+use crate::config::{Backend, SimConfig};
+use crate::energy::{EnergyBreakdown, EnergyModel, EventCounts};
+use crate::value::{apply, LoadObserver};
+use nachos_cgra::{PlaceError, Placement};
+use nachos_ir::{Binding, EdgeKind, MemSpace, NodeId, OpKind, Region};
+use nachos_lsq::{BloomStats, LoadSearch, Lsq, StoreSearch};
+use nachos_mem::{CacheStats, DataMemory, MemoryHierarchy};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+/// Simulation failure.
+#[derive(Debug)]
+pub enum SimError {
+    /// The region failed validation.
+    InvalidRegion(String),
+    /// The DFG does not fit on the grid.
+    Placement(PlaceError),
+    /// The binding lacks entries the region references.
+    IncompleteBinding(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidRegion(m) => write!(f, "invalid region: {m}"),
+            SimError::Placement(e) => write!(f, "placement failed: {e}"),
+            SimError::IncompleteBinding(m) => write!(f, "incomplete binding: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<PlaceError> for SimError {
+    fn from(e: PlaceError) -> Self {
+        SimError::Placement(e)
+    }
+}
+
+/// The outcome of a simulation.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Backend simulated.
+    pub backend: Backend,
+    /// Total cycles across all invocations.
+    pub cycles: u64,
+    /// Invocations executed.
+    pub invocations: u64,
+    /// Raw event counts.
+    pub events: EventCounts,
+    /// Energy by component.
+    pub energy: EnergyBreakdown,
+    /// Final functional memory state.
+    pub mem: DataMemory,
+    /// Digest of every load's observed value.
+    pub loads: LoadObserver,
+    /// L1 statistics.
+    pub l1: CacheStats,
+    /// LLC statistics.
+    pub llc: CacheStats,
+    /// LSQ bloom statistics (OPT-LSQ backend only; zero otherwise).
+    pub bloom: BloomStats,
+}
+
+impl SimResult {
+    /// Cycles per invocation.
+    #[must_use]
+    pub fn cycles_per_invocation(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.invocations as f64
+        }
+    }
+}
+
+/// A per-cycle bandwidth calendar: `claim(at)` returns the earliest cycle
+/// `>= at` with a free slot and consumes it.
+#[derive(Clone, Debug)]
+struct Calendar {
+    width: u32,
+    used: HashMap<u64, u32>,
+}
+
+impl Calendar {
+    fn new(width: u32) -> Self {
+        assert!(width > 0, "calendar width must be positive");
+        Self {
+            width,
+            used: HashMap::new(),
+        }
+    }
+
+    fn claim(&mut self, at: u64) -> u64 {
+        let mut t = at;
+        loop {
+            let u = self.used.entry(t).or_insert(0);
+            if *u < self.width {
+                *u += 1;
+                return t;
+            }
+            t += 1;
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// A data or forward payload arrived at `node`.
+    Data(NodeId),
+    /// An ordering token arrived at `node`.
+    Token(NodeId),
+    /// One MAY gate of `node` released.
+    Release(NodeId),
+    /// Re-attempt the memory stage of `node`.
+    TryMem(NodeId),
+    /// `node` finished (value available / store performed).
+    Complete(NodeId),
+}
+
+#[derive(Clone, Debug, Default)]
+struct NodeState {
+    data_pending: u32,
+    token_pending: u32,
+    may_pending: u32,
+    fired: Option<u64>,
+    addr_ready: Option<u64>,
+    addr: u64,
+    size: u8,
+    value: u64,
+    completed: Option<u64>,
+    issued: bool,
+    lsq_age: Option<u32>,
+    lsq_bound: bool,
+}
+
+#[derive(Clone, Debug)]
+struct MayEdge {
+    older: NodeId,
+    younger: NodeId,
+    /// Mesh links from the older op's FU to the younger's comparator.
+    hops: u32,
+    checked: bool,
+}
+
+/// Simulates `region` under `backend`.
+///
+/// For [`Backend::OptLsq`] the region's MDEs are ignored (the LSQ is the
+/// ordering mechanism); for the NACHOS backends the region must already
+/// carry its MDEs (see [`nachos_alias::compile`]).
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the region is invalid, does not fit the grid,
+/// or the binding is incomplete.
+pub fn simulate(
+    region: &Region,
+    binding: &Binding,
+    backend: Backend,
+    config: &SimConfig,
+    energy: &EnergyModel,
+) -> Result<SimResult, SimError> {
+    region
+        .validate()
+        .map_err(SimError::InvalidRegion)?;
+    if binding.base_addrs.len() < region.bases.len() {
+        return Err(SimError::IncompleteBinding(format!(
+            "{} base addresses for {} bases",
+            binding.base_addrs.len(),
+            region.bases.len()
+        )));
+    }
+    if binding.params.len() < region.params.len() {
+        return Err(SimError::IncompleteBinding("missing parameter values".into()));
+    }
+    if binding.unknowns.len() < region.num_unknowns {
+        return Err(SimError::IncompleteBinding("missing unknown-pointer patterns".into()));
+    }
+    let placement = Placement::compute(&region.dfg, config.grid)?;
+    let mut engine = Engine::new(region, binding, backend, config, placement);
+    for inv in 0..config.invocations {
+        engine.run_invocation(inv);
+    }
+    Ok(engine.finish(energy))
+}
+
+struct Engine<'a> {
+    region: &'a Region,
+    binding: &'a Binding,
+    backend: Backend,
+    config: &'a SimConfig,
+    placement: Placement,
+    hierarchy: MemoryHierarchy,
+    lsq: Lsq,
+    mem: DataMemory,
+    loads: LoadObserver,
+    counts: EventCounts,
+    clock: u64,
+
+    // Per-invocation state (rebuilt each invocation).
+    state: Vec<NodeState>,
+    may_edges: Vec<MayEdge>,
+    /// Indices into `may_edges`, per younger node.
+    may_in: Vec<Vec<usize>>,
+    /// Younger nodes waiting for an older op's completion (conflict case).
+    conflict_waiters: Vec<Vec<(NodeId, u32)>>,
+    /// Comparator-site calendars, one per MAY-receiving node.
+    site_calendar: HashMap<NodeId, Calendar>,
+    mem_ports: Calendar,
+    /// LSQ ages of ops blocked on a search, re-tried on state changes.
+    lsq_blocked: Vec<NodeId>,
+    /// Mapping node -> disambiguation age (LSQ mode).
+    age_of: HashMap<NodeId, u32>,
+    heap: BinaryHeap<Reverse<(u64, u64, Ev)>>,
+    seq: u64,
+    lsq_alloc_t0: u64,
+    inv: u64,
+    iv: Vec<i64>,
+    unknown_vals: Vec<u64>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        region: &'a Region,
+        binding: &'a Binding,
+        backend: Backend,
+        config: &'a SimConfig,
+        placement: Placement,
+    ) -> Self {
+        let n = region.dfg.num_nodes();
+        Self {
+            region,
+            binding,
+            backend,
+            config,
+            placement,
+            hierarchy: MemoryHierarchy::new(config.hierarchy),
+            lsq: Lsq::new(config.lsq),
+            mem: DataMemory::new(),
+            loads: LoadObserver::new(),
+            counts: EventCounts::default(),
+            clock: 0,
+            state: vec![NodeState::default(); n],
+            may_edges: Vec::new(),
+            may_in: vec![Vec::new(); n],
+            conflict_waiters: vec![Vec::new(); n],
+            site_calendar: HashMap::new(),
+            mem_ports: Calendar::new(config.mem_ports),
+            lsq_blocked: Vec::new(),
+            age_of: HashMap::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            lsq_alloc_t0: 0,
+            inv: 0,
+            iv: Vec::new(),
+            unknown_vals: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, at: u64, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, ev)));
+    }
+
+    fn node_kind(&self, n: NodeId) -> &OpKind {
+        &self.region.dfg.node(n).kind
+    }
+
+    fn is_scratch(&self, n: NodeId) -> bool {
+        self.node_kind(n)
+            .mem_ref()
+            .is_some_and(|m| m.space == MemSpace::Scratchpad)
+    }
+
+    fn disambig_ops(&self) -> Vec<NodeId> {
+        self.region
+            .dfg
+            .mem_ops()
+            .iter()
+            .copied()
+            .filter(|&n| {
+                self.node_kind(n)
+                    .mem_ref()
+                    .is_some_and(nachos_ir::MemRef::needs_disambiguation)
+            })
+            .collect()
+    }
+
+    fn run_invocation(&mut self, inv: u64) {
+        self.inv = inv;
+        let t0 = self.clock;
+        let nest_total = self.region.loops.total_invocations().max(1);
+        self.iv = if self.region.loops.is_empty() {
+            Vec::new()
+        } else {
+            self.region.loops.iteration_vector(inv % nest_total)
+        };
+        self.unknown_vals = self.binding.unknown_values(inv);
+
+        // Rebuild per-invocation node state.
+        let uses_mdes = self.backend.uses_mdes();
+        self.may_edges.clear();
+        for l in &mut self.may_in {
+            l.clear();
+        }
+        for w in &mut self.conflict_waiters {
+            w.clear();
+        }
+        self.site_calendar.clear();
+        self.lsq_blocked.clear();
+        for n in self.region.dfg.node_ids() {
+            let mut st = NodeState::default();
+            for e in self.region.dfg.in_edges(n) {
+                // Dependencies between scratchpad accesses are register
+                // dataflow the compiler wired explicitly; every backend
+                // honours them (the LSQ never sees local accesses).
+                let local = self.is_scratch(e.src) && self.is_scratch(e.dst);
+                match e.kind {
+                    EdgeKind::Data => st.data_pending += 1,
+                    EdgeKind::Forward if uses_mdes || local => st.data_pending += 1,
+                    EdgeKind::Order if uses_mdes || local => st.token_pending += 1,
+                    EdgeKind::May if local => st.token_pending += 1,
+                    EdgeKind::May if uses_mdes => match self.backend {
+                        Backend::NachosSw => st.token_pending += 1,
+                        Backend::Nachos => st.may_pending += 1,
+                        Backend::OptLsq => unreachable!(),
+                    },
+                    _ => {}
+                }
+            }
+            self.state[n.index()] = st;
+        }
+        if self.backend == Backend::Nachos {
+            for e in self.region.dfg.edges() {
+                if e.kind == EdgeKind::May
+                    && !(self.is_scratch(e.src) && self.is_scratch(e.dst))
+                {
+                    let idx = self.may_edges.len();
+                    self.may_edges.push(MayEdge {
+                        older: e.src,
+                        younger: e.dst,
+                        hops: self.placement.hops(e.src, e.dst),
+                        checked: false,
+                    });
+                    self.may_in[e.dst.index()].push(idx);
+                    self.site_calendar
+                        .entry(e.dst)
+                        .or_insert_with(|| Calendar::new(self.config.comparators_per_site));
+                }
+            }
+        }
+
+        // OPT-LSQ: allocate entries in program order with port bandwidth.
+        self.age_of.clear();
+        if self.backend == Backend::OptLsq {
+            self.lsq_alloc_t0 = t0;
+            let ops = self.disambig_ops();
+            let kinds: Vec<bool> = ops
+                .iter()
+                .map(|&n| self.node_kind(n).is_store())
+                .collect();
+            self.lsq.begin_invocation(&kinds);
+            let apc = u64::from(self.lsq.config().alloc_per_cycle);
+            for (age, &node) in ops.iter().enumerate() {
+                let cycle = t0 + age as u64 / apc;
+                let got = self.lsq.allocate_next(cycle);
+                debug_assert_eq!(got, Some(age as u32));
+                self.age_of.insert(node, age as u32);
+                self.state[node.index()].lsq_age = Some(age as u32);
+                self.counts.lsq_allocs += 1;
+            }
+        }
+
+        // Store addresses resolve from index computation, independent of
+        // the (possibly late) data operand — like the separate
+        // address/data paths of a real LSQ, and like Figure 13's
+        // comparator receiving store addresses before the stores execute.
+        let agen = self.config.latency.mem_agen;
+        let store_nodes: Vec<NodeId> = self
+            .region
+            .dfg
+            .mem_ops()
+            .iter()
+            .copied()
+            .filter(|&n| self.node_kind(n).is_store())
+            .collect();
+        for &n in &store_nodes {
+            let mref = self.node_kind(n).mem_ref().expect("store").clone();
+            let ctx = self.binding.eval_ctx(&self.iv, &self.unknown_vals);
+            let st = &mut self.state[n.index()];
+            st.addr = mref.eval(&ctx);
+            st.size = mref.size;
+            st.addr_ready = Some(t0 + agen);
+        }
+        if self.backend == Backend::Nachos {
+            for &n in &store_nodes {
+                self.propagate_may_addresses(t0 + agen, n);
+            }
+        }
+        if self.backend == Backend::OptLsq {
+            // Stores can bind and pre-search as soon as allocated.
+            let apc = u64::from(self.lsq.config().alloc_per_cycle);
+            for &n in &store_nodes {
+                if let Some(age) = self.state[n.index()].lsq_age {
+                    let at = (t0 + agen).max(t0 + u64::from(age) / apc);
+                    self.push(at, Ev::TryMem(n));
+                }
+            }
+        }
+
+        // Seed source nodes.
+        for n in self.region.dfg.node_ids() {
+            if self.state[n.index()].data_pending == 0 {
+                self.push(t0, Ev::Data(n)); // zero-pending: fires immediately
+            }
+        }
+
+        // Event loop.
+        while let Some(Reverse((t, _, ev))) = self.heap.pop() {
+            debug_assert!(t >= t0);
+            self.handle(t, ev);
+        }
+
+        // Drain the LSQ so the next invocation can begin.
+        if self.backend == Backend::OptLsq {
+            let mut t = self.clock;
+            while !self.lsq.is_drained() {
+                self.lsq.retire_ready(t);
+                t += 1;
+            }
+            self.clock = self.clock.max(t);
+        }
+        // Count this invocation's span; leave one idle cycle between
+        // block-atomic invocations.
+        self.clock += 1;
+    }
+
+    fn handle(&mut self, t: u64, ev: Ev) {
+        self.clock = self.clock.max(t);
+        match ev {
+            Ev::Data(n) => {
+                let st = &mut self.state[n.index()];
+                if st.fired.is_some() {
+                    return;
+                }
+                st.data_pending = st.data_pending.saturating_sub(1);
+                if st.data_pending == 0 {
+                    self.fire(t, n);
+                }
+            }
+            Ev::Token(n) => {
+                self.state[n.index()].token_pending -= 1;
+                self.push(t, Ev::TryMem(n));
+            }
+            Ev::Release(n) => {
+                self.state[n.index()].may_pending -= 1;
+                self.push(t, Ev::TryMem(n));
+            }
+            Ev::TryMem(n) => self.try_mem(t, n),
+            Ev::Complete(n) => self.complete(t, n),
+        }
+    }
+
+    /// All data (and forward) operands have arrived: start execution.
+    fn fire(&mut self, t: u64, n: NodeId) {
+        self.state[n.index()].fired = Some(t);
+        let kind = self.node_kind(n).clone();
+        match &kind {
+            OpKind::Load(_) => {
+                // Count address generation as an integer ALU event.
+                self.counts.int_ops += 1;
+                let mref = kind.mem_ref().expect("mem op");
+                let ctx = self.binding.eval_ctx(&self.iv, &self.unknown_vals);
+                let addr = mref.eval(&ctx);
+                let agen = self.config.latency.mem_agen;
+                let st = &mut self.state[n.index()];
+                st.addr = addr;
+                st.size = mref.size;
+                st.addr_ready = Some(t + agen);
+                let addr_t = t + agen;
+                if self.backend == Backend::Nachos {
+                    self.propagate_may_addresses(addr_t, n);
+                }
+                self.push(addr_t, Ev::TryMem(n));
+            }
+            OpKind::Store(_) => {
+                // Address was resolved at invocation start; firing means
+                // the data operand is now available.
+                self.counts.int_ops += 1;
+                let operands = self.operand_values(n);
+                self.state[n.index()].value = apply(&kind, &operands, self.inv);
+                if self.backend == Backend::OptLsq {
+                    if let Some(age) = self.state[n.index()].lsq_age {
+                        if self.state[n.index()].lsq_bound {
+                            self.lsq.mark_data_ready(age);
+                            self.wake_lsq_blocked(t);
+                        }
+                    }
+                }
+                // Forwarding happens from the *in-flight* value: the
+                // moment the store's data operand exists, it can be
+                // routed to forwarded loads — before the store commits.
+                let uses_mdes = self.backend.uses_mdes();
+                let fwd: Vec<(NodeId, u32, bool)> = self
+                    .region
+                    .dfg
+                    .out_edges(n)
+                    .filter(|e| e.kind == EdgeKind::Forward)
+                    .map(|e| {
+                        (
+                            e.dst,
+                            self.placement.hops(e.src, e.dst),
+                            self.is_scratch(e.src) && self.is_scratch(e.dst),
+                        )
+                    })
+                    .collect();
+                for (dst, hops, local) in fwd {
+                    if local {
+                        self.counts.data_links += 1;
+                        self.push(t + self.config.latency.route_latency(hops), Ev::Data(dst));
+                    } else if uses_mdes {
+                        self.counts.must_tokens += 1;
+                        self.push(t + self.config.latency.route_latency(hops), Ev::Data(dst));
+                    }
+                }
+                let at = self.state[n.index()].addr_ready.expect("set at start").max(t);
+                self.push(at, Ev::TryMem(n));
+            }
+            OpKind::Int(_) => {
+                self.counts.int_ops += 1;
+                let v = apply(&kind, &self.operand_values(n), self.inv);
+                self.state[n.index()].value = v;
+                self.push(t + self.config.latency.op_latency(&kind), Ev::Complete(n));
+            }
+            OpKind::Fp(_) => {
+                self.counts.fp_ops += 1;
+                let v = apply(&kind, &self.operand_values(n), self.inv);
+                self.state[n.index()].value = v;
+                self.push(t + self.config.latency.op_latency(&kind), Ev::Complete(n));
+            }
+            OpKind::Input { .. } | OpKind::Const { .. } | OpKind::Output => {
+                let v = apply(&kind, &self.operand_values(n), self.inv);
+                self.state[n.index()].value = v;
+                self.push(t, Ev::Complete(n));
+            }
+        }
+    }
+
+    fn operand_values(&self, n: NodeId) -> Vec<u64> {
+        self.region
+            .dfg
+            .in_edges(n)
+            .filter(|e| e.kind == EdgeKind::Data)
+            .map(|e| self.state[e.src.index()].value)
+            .collect()
+    }
+
+    /// NACHOS: the older op's address is now known — wake every MAY edge
+    /// it participates in (as older: route the address to the younger's
+    /// comparator; as younger: its own checks can begin).
+    fn propagate_may_addresses(&mut self, addr_t: u64, n: NodeId) {
+        let mut to_check: Vec<usize> = Vec::new();
+        for (idx, e) in self.may_edges.iter().enumerate() {
+            if e.older == n || e.younger == n {
+                to_check.push(idx);
+            }
+        }
+        for idx in to_check {
+            self.try_may_check(addr_t, idx);
+        }
+    }
+
+    /// Performs the `==?` check of one MAY edge if both addresses are
+    /// available, honouring the per-site single-comparator arbitration.
+    fn try_may_check(&mut self, now: u64, idx: usize) {
+        let e = &self.may_edges[idx];
+        if e.checked {
+            return;
+        }
+        let (older, younger, hops) = (e.older, e.younger, e.hops);
+        let (Some(older_addr_t), Some(younger_addr_t)) = (
+            self.state[older.index()].addr_ready,
+            self.state[younger.index()].addr_ready,
+        ) else {
+            return;
+        };
+        // Address reaches the younger site over the operand network.
+        let ready = now
+            .max(older_addr_t + self.config.latency.route_latency(hops))
+            .max(younger_addr_t);
+        let site = self
+            .site_calendar
+            .get_mut(&younger)
+            .expect("site registered for may edge");
+        let check_t = site.claim(ready);
+        self.may_edges[idx].checked = true;
+        self.counts.may_checks += 1;
+        let a = (self.state[older.index()].addr, self.state[older.index()].size);
+        let b = (
+            self.state[younger.index()].addr,
+            self.state[younger.index()].size,
+        );
+        let conflict = a.0 < b.0 + u64::from(b.1) && b.0 < a.0 + u64::from(a.1);
+        if !conflict {
+            self.push(check_t + 1, Ev::Release(younger));
+        } else if let Some(done) = self.state[older.index()].completed {
+            let release = (done + self.config.latency.route_latency(hops)).max(check_t + 1);
+            self.push(release, Ev::Release(younger));
+        } else {
+            self.conflict_waiters[older.index()].push((younger, hops));
+        }
+    }
+
+    /// Attempts the memory stage of a load/store. Under OPT-LSQ, stores
+    /// may bind and pre-search before their data operand arrives; issuing
+    /// to the cache always requires the node to have fired.
+    fn try_mem(&mut self, t: u64, n: NodeId) {
+        let st = &self.state[n.index()];
+        if st.issued {
+            return;
+        }
+        let Some(addr_t) = st.addr_ready else { return };
+        if t < addr_t {
+            return;
+        }
+        let fired = st.fired.is_some();
+        match self.backend {
+            Backend::OptLsq => self.try_mem_lsq(t, n, fired),
+            Backend::NachosSw | Backend::Nachos => {
+                if !fired
+                    || self.state[n.index()].token_pending > 0
+                    || self.state[n.index()].may_pending > 0
+                {
+                    return;
+                }
+                self.try_mem_dataflow(t, n);
+            }
+        }
+    }
+
+    fn has_forward_in(&self, n: NodeId) -> bool {
+        self.region
+            .dfg
+            .in_edges(n)
+            .any(|e| e.kind == EdgeKind::Forward)
+    }
+
+    fn forward_value(&self, n: NodeId) -> u64 {
+        self.region
+            .dfg
+            .in_edges(n)
+            .find(|e| e.kind == EdgeKind::Forward)
+            .map(|e| self.state[e.src.index()].value)
+            .expect("forward edge present")
+    }
+
+    /// NACHOS / NACHOS-SW memory stage: all gates passed, go to memory
+    /// (or consume the forwarded value).
+    fn try_mem_dataflow(&mut self, t: u64, n: NodeId) {
+        let is_load = self.node_kind(n).is_load();
+        if self.is_scratch(n) {
+            self.state[n.index()].issued = true;
+            self.scratch_access(t, n);
+            return;
+        }
+        if is_load && self.has_forward_in(n) {
+            // Memory dependence became a data dependence: no cache access.
+            self.state[n.index()].issued = true;
+            let v = self.forward_value(n);
+            self.state[n.index()].value = v;
+            self.counts.forwards += 1;
+            self.record_load(n, v);
+            self.push(t + 1, Ev::Complete(n));
+            return;
+        }
+        self.state[n.index()].issued = true;
+        self.cache_access(t, n, 0);
+    }
+
+    /// OPT-LSQ memory stage: bind, search, then issue/forward.
+    fn try_mem_lsq(&mut self, t: u64, n: NodeId, fired: bool) {
+        if self.is_scratch(n) {
+            // Local accesses bypass the LSQ entirely (the baseline elides
+            // them for fairness, §IV Observation 1).
+            if !fired {
+                return;
+            }
+            self.state[n.index()].issued = true;
+            self.scratch_access(t, n);
+            return;
+        }
+        let age = self.state[n.index()].lsq_age.expect("age assigned");
+        let apc = u64::from(self.lsq.config().alloc_per_cycle);
+        let alloc_t = self.clock_inv_start() + u64::from(age) / apc;
+        if t < alloc_t {
+            self.push(alloc_t, Ev::TryMem(n));
+            return;
+        }
+        if !self.state[n.index()].lsq_bound {
+            let (addr, size) = (self.state[n.index()].addr, self.state[n.index()].size);
+            self.lsq.bind_address(age, addr, size);
+            self.state[n.index()].lsq_bound = true;
+            if self.node_kind(n).is_store() && fired {
+                self.lsq.mark_data_ready(age);
+            }
+            // A newly-bound address may unblock others.
+            self.wake_lsq_blocked(t);
+        }
+        let is_store = self.node_kind(n).is_store();
+        if is_store {
+            match self.lsq.search_store(age) {
+                StoreSearch::CanIssue => {
+                    if !fired {
+                        // Search passed (the verdict is monotonic); the
+                        // data operand will re-trigger the issue.
+                        return;
+                    }
+                    self.state[n.index()].issued = true;
+                    self.cache_access(t, n, 0);
+                }
+                StoreSearch::Blocked(_) => self.lsq_blocked.push(n),
+            }
+        } else {
+            match self.lsq.search_load(age) {
+                LoadSearch::CanIssue => {
+                    self.state[n.index()].issued = true;
+                    let penalty = self.lsq.config().load_to_use_penalty;
+                    self.cache_access(t, n, penalty);
+                }
+                LoadSearch::Forward(older_age) => {
+                    self.state[n.index()].issued = true;
+                    let older = self.node_of_age(older_age);
+                    let v = self.state[older.index()].value;
+                    self.state[n.index()].value = v;
+                    self.counts.forwards += 1;
+                    self.record_load(n, v);
+                    let penalty = self.lsq.config().load_to_use_penalty;
+                    self.push(t + 1 + penalty, Ev::Complete(n));
+                }
+                LoadSearch::Blocked(_) => self.lsq_blocked.push(n),
+            }
+        }
+    }
+
+    fn node_of_age(&self, age: u32) -> NodeId {
+        *self
+            .age_of
+            .iter()
+            .find(|&(_, &a)| a == age)
+            .expect("age registered")
+            .0
+    }
+
+    fn clock_inv_start(&self) -> u64 {
+        // Allocation reference point: the LSQ began this invocation at the
+        // cycle recorded when allocation ran. We reconstruct it from age 0:
+        // allocations were driven at t0 + age/apc, so t0 is remembered via
+        // the lsq_alloc_t0 field.
+        self.lsq_alloc_t0
+    }
+
+    fn wake_lsq_blocked(&mut self, t: u64) {
+        let blocked = std::mem::take(&mut self.lsq_blocked);
+        for n in blocked {
+            self.push(t, Ev::TryMem(n));
+        }
+    }
+
+    /// Performs the scratchpad access: 1-cycle latency, no cache energy.
+    fn scratch_access(&mut self, t: u64, n: NodeId) {
+        let is_load = self.node_kind(n).is_load();
+        let (addr, size) = (self.state[n.index()].addr, self.state[n.index()].size);
+        if is_load {
+            let v = self.mem.read(addr, size);
+            self.state[n.index()].value = v;
+            self.record_load(n, v);
+        } else {
+            let v = self.state[n.index()].value;
+            self.mem.write(addr, size, v);
+        }
+        self.push(t + 1, Ev::Complete(n));
+    }
+
+    /// Issues a cache access through the edge ports; performs the
+    /// functional read/write at the issue cycle.
+    fn cache_access(&mut self, t: u64, n: NodeId, extra_latency: u64) {
+        let issue = self.mem_ports.claim(t);
+        let is_load = self.node_kind(n).is_load();
+        let (addr, size) = (self.state[n.index()].addr, self.state[n.index()].size);
+        let hops = self.placement.hops_to_mem(n);
+        // Request + response each traverse the FU<->cache connection once.
+        self.counts.mem_links += 2;
+        self.counts.l1_accesses += 1;
+        let res = self.hierarchy.access(addr, !is_load, issue);
+        if is_load {
+            let v = self.mem.read(addr, size);
+            self.state[n.index()].value = v;
+            self.record_load(n, v);
+        } else {
+            let v = self.state[n.index()].value;
+            self.mem.write(addr, size, v);
+        }
+        let route = self.config.latency.route_latency(hops);
+        self.push(res.complete_at + extra_latency + route, Ev::Complete(n));
+    }
+
+    fn record_load(&mut self, n: NodeId, v: u64) {
+        let slot = self
+            .region
+            .dfg
+            .node(n)
+            .mem_slot
+            .expect("load has a slot")
+            .index();
+        self.loads.record(self.inv, slot, v);
+    }
+
+    /// A node finished: propagate values, tokens and completion wakeups.
+    fn complete(&mut self, t: u64, n: NodeId) {
+        if self.state[n.index()].completed.is_some() {
+            return;
+        }
+        self.state[n.index()].completed = Some(t);
+        let uses_mdes = self.backend.uses_mdes();
+        let edges: Vec<(NodeId, EdgeKind, u32)> = self
+            .region
+            .dfg
+            .out_edges(n)
+            .map(|e| (e.dst, e.kind, self.placement.hops(e.src, e.dst)))
+            .collect();
+        for (dst, kind, hops) in edges {
+            let route = self.config.latency.route_latency(hops);
+            let local = self.is_scratch(n) && self.is_scratch(dst);
+            match kind {
+                EdgeKind::Data => {
+                    self.counts.data_links += 1;
+                    self.push(t + route, Ev::Data(dst));
+                }
+                // Forward payloads were already sent when the store's
+                // value became available (see the Store arm of `fire`).
+                EdgeKind::Forward => {}
+                // Local (scratchpad) dependencies are register dataflow:
+                // honoured everywhere, no MDE energy.
+                EdgeKind::Order | EdgeKind::May if local => {
+                    self.push(t + route, Ev::Token(dst));
+                }
+                EdgeKind::Order if uses_mdes => {
+                    self.counts.must_tokens += 1;
+                    self.push(t + route, Ev::Token(dst));
+                }
+                EdgeKind::May if self.backend == Backend::NachosSw => {
+                    // Serialized like MUST: 1-bit completion token.
+                    self.counts.must_tokens += 1;
+                    self.push(t + route, Ev::Token(dst));
+                }
+                _ => {}
+            }
+        }
+        // NACHOS: conflicting younger ops waiting on this completion.
+        if self.backend == Backend::Nachos {
+            let waiters = std::mem::take(&mut self.conflict_waiters[n.index()]);
+            for (younger, hops) in waiters {
+                let route = self.config.latency.route_latency(hops);
+                self.push(t + route, Ev::Release(younger));
+            }
+        }
+        // OPT-LSQ bookkeeping.
+        if self.backend == Backend::OptLsq {
+            if let Some(age) = self.state[n.index()].lsq_age {
+                self.lsq.mark_completed(age);
+                self.lsq.retire_ready(t);
+                self.wake_lsq_blocked(t);
+            }
+        }
+    }
+
+    fn finish(self, energy: &EnergyModel) -> SimResult {
+        let mut counts = self.counts;
+        let lsq_stats = self.lsq.stats();
+        let bloom = self.lsq.bloom_stats();
+        counts.lsq_bloom_queries = bloom.queries;
+        counts.lsq_bloom_hits = bloom.hits;
+        counts.lsq_cam_loads = lsq_stats.cam_load_searches;
+        counts.lsq_cam_stores = lsq_stats.cam_store_searches;
+        counts.lsq_bank_overflows = lsq_stats.bank_overflows;
+        let breakdown = EnergyBreakdown::from_events(&counts, energy);
+        SimResult {
+            backend: self.backend,
+            cycles: self.clock,
+            invocations: self.config.invocations,
+            events: counts,
+            energy: breakdown,
+            mem: self.mem,
+            loads: self.loads,
+            l1: self.hierarchy.l1_stats(),
+            llc: self.hierarchy.llc_stats(),
+            bloom,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_all_backends, run_backend};
+    use crate::reference;
+    use nachos_ir::{AffineExpr, IntOp, LoopInfo, MemRef, Provenance, RegionBuilder, UnknownPattern};
+
+    fn config(invocations: u64) -> SimConfig {
+        SimConfig::default().with_invocations(invocations)
+    }
+
+    fn check_against_reference(region: &Region, binding: &Binding, invocations: u64) {
+        let reference = reference::execute(region, binding, invocations);
+        let runs = run_all_backends(region, binding, &config(invocations), &EnergyModel::default())
+            .expect("simulation succeeds");
+        for run in &runs {
+            assert_eq!(
+                run.sim.mem, reference.mem,
+                "{}: final memory state diverged",
+                run.sim.backend
+            );
+            assert_eq!(
+                run.sim.loads.digest(),
+                reference.loads.digest(),
+                "{}: load observations diverged",
+                run.sim.backend
+            );
+        }
+    }
+
+    /// st A; ld A; st A — classic forwarding + ordering chain.
+    #[test]
+    fn ordering_chain_matches_reference() {
+        let mut b = RegionBuilder::new("chain");
+        let g = b.global("g", 64, 0);
+        let m = MemRef::affine(g, AffineExpr::zero());
+        let x = b.input();
+        b.store(m.clone(), &[x]);
+        let ld = b.load(m.clone(), &[]);
+        let y = b.int_op(IntOp::Add, &[ld]);
+        b.store(m, &[y]);
+        let region = b.finish();
+        let binding = Binding {
+            base_addrs: vec![0x1_0000],
+            ..Binding::default()
+        };
+        check_against_reference(&region, &binding, 5);
+    }
+
+    /// MAY aliases through unknown pointers that sometimes truly conflict.
+    #[test]
+    fn dynamic_conflicts_match_reference() {
+        let mut b = RegionBuilder::new("may");
+        let u0 = b.unknown_ptr();
+        let u1 = b.unknown_ptr();
+        let x = b.input();
+        b.store(MemRef::unknown(u0, 0), &[x]);
+        b.load(MemRef::unknown(u1, 0), &[]);
+        let region = b.finish();
+        // Scatter in a tiny window so real conflicts happen across
+        // invocations.
+        let binding = Binding {
+            base_addrs: vec![],
+            params: vec![],
+            unknowns: vec![
+                UnknownPattern::Scatter { seed: 1, lo: 0x1000, hi: 0x1040, align: 8 },
+                UnknownPattern::Scatter { seed: 2, lo: 0x1000, hi: 0x1040, align: 8 },
+            ],
+        };
+        check_against_reference(&region, &binding, 40);
+    }
+
+    /// Loop-carried walk over two arrays with provenance-resolvable args.
+    #[test]
+    fn strided_arrays_match_reference() {
+        let mut b = RegionBuilder::new("stride");
+        let i = b.enclosing_loop(LoopInfo::range("i", 0, 16));
+        let a0 = b.arg(0, Provenance::Object(1));
+        let a1 = b.arg(1, Provenance::Object(2));
+        let ld = b.load(MemRef::affine(a0, AffineExpr::var(i).scaled(8)), &[]);
+        let v = b.int_op(IntOp::Mul, &[ld]);
+        b.store(MemRef::affine(a1, AffineExpr::var(i).scaled(8)), &[v]);
+        let region = b.finish();
+        let binding = Binding {
+            base_addrs: vec![0x1_0000, 0x2_0000],
+            ..Binding::default()
+        };
+        check_against_reference(&region, &binding, 16);
+    }
+
+    /// NACHOS must beat NACHOS-SW when MAY edges never truly conflict.
+    #[test]
+    fn nachos_recovers_parallelism_from_false_mays() {
+        let mut b = RegionBuilder::new("false-may");
+        let u0 = b.unknown_ptr();
+        let u1 = b.unknown_ptr();
+        let x = b.input();
+        // Older store through an unknown pointer, then a chain of loads
+        // that MAY-alias it but never actually do.
+        b.store(MemRef::unknown(u0, 0), &[x]);
+        for k in 0..6 {
+            let ld = b.load(MemRef::unknown(u1, k * 64), &[]);
+            b.int_op(IntOp::Add, &[ld]);
+        }
+        let region = b.finish();
+        let binding = Binding {
+            unknowns: vec![
+                UnknownPattern::Fixed(0x10_0000),
+                UnknownPattern::Fixed(0x20_0000),
+            ],
+            ..Binding::default()
+        };
+        let cfg = config(8);
+        let em = EnergyModel::default();
+        let sw = run_backend(&region, &binding, Backend::NachosSw, &cfg, &em).unwrap();
+        let hw = run_backend(&region, &binding, Backend::Nachos, &cfg, &em).unwrap();
+        assert!(
+            hw.sim.cycles < sw.sim.cycles,
+            "NACHOS ({}) should beat NACHOS-SW ({})",
+            hw.sim.cycles,
+            sw.sim.cycles
+        );
+        assert!(hw.sim.events.may_checks > 0, "checks actually ran");
+        check_against_reference(&region, &binding, 8);
+    }
+
+    /// Independent loads: the LSQ's in-order allocation and load-to-use
+    /// penalty should cost cycles relative to NACHOS-SW.
+    #[test]
+    fn lsq_penalty_on_independent_loads() {
+        let mut b = RegionBuilder::new("indep");
+        for k in 0..8u32 {
+            let g = b.global(&format!("g{k}"), 64, k);
+            let ld = b.load(MemRef::affine(g, AffineExpr::zero()), &[]);
+            b.int_op(IntOp::Add, &[ld]);
+        }
+        let region = b.finish();
+        let binding = Binding {
+            base_addrs: (0..8).map(|k| 0x1_0000 + k * 0x1000).collect(),
+            ..Binding::default()
+        };
+        let cfg = config(8);
+        let em = EnergyModel::default();
+        let lsq = run_backend(&region, &binding, Backend::OptLsq, &cfg, &em).unwrap();
+        let sw = run_backend(&region, &binding, Backend::NachosSw, &cfg, &em).unwrap();
+        assert!(
+            sw.sim.cycles < lsq.sim.cycles,
+            "NACHOS-SW ({}) should beat OPT-LSQ ({}) here",
+            sw.sim.cycles,
+            lsq.sim.cycles
+        );
+        check_against_reference(&region, &binding, 8);
+    }
+
+    /// Energy: fully-resolved workloads impose no MDE energy under NACHOS
+    /// while the LSQ still pays per-op costs.
+    #[test]
+    fn energy_shape_for_resolved_region() {
+        let mut b = RegionBuilder::new("resolved");
+        let g0 = b.global("a", 64, 0);
+        let g1 = b.global("b", 64, 1);
+        let x = b.input();
+        b.store(MemRef::affine(g0, AffineExpr::zero()), &[x]);
+        b.load(MemRef::affine(g1, AffineExpr::zero()), &[]);
+        let region = b.finish();
+        let binding = Binding {
+            base_addrs: vec![0x1_0000, 0x2_0000],
+            ..Binding::default()
+        };
+        let cfg = config(4);
+        let em = EnergyModel::default();
+        let hw = run_backend(&region, &binding, Backend::Nachos, &cfg, &em).unwrap();
+        assert_eq!(hw.sim.energy.mde, 0.0, "no MAY/MUST edges survive");
+        let lsq = run_backend(&region, &binding, Backend::OptLsq, &cfg, &em).unwrap();
+        assert!(lsq.sim.energy.lsq() > 0.0);
+        assert_eq!(hw.sim.energy.lsq(), 0.0);
+    }
+
+    /// Scratchpad accesses bypass both the LSQ and the cache.
+    #[test]
+    fn scratchpad_bypasses_cache_and_lsq() {
+        use nachos_ir::MemSpace;
+        let mut b = RegionBuilder::new("scratch");
+        let g = b.global("g", 64, 0);
+        let m = MemRef::affine(g, AffineExpr::zero()).with_space(MemSpace::Scratchpad);
+        let x = b.input();
+        b.store(m.clone(), &[x]);
+        b.load(m, &[]);
+        let region = b.finish();
+        let binding = Binding {
+            base_addrs: vec![0x1_0000],
+            ..Binding::default()
+        };
+        let cfg = config(2);
+        let em = EnergyModel::default();
+        for backend in Backend::ALL {
+            let run = run_backend(&region, &binding, backend, &cfg, &em).unwrap();
+            assert_eq!(run.sim.events.l1_accesses, 0, "{backend}: no cache traffic");
+            assert_eq!(run.sim.l1.accesses(), 0);
+        }
+        check_against_reference(&region, &binding, 2);
+    }
+
+    /// Store-to-load forwarding is used by both schemes and skips the L1.
+    #[test]
+    fn forwarding_skips_cache() {
+        let mut b = RegionBuilder::new("fwd");
+        let g = b.global("g", 64, 0);
+        let m = MemRef::affine(g, AffineExpr::zero());
+        let x = b.input();
+        b.store(m.clone(), &[x]);
+        b.load(m, &[]);
+        let region = b.finish();
+        let binding = Binding {
+            base_addrs: vec![0x1_0000],
+            ..Binding::default()
+        };
+        let cfg = config(3);
+        let em = EnergyModel::default();
+        for backend in Backend::ALL {
+            let run = run_backend(&region, &binding, backend, &cfg, &em).unwrap();
+            assert_eq!(
+                run.sim.events.forwards, 3,
+                "{backend}: one forward per invocation"
+            );
+            // Only the store touches the cache.
+            assert_eq!(run.sim.events.l1_accesses, 3, "{backend}");
+        }
+        check_against_reference(&region, &binding, 3);
+    }
+
+    #[test]
+    fn incomplete_binding_is_rejected() {
+        let mut b = RegionBuilder::new("t");
+        let g = b.global("g", 64, 0);
+        b.load(MemRef::affine(g, AffineExpr::zero()), &[]);
+        let region = b.finish();
+        let err = simulate(
+            &region,
+            &Binding::default(),
+            Backend::Nachos,
+            &config(1),
+            &EnergyModel::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::IncompleteBinding(_)));
+        assert!(err.to_string().contains("base"));
+    }
+
+    #[test]
+    fn cycles_scale_with_invocations() {
+        let mut b = RegionBuilder::new("t");
+        let g = b.global("g", 64, 0);
+        b.load(MemRef::affine(g, AffineExpr::zero()), &[]);
+        let region = b.finish();
+        let binding = Binding {
+            base_addrs: vec![0x1_0000],
+            ..Binding::default()
+        };
+        let em = EnergyModel::default();
+        let one = simulate(&region, &binding, Backend::Nachos, &config(1), &em).unwrap();
+        let four = simulate(&region, &binding, Backend::Nachos, &config(4), &em).unwrap();
+        assert!(four.cycles > one.cycles);
+        assert_eq!(four.invocations, 4);
+        assert!(four.cycles_per_invocation() < one.cycles_per_invocation() * 1.5,
+            "warm cache should not inflate per-invocation cost");
+    }
+}

@@ -1,0 +1,51 @@
+//! # nachos — software-driven hardware-assisted memory disambiguation
+//!
+//! The core crate of the reproduction of *NACHOS: Software-Driven
+//! Hardware-Assisted Memory Disambiguation for Accelerators* (HPCA 2018).
+//! It ties the substrates together:
+//!
+//! * the NACHOS-SW compiler ([`nachos_alias`]) labels memory-operation
+//!   pairs NO/MAY/MUST and inserts memory dependency edges;
+//! * the CGRA fabric ([`nachos_cgra`]) places the dataflow graph and
+//!   prices the operand network;
+//! * the memory substrate ([`nachos_mem`]) provides the L1/LLC/DRAM
+//!   hierarchy; the OPT-LSQ baseline comes from [`nachos_lsq`];
+//! * this crate's [`simulate`] runs the region cycle-by-cycle under one of
+//!   three backends ([`Backend`]) with an event-based energy model
+//!   ([`EnergyModel`]), and [`reference::execute`] provides the in-order
+//!   ground truth every backend must match.
+//!
+//! ```
+//! use nachos::{run_backend, Backend, EnergyModel, SimConfig};
+//! use nachos_ir::{AffineExpr, Binding, MemRef, RegionBuilder};
+//!
+//! let mut b = RegionBuilder::new("demo");
+//! let g = b.global("g", 64, 0);
+//! let m = MemRef::affine(g, AffineExpr::zero());
+//! let x = b.input();
+//! b.store(m.clone(), &[x]);
+//! b.load(m, &[]);
+//! let region = b.finish();
+//! let binding = Binding { base_addrs: vec![0x1_0000], ..Binding::default() };
+//! let config = SimConfig::default().with_invocations(4);
+//! let run = run_backend(&region, &binding, Backend::Nachos, &config, &EnergyModel::default())?;
+//! assert!(run.sim.cycles > 0);
+//! # Ok::<(), nachos::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analytic;
+mod config;
+mod driver;
+mod engine;
+mod energy;
+pub mod reference;
+pub mod value;
+
+pub use analytic::DecentralizedModel;
+pub use config::{Backend, SimConfig};
+pub use driver::{pct_slowdown, run_all_backends, run_backend, run_backend_with_stages, ExperimentRun};
+pub use energy::{EnergyBreakdown, EnergyModel, EventCounts};
+pub use engine::{simulate, SimError, SimResult};

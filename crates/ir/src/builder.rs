@@ -1,0 +1,233 @@
+//! Convenience builder for constructing [`Region`]s.
+
+use crate::graph::GraphError;
+use crate::ids::{BaseId, LoopId, NodeId, ParamId, UnknownId};
+use crate::loops::LoopInfo;
+use crate::memref::{BaseObject, MemRef, ParamInfo, Provenance};
+use crate::op::{FpOp, IntOp, OpKind};
+use crate::region::Region;
+use crate::EdgeKind;
+
+/// Incrementally builds an acceleration region.
+///
+/// Node-creating methods wire data edges from the listed operand nodes, so
+/// the common case — a DAG of compute feeding memory operations — reads
+/// top-to-bottom:
+///
+/// ```
+/// use nachos_ir::{AffineExpr, BaseObject, MemRef, IntOp, RegionBuilder};
+///
+/// let mut b = RegionBuilder::new("demo");
+/// let arr = b.global("arr", 4096, 0);
+/// let x = b.input();
+/// let y = b.constant(3);
+/// let sum = b.int_op(IntOp::Add, &[x, y]);
+/// let st = b.store(MemRef::affine(arr, AffineExpr::zero()), &[sum]);
+/// let region = b.finish();
+/// assert_eq!(region.dfg.num_mem_ops(), 1);
+/// assert_eq!(region.dfg.mem_ops()[0], st);
+/// ```
+#[derive(Debug, Default)]
+pub struct RegionBuilder {
+    region: Region,
+    next_input: u32,
+}
+
+impl RegionBuilder {
+    /// Starts building a region with the given name.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Self {
+            region: Region::new(name),
+            next_input: 0,
+        }
+    }
+
+    /// Declares a global base object with a caller-namespace identity.
+    pub fn global(&mut self, name: &str, size: u64, caller_object: u32) -> BaseId {
+        self.region.add_base(BaseObject::global(name, size, caller_object))
+    }
+
+    /// Declares a region-local stack object.
+    pub fn stack(&mut self, name: &str, size: u64) -> BaseId {
+        self.region.add_base(BaseObject::stack(name, size))
+    }
+
+    /// Declares a heap allocation site.
+    pub fn heap(&mut self, site: u32, size: Option<u64>) -> BaseId {
+        self.region.add_base(BaseObject::heap(site, size))
+    }
+
+    /// Declares an incoming pointer argument with the given caller-side
+    /// provenance (use [`Provenance::Unknown`] when the caller object is
+    /// not traceable).
+    pub fn arg(&mut self, index: u32, provenance: Provenance) -> BaseId {
+        while self.region.context.args.len() <= index as usize {
+            self.region.context.args.push(Provenance::Unknown);
+        }
+        self.region.context.args[index as usize] = provenance;
+        self.region.add_base(BaseObject::arg(index))
+    }
+
+    /// Declares a symbolic parameter.
+    pub fn param(&mut self, info: ParamInfo) -> ParamId {
+        self.region.add_param(info)
+    }
+
+    /// Declares an enclosing loop (call outermost-first).
+    pub fn enclosing_loop(&mut self, info: LoopInfo) -> LoopId {
+        self.region.loops.push(info)
+    }
+
+    /// Allocates an unknown-provenance pointer source.
+    pub fn unknown_ptr(&mut self) -> UnknownId {
+        self.region.add_unknown()
+    }
+
+    /// Adds a live-in node.
+    pub fn input(&mut self) -> NodeId {
+        let idx = self.next_input;
+        self.next_input += 1;
+        self.add_node(OpKind::Input { index: idx }, &[])
+    }
+
+    /// Adds a constant node.
+    pub fn constant(&mut self, value: u64) -> NodeId {
+        self.add_node(OpKind::Const { value }, &[])
+    }
+
+    /// Adds an integer ALU node consuming `operands`.
+    pub fn int_op(&mut self, op: IntOp, operands: &[NodeId]) -> NodeId {
+        self.add_node(OpKind::Int(op), operands)
+    }
+
+    /// Adds a floating-point node consuming `operands`.
+    pub fn fp_op(&mut self, op: FpOp, operands: &[NodeId]) -> NodeId {
+        self.add_node(OpKind::Fp(op), operands)
+    }
+
+    /// Adds a load; `operands` are its address inputs (may be empty when
+    /// the address is wholly region-invariant).
+    pub fn load(&mut self, mem: MemRef, operands: &[NodeId]) -> NodeId {
+        self.add_node(OpKind::Load(mem), operands)
+    }
+
+    /// Adds a store; `operands` are its address/value inputs.
+    pub fn store(&mut self, mem: MemRef, operands: &[NodeId]) -> NodeId {
+        self.add_node(OpKind::Store(mem), operands)
+    }
+
+    /// Adds a live-out node consuming `operand`.
+    pub fn output(&mut self, operand: NodeId) -> NodeId {
+        self.add_node(OpKind::Output, &[operand])
+    }
+
+    /// Adds an arbitrary node with data edges from `operands`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand id is invalid, an edge would create a cycle, or
+    /// the memory-operation limit is exceeded. The builder is for
+    /// programmatic construction where these are logic errors; use
+    /// [`crate::Dfg::add_node`]/[`crate::Dfg::add_edge`] directly for
+    /// fallible construction.
+    pub fn add_node(&mut self, kind: OpKind, operands: &[NodeId]) -> NodeId {
+        let id = self
+            .region
+            .dfg
+            .add_node(kind)
+            .unwrap_or_else(|e| panic!("builder: {e}"));
+        for &op in operands {
+            self.region
+                .dfg
+                .add_edge(op, id, EdgeKind::Data)
+                .unwrap_or_else(|e: GraphError| panic!("builder: {e}"));
+        }
+        id
+    }
+
+    /// Adds a raw data edge between existing nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid endpoints, duplicates or cycles.
+    pub fn data_edge(&mut self, src: NodeId, dst: NodeId) {
+        self.region
+            .dfg
+            .add_edge(src, dst, EdgeKind::Data)
+            .unwrap_or_else(|e| panic!("builder: {e}"));
+    }
+
+    /// Read access to the region under construction.
+    #[must_use]
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    /// Finishes construction and returns the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constructed region fails [`Region::validate`].
+    #[must_use]
+    pub fn finish(self) -> Region {
+        if let Err(e) = self.region.validate() {
+            panic!("builder produced invalid region: {e}");
+        }
+        self.region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AffineExpr;
+
+    #[test]
+    fn builder_wires_data_edges() {
+        let mut b = RegionBuilder::new("t");
+        let g = b.global("g", 64, 0);
+        let x = b.input();
+        let y = b.input();
+        let add = b.int_op(IntOp::Add, &[x, y]);
+        let ld = b.load(MemRef::affine(g, AffineExpr::zero()), &[add]);
+        let out = b.output(ld);
+        let r = b.finish();
+        assert_eq!(r.dfg.num_nodes(), 5);
+        assert_eq!(r.dfg.num_edges(), 4);
+        assert!(r.dfg.reaches(x, out));
+        assert_eq!(r.dfg.in_edges(add).count(), 2);
+    }
+
+    #[test]
+    fn inputs_get_sequential_indices() {
+        let mut b = RegionBuilder::new("t");
+        let a = b.input();
+        let c = b.input();
+        let r = b.region();
+        match (&r.dfg.node(a).kind, &r.dfg.node(c).kind) {
+            (OpKind::Input { index: 0 }, OpKind::Input { index: 1 }) => {}
+            other => panic!("unexpected inputs: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arg_registers_provenance() {
+        let mut b = RegionBuilder::new("t");
+        let _a0 = b.arg(0, Provenance::Unknown);
+        let _a2 = b.arg(2, Provenance::Object(9));
+        let r = b.finish();
+        assert_eq!(r.context.args.len(), 3);
+        assert_eq!(r.context.provenance(2), Provenance::Object(9));
+        assert_eq!(r.context.provenance(1), Provenance::Unknown);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid region")]
+    fn finish_validates() {
+        let mut b = RegionBuilder::new("t");
+        // Base id 5 was never declared.
+        b.load(MemRef::affine(BaseId::new(5), AffineExpr::zero()), &[]);
+        let _ = b.finish();
+    }
+}

@@ -1,0 +1,113 @@
+//! Edges of the dataflow graph, including memory dependency edges (MDEs).
+
+use crate::ids::NodeId;
+use std::fmt;
+
+/// The kind of a dataflow-graph edge.
+///
+/// `Data` edges are inserted by the front end; the remaining kinds are
+/// *memory dependency edges* (MDEs) inserted by the NACHOS-SW compiler
+/// (see paper §V): `Order` and `Forward` enforce MUST-alias pairs, `May`
+/// marks a compiler-uncertain pair that NACHOS-SW serializes and NACHOS
+/// checks in hardware.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// A value dependence routed over the operand network (64-bit payload).
+    Data,
+    /// A 1-bit ready signal ordering two MUST-alias memory operations
+    /// (LD→ST and ST→ST pairs).
+    Order,
+    /// A 64-bit store-to-load forwarding edge for a MUST-alias ST→LD pair;
+    /// the memory dependence becomes a data dependence.
+    Forward,
+    /// A compiler-uncertain pair. NACHOS-SW treats it as [`EdgeKind::Order`];
+    /// NACHOS routes the older operation's address to a comparator at the
+    /// younger operation's functional unit.
+    May,
+}
+
+impl EdgeKind {
+    /// `true` for the MDE kinds (everything but plain data edges).
+    #[must_use]
+    pub fn is_mde(self) -> bool {
+        self != EdgeKind::Data
+    }
+
+    /// Payload width in bits routed over the operand network for this edge.
+    ///
+    /// `Order` edges carry a 1-bit ready token; `Data` and `Forward` carry a
+    /// 64-bit value; `May` edges carry the older operation's 64-bit address
+    /// to the comparator (plus a 1-bit completion signal, folded into the
+    /// MDE energy constant).
+    #[must_use]
+    pub fn payload_bits(self) -> u32 {
+        match self {
+            EdgeKind::Order => 1,
+            EdgeKind::Data | EdgeKind::Forward | EdgeKind::May => 64,
+        }
+    }
+}
+
+impl fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EdgeKind::Data => "data",
+            EdgeKind::Order => "order",
+            EdgeKind::Forward => "forward",
+            EdgeKind::May => "may",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A directed edge `src → dst` of a given kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Producer node.
+    pub src: NodeId,
+    /// Consumer node.
+    pub dst: NodeId,
+    /// Edge kind.
+    pub kind: EdgeKind,
+}
+
+impl Edge {
+    /// Creates an edge.
+    #[must_use]
+    pub fn new(src: NodeId, dst: NodeId, kind: EdgeKind) -> Self {
+        Self { src, dst, kind }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -[{}]-> {}", self.src, self.kind, self.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mde_classification() {
+        assert!(!EdgeKind::Data.is_mde());
+        assert!(EdgeKind::Order.is_mde());
+        assert!(EdgeKind::Forward.is_mde());
+        assert!(EdgeKind::May.is_mde());
+    }
+
+    #[test]
+    fn payload_widths_match_paper() {
+        assert_eq!(EdgeKind::Order.payload_bits(), 1);
+        assert_eq!(EdgeKind::Forward.payload_bits(), 64);
+        assert_eq!(EdgeKind::Data.payload_bits(), 64);
+        assert_eq!(EdgeKind::May.payload_bits(), 64);
+    }
+
+    #[test]
+    fn edge_display() {
+        let e = Edge::new(NodeId::new(1), NodeId::new(2), EdgeKind::Order);
+        assert_eq!(e.to_string(), "n1 -[order]-> n2");
+    }
+}

@@ -1,0 +1,346 @@
+//! Affine expressions over loop induction variables and symbolic parameters.
+//!
+//! Pointer offsets and array subscripts in an acceleration region are
+//! modelled as affine functions of the enclosing loop nest's induction
+//! variables, mirroring what LLVM's scalar evolution (SCEV) recovers for
+//! well-behaved code. An [`AffineExpr`] is
+//!
+//! ```text
+//!     c0 + c1·iv(L1) + c2·iv(L2) + …
+//! ```
+//!
+//! with integer coefficients. A [`ScaledParam`] additionally allows one
+//! symbolic integer parameter as a multiplicative factor, which is how
+//! symbolic array strides (`A[i][j]` with runtime extent `n`) are expressed.
+
+use crate::ids::{LoopId, ParamId};
+use std::fmt;
+
+/// An affine integer expression over loop induction variables:
+/// `constant + Σ coeff·iv(loop)`.
+///
+/// Terms are kept sorted by [`LoopId`] with no zero coefficients and no
+/// duplicate loops, so structural equality coincides with semantic equality.
+///
+/// # Examples
+///
+/// ```
+/// use nachos_ir::{AffineExpr, LoopId};
+///
+/// let i = LoopId::new(0);
+/// let e = AffineExpr::var(i).scaled(8).plus(16); // 8*i + 16
+/// assert_eq!(e.coeff(i), 8);
+/// assert_eq!(e.constant(), 16);
+/// assert_eq!(e.eval(&[5]), 56);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct AffineExpr {
+    /// `(loop, coefficient)` pairs, sorted by loop id, coefficients nonzero.
+    terms: Vec<(LoopId, i64)>,
+    constant: i64,
+}
+
+impl AffineExpr {
+    /// The constant expression `c`.
+    #[must_use]
+    pub fn constant_expr(c: i64) -> Self {
+        Self {
+            terms: Vec::new(),
+            constant: c,
+        }
+    }
+
+    /// The zero expression.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self::constant_expr(0)
+    }
+
+    /// The expression `iv(loop)` with coefficient 1.
+    #[must_use]
+    pub fn var(loop_id: LoopId) -> Self {
+        Self {
+            terms: vec![(loop_id, 1)],
+            constant: 0,
+        }
+    }
+
+    /// Builds an expression from raw terms; duplicate loops are combined and
+    /// zero coefficients dropped.
+    #[must_use]
+    pub fn from_terms(terms: &[(LoopId, i64)], constant: i64) -> Self {
+        let mut sorted: Vec<(LoopId, i64)> = Vec::with_capacity(terms.len());
+        for &(l, c) in terms {
+            match sorted.binary_search_by_key(&l, |&(tl, _)| tl) {
+                Ok(pos) => sorted[pos].1 += c,
+                Err(pos) => sorted.insert(pos, (l, c)),
+            }
+        }
+        sorted.retain(|&(_, c)| c != 0);
+        Self {
+            terms: sorted,
+            constant,
+        }
+    }
+
+    /// Returns `self + c`.
+    #[must_use]
+    pub fn plus(mut self, c: i64) -> Self {
+        self.constant += c;
+        self
+    }
+
+    /// Returns `self * k`.
+    #[must_use]
+    pub fn scaled(mut self, k: i64) -> Self {
+        if k == 0 {
+            return Self::zero();
+        }
+        for term in &mut self.terms {
+            term.1 *= k;
+        }
+        self.constant *= k;
+        self
+    }
+
+    /// Returns `self + other`.
+    #[must_use]
+    pub fn add(&self, other: &Self) -> Self {
+        let mut terms = self.terms.clone();
+        for &(l, c) in &other.terms {
+            match terms.binary_search_by_key(&l, |&(tl, _)| tl) {
+                Ok(pos) => terms[pos].1 += c,
+                Err(pos) => terms.insert(pos, (l, c)),
+            }
+        }
+        terms.retain(|&(_, c)| c != 0);
+        Self {
+            terms,
+            constant: self.constant + other.constant,
+        }
+    }
+
+    /// Returns `self - other`.
+    #[must_use]
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add(&other.clone().scaled(-1))
+    }
+
+    /// The constant part of the expression.
+    #[must_use]
+    pub fn constant(&self) -> i64 {
+        self.constant
+    }
+
+    /// The coefficient of `loop_id` (zero if absent).
+    #[must_use]
+    pub fn coeff(&self, loop_id: LoopId) -> i64 {
+        self.terms
+            .binary_search_by_key(&loop_id, |&(l, _)| l)
+            .map(|pos| self.terms[pos].1)
+            .unwrap_or(0)
+    }
+
+    /// Iterates over the `(loop, coefficient)` terms in loop order.
+    pub fn terms(&self) -> impl Iterator<Item = (LoopId, i64)> + '_ {
+        self.terms.iter().copied()
+    }
+
+    /// `true` if the expression has no induction-variable terms.
+    #[must_use]
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of distinct induction variables referenced.
+    #[must_use]
+    pub fn num_ivs(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Evaluates the expression for a concrete induction-variable vector,
+    /// indexed by [`LoopId::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iv` is shorter than the largest referenced loop id.
+    #[must_use]
+    pub fn eval(&self, iv: &[i64]) -> i64 {
+        let mut v = self.constant;
+        for &(l, c) in &self.terms {
+            v += c * iv[l.index()];
+        }
+        v
+    }
+}
+
+impl fmt::Debug for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for &(l, c) in &self.terms {
+            if first {
+                if c == 1 {
+                    write!(f, "{l}")?;
+                } else {
+                    write!(f, "{c}*{l}")?;
+                }
+                first = false;
+            } else if c < 0 {
+                write!(f, " - {}*{l}", -c)?;
+            } else {
+                write!(f, " + {c}*{l}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant != 0 {
+            if self.constant < 0 {
+                write!(f, " - {}", -self.constant)?;
+            } else {
+                write!(f, " + {}", self.constant)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A possibly-symbolic integer factor: `scale` or `scale·param`.
+///
+/// Used for array strides and extents whose value is only known at run time
+/// (the situation where LLVM's SCEV gives up but polyhedral analysis, given
+/// in-bounds guarantees, still succeeds).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScaledParam {
+    /// Constant multiplicative factor; always nonzero for a valid stride.
+    pub scale: i64,
+    /// Optional symbolic parameter multiplied into the factor.
+    pub param: Option<ParamId>,
+}
+
+impl ScaledParam {
+    /// A compile-time-constant factor.
+    #[must_use]
+    pub fn constant(scale: i64) -> Self {
+        Self { scale, param: None }
+    }
+
+    /// A symbolic factor `scale·param`.
+    #[must_use]
+    pub fn symbolic(scale: i64, param: ParamId) -> Self {
+        Self {
+            scale,
+            param: Some(param),
+        }
+    }
+
+    /// `true` if the factor involves a symbolic parameter.
+    #[must_use]
+    pub fn is_symbolic(&self) -> bool {
+        self.param.is_some()
+    }
+
+    /// Evaluates the factor given concrete parameter values indexed by
+    /// [`ParamId::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced parameter is out of range of `params`.
+    #[must_use]
+    pub fn eval(&self, params: &[i64]) -> i64 {
+        match self.param {
+            Some(p) => self.scale * params[p.index()],
+            None => self.scale,
+        }
+    }
+}
+
+impl fmt::Debug for ScaledParam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.param {
+            Some(p) if self.scale == 1 => write!(f, "{p}"),
+            Some(p) => write!(f, "{}*{p}", self.scale),
+            None => write!(f, "{}", self.scale),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: usize) -> LoopId {
+        LoopId::new(i)
+    }
+
+    #[test]
+    fn constant_expr_basics() {
+        let e = AffineExpr::constant_expr(5);
+        assert!(e.is_constant());
+        assert_eq!(e.eval(&[]), 5);
+        assert_eq!(e.num_ivs(), 0);
+    }
+
+    #[test]
+    fn from_terms_normalizes() {
+        let e = AffineExpr::from_terms(&[(l(1), 2), (l(0), 3), (l(1), -2)], 7);
+        assert_eq!(e.num_ivs(), 1);
+        assert_eq!(e.coeff(l(0)), 3);
+        assert_eq!(e.coeff(l(1)), 0);
+        assert_eq!(e.constant(), 7);
+    }
+
+    #[test]
+    fn add_and_sub_are_inverse() {
+        let a = AffineExpr::from_terms(&[(l(0), 4), (l(2), -1)], 3);
+        let b = AffineExpr::from_terms(&[(l(0), -4), (l(1), 9)], -3);
+        let sum = a.add(&b);
+        assert_eq!(sum.coeff(l(0)), 0);
+        assert_eq!(sum.coeff(l(1)), 9);
+        assert_eq!(sum.coeff(l(2)), -1);
+        let back = sum.sub(&b);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn structural_equality_is_semantic() {
+        let a = AffineExpr::from_terms(&[(l(0), 1), (l(1), 0)], 2);
+        let b = AffineExpr::var(l(0)).plus(2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn eval_matches_structure() {
+        let e = AffineExpr::from_terms(&[(l(0), 8), (l(1), -2)], 100);
+        assert_eq!(e.eval(&[3, 10]), 100 + 24 - 20);
+    }
+
+    #[test]
+    fn scaled_by_zero_is_zero() {
+        let e = AffineExpr::var(l(0)).plus(9).scaled(0);
+        assert_eq!(e, AffineExpr::zero());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = AffineExpr::from_terms(&[(l(0), 8), (l(1), -2)], -4);
+        assert_eq!(e.to_string(), "8*L0 - 2*L1 - 4");
+        assert_eq!(AffineExpr::zero().to_string(), "0");
+        assert_eq!(AffineExpr::var(l(1)).to_string(), "L1");
+    }
+
+    #[test]
+    fn scaled_param_eval() {
+        let c = ScaledParam::constant(8);
+        assert!(!c.is_symbolic());
+        assert_eq!(c.eval(&[]), 8);
+        let s = ScaledParam::symbolic(4, ParamId::new(0));
+        assert!(s.is_symbolic());
+        assert_eq!(s.eval(&[100]), 400);
+    }
+}

@@ -1,0 +1,145 @@
+//! Strongly-typed identifiers used throughout the IR.
+//!
+//! Every entity in a [`crate::Region`] — nodes, edges, base objects, loops,
+//! symbolic parameters and unknown-provenance pointers — is referred to by a
+//! small integer wrapped in a dedicated newtype, so that an index into one
+//! table can never be confused with an index into another
+//! (see C-NEWTYPE in the Rust API guidelines).
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[must_use]
+            pub fn new(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index overflows u32"))
+            }
+
+            /// Returns the id as a `usize` suitable for indexing a table.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` value.
+            #[must_use]
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a node (operation) in a [`crate::Dfg`].
+    NodeId,
+    "n"
+);
+define_id!(
+    /// Identifies an edge in a [`crate::Dfg`].
+    EdgeId,
+    "e"
+);
+define_id!(
+    /// Ordinal of a memory operation in region program order.
+    ///
+    /// `MemSlot(0)` is the oldest memory operation of the region. The
+    /// compiler assigns these explicitly (the paper uses 8-bit ids, max 256
+    /// memory operations, like TRIPS).
+    MemSlot,
+    "m"
+);
+define_id!(
+    /// Identifies a base object in a region's base-object table.
+    BaseId,
+    "b"
+);
+define_id!(
+    /// Identifies a loop in the enclosing [`crate::LoopNest`].
+    LoopId,
+    "L"
+);
+define_id!(
+    /// Identifies a symbolic integer parameter of a region (e.g. an array
+    /// extent that is not a compile-time constant).
+    ParamId,
+    "p"
+);
+define_id!(
+    /// Identifies an unknown-provenance pointer source (e.g. a pointer
+    /// loaded from memory, the result of pointer chasing).
+    UnknownId,
+    "u"
+);
+define_id!(
+    /// Identifies a `restrict`-style no-alias scope.
+    ScopeId,
+    "s"
+);
+
+/// Maximum number of memory operations per region.
+///
+/// The compiler encodes memory-operation ids in 8 bits (like TRIPS), giving
+/// a hard limit of 256 memory operations per acceleration region.
+pub const MAX_MEM_OPS: usize = 256;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let id = NodeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn id_display_uses_prefix() {
+        assert_eq!(NodeId::new(3).to_string(), "n3");
+        assert_eq!(MemSlot::new(7).to_string(), "m7");
+        assert_eq!(BaseId::new(0).to_string(), "b0");
+        assert_eq!(format!("{:?}", LoopId::new(1)), "L1");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(MemSlot::new(1) < MemSlot::new(2));
+        assert_eq!(EdgeId::new(5), EdgeId::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn id_overflow_panics() {
+        let _ = NodeId::new(usize::MAX);
+    }
+}

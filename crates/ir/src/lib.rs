@@ -1,0 +1,66 @@
+//! # nachos-ir — dataflow IR for acceleration regions
+//!
+//! The intermediate representation shared by the NACHOS (HPCA 2018)
+//! reproduction. An acceleration region — a control-flow-free superblock
+//! trace offloaded to a CGRA — is represented as a [`Region`]:
+//!
+//! * a [`Dfg`] of operations ([`OpKind`]) connected by data edges and, after
+//!   compilation, *memory dependency edges* ([`EdgeKind::Order`],
+//!   [`EdgeKind::Forward`], [`EdgeKind::May`]),
+//! * a table of [`BaseObject`]s describing pointer provenance,
+//! * an enclosing [`LoopNest`] providing induction variables and bounds,
+//! * symbolic parameters ([`ParamInfo`]) for run-time array extents, and
+//! * a [`CallContext`] carrying inter-procedural provenance for Stage 2.
+//!
+//! Pointer operands are *executable* models ([`MemRef::eval`]) so the same
+//! expressions drive both the static alias analysis (`nachos-alias`) and
+//! the dynamic address traces of the simulator (`nachos` core crate).
+//!
+//! ## Example
+//!
+//! ```
+//! use nachos_ir::{AffineExpr, IntOp, LoopInfo, MemRef, RegionBuilder};
+//!
+//! // for i in 0..64 { acc += a[i]; b[i] = acc; }   (one unrolled body)
+//! let mut b = RegionBuilder::new("example");
+//! let i = b.enclosing_loop(LoopInfo::range("i", 0, 64));
+//! let arr_a = b.global("a", 512, 0);
+//! let arr_b = b.global("b", 512, 1);
+//! let acc = b.input();
+//! let ld = b.load(MemRef::affine(arr_a, AffineExpr::var(i).scaled(8)), &[]);
+//! let sum = b.int_op(IntOp::Add, &[acc, ld]);
+//! let _st = b.store(MemRef::affine(arr_b, AffineExpr::var(i).scaled(8)), &[sum]);
+//! let region = b.finish();
+//! assert_eq!(region.dfg.num_mem_ops(), 2);
+//! assert_eq!(region.loops.total_invocations(), 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binding;
+mod builder;
+mod dot;
+mod edge;
+mod expr;
+mod graph;
+mod ids;
+mod loops;
+mod memref;
+mod op;
+mod region;
+
+pub use binding::{Binding, UnknownPattern};
+pub use builder::RegionBuilder;
+pub use dot::to_dot;
+pub use edge::{Edge, EdgeKind};
+pub use expr::{AffineExpr, ScaledParam};
+pub use graph::{Dfg, GraphError, Node};
+pub use ids::{BaseId, EdgeId, LoopId, MemSlot, NodeId, ParamId, ScopeId, UnknownId, MAX_MEM_OPS};
+pub use loops::{LoopInfo, LoopNest};
+pub use memref::{
+    AccessType, BaseKind, BaseObject, CallContext, EvalCtx, MemRef, MemSpace, ParamInfo,
+    Provenance, PtrExpr, Subscript,
+};
+pub use op::{FpOp, IntOp, OpKind};
+pub use region::Region;

@@ -1,0 +1,221 @@
+//! Loop-nest metadata for an acceleration region.
+//!
+//! An acceleration region is a control-flow-free trace of a loop body; the
+//! enclosing loop nest provides the induction variables that appear in
+//! pointer expressions, together with the bounds the compiler may assume
+//! when testing dependences.
+
+use crate::ids::LoopId;
+
+/// One loop of the nest enclosing the region, `for iv in lower..upper
+/// step step`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct LoopInfo {
+    /// Human-readable induction-variable name.
+    pub name: String,
+    /// First induction-variable value (inclusive).
+    pub lower: i64,
+    /// Upper bound (exclusive).
+    pub upper: i64,
+    /// Step between iterations; must be positive.
+    pub step: i64,
+}
+
+impl LoopInfo {
+    /// A unit-step loop over `lower..upper`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upper < lower`.
+    #[must_use]
+    pub fn range(name: &str, lower: i64, upper: i64) -> Self {
+        assert!(upper >= lower, "loop upper bound below lower bound");
+        Self {
+            name: name.to_owned(),
+            lower,
+            upper,
+            step: 1,
+        }
+    }
+
+    /// Number of iterations the loop executes.
+    #[must_use]
+    pub fn trip_count(&self) -> u64 {
+        if self.upper <= self.lower {
+            0
+        } else {
+            ((self.upper - self.lower - 1) / self.step + 1) as u64
+        }
+    }
+
+    /// Largest induction-variable value actually taken (inclusive), if the
+    /// loop runs at all.
+    #[must_use]
+    pub fn max_iv(&self) -> Option<i64> {
+        if self.upper <= self.lower {
+            None
+        } else {
+            let trips = self.trip_count() as i64;
+            Some(self.lower + (trips - 1) * self.step)
+        }
+    }
+}
+
+/// The loop nest enclosing a region, outermost first.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LoopNest {
+    loops: Vec<LoopInfo>,
+}
+
+impl LoopNest {
+    /// An empty nest (straight-line region with no enclosing loops).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a loop and returns its id.
+    pub fn push(&mut self, info: LoopInfo) -> LoopId {
+        let id = LoopId::new(self.loops.len());
+        self.loops.push(info);
+        id
+    }
+
+    /// The loop with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn info(&self, id: LoopId) -> &LoopInfo {
+        &self.loops[id.index()]
+    }
+
+    /// The loop with the given id, or `None` when out of range.
+    #[must_use]
+    pub fn get(&self, id: LoopId) -> Option<&LoopInfo> {
+        self.loops.get(id.index())
+    }
+
+    /// Number of loops in the nest.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// `true` if there are no enclosing loops.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// Iterates over `(id, info)` pairs, outermost first.
+    pub fn iter(&self) -> impl Iterator<Item = (LoopId, &LoopInfo)> {
+        self.loops
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LoopId::new(i), l))
+    }
+
+    /// Total number of region invocations implied by the nest (the product
+    /// of all trip counts), saturating at `u64::MAX`. An empty nest implies
+    /// a single invocation.
+    #[must_use]
+    pub fn total_invocations(&self) -> u64 {
+        self.loops
+            .iter()
+            .map(LoopInfo::trip_count)
+            .fold(1u64, u64::saturating_mul)
+    }
+
+    /// Produces the `k`-th iteration vector in lexicographic order
+    /// (outermost slowest), as concrete induction-variable values indexed
+    /// by [`LoopId::index`]. Used by the simulator to step through region
+    /// invocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any loop has a zero trip count.
+    #[must_use]
+    pub fn iteration_vector(&self, k: u64) -> Vec<i64> {
+        let mut iv = vec![0i64; self.loops.len()];
+        let mut rem = k;
+        for idx in (0..self.loops.len()).rev() {
+            let l = &self.loops[idx];
+            let trips = l.trip_count();
+            assert!(trips > 0, "loop {idx} has zero trip count");
+            let pos = rem % trips;
+            rem /= trips;
+            iv[idx] = l.lower + pos as i64 * l.step;
+        }
+        iv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trip_count_and_max_iv() {
+        let l = LoopInfo::range("i", 0, 10);
+        assert_eq!(l.trip_count(), 10);
+        assert_eq!(l.max_iv(), Some(9));
+
+        let l = LoopInfo {
+            name: "j".into(),
+            lower: 2,
+            upper: 11,
+            step: 3,
+        };
+        assert_eq!(l.trip_count(), 3); // 2, 5, 8
+        assert_eq!(l.max_iv(), Some(8));
+
+        let empty = LoopInfo::range("k", 4, 4);
+        assert_eq!(empty.trip_count(), 0);
+        assert_eq!(empty.max_iv(), None);
+    }
+
+    #[test]
+    fn nest_invocations() {
+        let mut nest = LoopNest::new();
+        nest.push(LoopInfo::range("i", 0, 4));
+        nest.push(LoopInfo::range("j", 0, 3));
+        assert_eq!(nest.total_invocations(), 12);
+        assert_eq!(nest.len(), 2);
+        assert!(!nest.is_empty());
+        assert_eq!(LoopNest::new().total_invocations(), 1);
+    }
+
+    #[test]
+    fn iteration_vector_is_lexicographic() {
+        let mut nest = LoopNest::new();
+        let _i = nest.push(LoopInfo::range("i", 0, 2));
+        let _j = nest.push(LoopInfo::range("j", 10, 13));
+        assert_eq!(nest.iteration_vector(0), vec![0, 10]);
+        assert_eq!(nest.iteration_vector(1), vec![0, 11]);
+        assert_eq!(nest.iteration_vector(2), vec![0, 12]);
+        assert_eq!(nest.iteration_vector(3), vec![1, 10]);
+        assert_eq!(nest.iteration_vector(5), vec![1, 12]);
+    }
+
+    #[test]
+    fn iteration_vector_respects_step_and_lower() {
+        let mut nest = LoopNest::new();
+        nest.push(LoopInfo {
+            name: "i".into(),
+            lower: 4,
+            upper: 13,
+            step: 4,
+        });
+        assert_eq!(nest.iteration_vector(0), vec![4]);
+        assert_eq!(nest.iteration_vector(1), vec![8]);
+        assert_eq!(nest.iteration_vector(2), vec![12]);
+    }
+
+    #[test]
+    #[should_panic(expected = "upper bound below")]
+    fn invalid_range_panics() {
+        let _ = LoopInfo::range("i", 5, 4);
+    }
+}

@@ -1,0 +1,526 @@
+//! Memory references: base objects, pointer expressions and typed accesses.
+//!
+//! Every load/store in a region carries a [`MemRef`] describing *where* it
+//! accesses memory in terms the compiler can reason about:
+//!
+//! * a [`PtrExpr`] — provenance (base object or unknown) plus an offset
+//!   shape (affine, multidimensional-subscript, or opaque), and
+//! * an [`AccessType`] — a type-based-alias-analysis (TBAA) tag, and
+//! * the access size and address space (main memory vs scratchpad).
+//!
+//! The same `MemRef` is *executable*: [`MemRef::eval`] computes the concrete
+//! byte address for a given evaluation context, which is how the simulator
+//! derives its dynamic address traces and how tests cross-check the static
+//! alias labels against dynamic behaviour.
+
+use crate::expr::{AffineExpr, ScaledParam};
+use crate::ids::{BaseId, ScopeId, UnknownId};
+use std::fmt;
+
+/// What kind of object a [`BaseId`] names.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum BaseKind {
+    /// A global variable visible to the region.
+    Global {
+        /// Source-level name, for diagnostics.
+        name: String,
+    },
+    /// A stack allocation local to the offloaded path (never escapes).
+    Stack {
+        /// Source-level name, for diagnostics.
+        name: String,
+    },
+    /// A heap allocation identified by its allocation site.
+    Heap {
+        /// Allocation-site identifier.
+        site: u32,
+    },
+    /// An incoming pointer argument of the acceleration region. Its
+    /// provenance is unknown *within* the region; Stage 2 of NACHOS-SW may
+    /// recover it from the calling context.
+    Arg {
+        /// Argument position in the region signature.
+        index: u32,
+    },
+}
+
+impl BaseKind {
+    /// `true` for objects whose identity the compiler established locally
+    /// (globals, stack slots, heap allocation sites) — two *distinct* such
+    /// objects can never overlap.
+    #[must_use]
+    pub fn is_identified_object(&self) -> bool {
+        !matches!(self, BaseKind::Arg { .. })
+    }
+}
+
+/// One entry of a region's base-object table.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BaseObject {
+    /// The kind of object.
+    pub kind: BaseKind,
+    /// Byte size of the object, if statically known.
+    pub size: Option<u64>,
+    /// Identity of this object in the *caller's* object namespace, when the
+    /// object is also visible outside the region (globals, and arguments
+    /// after Stage-2 provenance tracing). Two bases with different caller
+    /// ids are distinct objects; equal ids are the same object.
+    pub caller_object: Option<u32>,
+}
+
+impl BaseObject {
+    /// Convenience constructor for a named global of known size.
+    #[must_use]
+    pub fn global(name: &str, size: u64, caller_object: u32) -> Self {
+        Self {
+            kind: BaseKind::Global {
+                name: name.to_owned(),
+            },
+            size: Some(size),
+            caller_object: Some(caller_object),
+        }
+    }
+
+    /// Convenience constructor for a region-local stack slot.
+    #[must_use]
+    pub fn stack(name: &str, size: u64) -> Self {
+        Self {
+            kind: BaseKind::Stack {
+                name: name.to_owned(),
+            },
+            size: Some(size),
+            caller_object: None,
+        }
+    }
+
+    /// Convenience constructor for a heap allocation site.
+    #[must_use]
+    pub fn heap(site: u32, size: Option<u64>) -> Self {
+        Self {
+            kind: BaseKind::Heap { site },
+            size,
+            caller_object: None,
+        }
+    }
+
+    /// Convenience constructor for an incoming pointer argument.
+    #[must_use]
+    pub fn arg(index: u32) -> Self {
+        Self {
+            kind: BaseKind::Arg { index },
+            size: None,
+            caller_object: None,
+        }
+    }
+}
+
+/// A TBAA-style access-type tag.
+///
+/// Types are identified by small integers. [`AccessType::OPAQUE`] (the
+/// `char`-like universal type) is compatible with everything; two distinct
+/// non-opaque types never alias.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AccessType(pub u32);
+
+impl AccessType {
+    /// The universal type that may alias any other type (like `char` in C).
+    pub const OPAQUE: AccessType = AccessType(0);
+
+    /// `true` if accesses of types `self` and `other` may refer to the same
+    /// storage under strict-aliasing rules.
+    #[must_use]
+    pub fn compatible(self, other: AccessType) -> bool {
+        self == AccessType::OPAQUE || other == AccessType::OPAQUE || self == other
+    }
+}
+
+/// Which address space an access targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Cache-backed main memory (non-local data: heap and globals). Only
+    /// these accesses participate in memory disambiguation.
+    Memory,
+    /// Compiler-managed scratchpad for perfectly-disambiguated local data
+    /// (Table II column C5). Scratchpad accesses need no MDEs and no LSQ.
+    Scratchpad,
+}
+
+/// One dimension of a multidimensional array subscript.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Subscript {
+    /// The subscript expression, in *elements* of this dimension.
+    pub index: AffineExpr,
+    /// Byte stride between consecutive elements of this dimension (possibly
+    /// symbolic, e.g. `8·n` for the rows of a `double [m][n]` array).
+    pub stride: ScaledParam,
+    /// Number of valid index values in this dimension, if known. When the
+    /// access is marked in-bounds, `0 <= index < extent` holds dynamically.
+    pub extent: Option<ScaledParam>,
+}
+
+/// The pointer operand of a memory access.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PtrExpr {
+    /// `base + offset` with a (single, linearized) affine byte offset.
+    /// This is the shape LLVM's basic + SCEV analyses understand.
+    Affine {
+        /// Base object.
+        base: BaseId,
+        /// Byte offset from the base.
+        offset: AffineExpr,
+    },
+    /// A multidimensional in-bounds array access:
+    /// `base + Σ_d index_d · stride_d`. Stage 1 cannot reason about these
+    /// when strides are symbolic; Stage 4 (polyhedral) can.
+    MultiDim {
+        /// Base object (the array).
+        base: BaseId,
+        /// Per-dimension subscripts, outermost first.
+        subs: Vec<Subscript>,
+        /// If `true`, every subscript is guaranteed within its extent.
+        in_bounds: bool,
+    },
+    /// A pointer of unknown provenance (loaded from memory, the result of
+    /// pointer chasing, or arithmetic the compiler could not model), plus a
+    /// known constant byte offset.
+    Unknown {
+        /// Identifies the unknown pointer source; equal ids denote the very
+        /// same runtime pointer value.
+        source: UnknownId,
+        /// Constant byte offset from the unknown pointer.
+        offset: i64,
+    },
+}
+
+impl PtrExpr {
+    /// The base object, when provenance is known.
+    #[must_use]
+    pub fn base(&self) -> Option<BaseId> {
+        match self {
+            PtrExpr::Affine { base, .. } | PtrExpr::MultiDim { base, .. } => Some(*base),
+            PtrExpr::Unknown { .. } => None,
+        }
+    }
+
+    /// `true` if the pointer's provenance is unknown within the region.
+    #[must_use]
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, PtrExpr::Unknown { .. })
+    }
+}
+
+/// A complete memory reference: pointer, size, type and address space.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Where the access points.
+    pub ptr: PtrExpr,
+    /// Access width in bytes (1, 2, 4 or 8).
+    pub size: u8,
+    /// TBAA tag.
+    pub ty: AccessType,
+    /// Address space.
+    pub space: MemSpace,
+    /// `restrict`-style scope: two accesses in *different* scopes with at
+    /// least one scoped pointer are guaranteed not to alias.
+    pub noalias_scope: Option<ScopeId>,
+}
+
+impl MemRef {
+    /// A plain 8-byte memory access at `base + offset` with opaque type.
+    #[must_use]
+    pub fn affine(base: BaseId, offset: AffineExpr) -> Self {
+        Self {
+            ptr: PtrExpr::Affine { base, offset },
+            size: 8,
+            ty: AccessType::OPAQUE,
+            space: MemSpace::Memory,
+            noalias_scope: None,
+        }
+    }
+
+    /// A plain 8-byte access through an unknown pointer.
+    #[must_use]
+    pub fn unknown(source: UnknownId, offset: i64) -> Self {
+        Self {
+            ptr: PtrExpr::Unknown { source, offset },
+            size: 8,
+            ty: AccessType::OPAQUE,
+            space: MemSpace::Memory,
+            noalias_scope: None,
+        }
+    }
+
+    /// An in-bounds multidimensional access.
+    #[must_use]
+    pub fn multi_dim(base: BaseId, subs: Vec<Subscript>) -> Self {
+        Self {
+            ptr: PtrExpr::MultiDim {
+                base,
+                subs,
+                in_bounds: true,
+            },
+            size: 8,
+            ty: AccessType::OPAQUE,
+            space: MemSpace::Memory,
+            noalias_scope: None,
+        }
+    }
+
+    /// Sets the access size in bytes, builder-style.
+    #[must_use]
+    pub fn with_size(mut self, size: u8) -> Self {
+        self.size = size;
+        self
+    }
+
+    /// Sets the TBAA tag, builder-style.
+    #[must_use]
+    pub fn with_type(mut self, ty: AccessType) -> Self {
+        self.ty = ty;
+        self
+    }
+
+    /// Sets the address space, builder-style.
+    #[must_use]
+    pub fn with_space(mut self, space: MemSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// Sets the no-alias scope, builder-style.
+    #[must_use]
+    pub fn with_scope(mut self, scope: ScopeId) -> Self {
+        self.noalias_scope = Some(scope);
+        self
+    }
+
+    /// `true` if the access targets disambiguation-relevant memory.
+    #[must_use]
+    pub fn needs_disambiguation(&self) -> bool {
+        self.space == MemSpace::Memory
+    }
+
+    /// Computes the concrete byte address of this reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context lacks a binding this reference needs (base
+    /// address, parameter value, induction variable, or unknown-pointer
+    /// value).
+    #[must_use]
+    pub fn eval(&self, ctx: &EvalCtx<'_>) -> u64 {
+        match &self.ptr {
+            PtrExpr::Affine { base, offset } => {
+                let b = ctx.base_addrs[base.index()];
+                b.wrapping_add_signed(offset.eval(ctx.iv))
+            }
+            PtrExpr::MultiDim { base, subs, .. } => {
+                let mut addr = ctx.base_addrs[base.index()];
+                for sub in subs {
+                    let idx = sub.index.eval(ctx.iv);
+                    let stride = sub.stride.eval(ctx.params);
+                    addr = addr.wrapping_add_signed(idx * stride);
+                }
+                addr
+            }
+            PtrExpr::Unknown { source, offset } => {
+                ctx.unknowns[source.index()].wrapping_add_signed(*offset)
+            }
+        }
+    }
+}
+
+/// Concrete bindings needed to evaluate a [`MemRef`] to a byte address.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalCtx<'a> {
+    /// Concrete base address per [`BaseId`].
+    pub base_addrs: &'a [u64],
+    /// Induction-variable values per [`crate::LoopId`], for the current
+    /// region invocation.
+    pub iv: &'a [i64],
+    /// Symbolic parameter values per [`crate::ParamId`].
+    pub params: &'a [i64],
+    /// Runtime values of unknown-provenance pointers per [`UnknownId`],
+    /// for the current region invocation.
+    pub unknowns: &'a [u64],
+}
+
+/// Declares a symbolic parameter of the region together with the bounds the
+/// compiler may assume (e.g. an array extent known to be at least 1).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ParamInfo {
+    /// Human-readable name.
+    pub name: String,
+    /// Smallest value the parameter can take at run time.
+    pub min: i64,
+    /// Largest value the parameter can take, if bounded.
+    pub max: Option<i64>,
+}
+
+impl ParamInfo {
+    /// A parameter named `name` known to satisfy `value >= min`.
+    #[must_use]
+    pub fn at_least(name: &str, min: i64) -> Self {
+        Self {
+            name: name.to_owned(),
+            min,
+            max: None,
+        }
+    }
+}
+
+impl fmt::Display for ParamInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.max {
+            Some(max) => write!(f, "{} in [{}, {}]", self.name, self.min, max),
+            None => write!(f, "{} >= {}", self.name, self.min),
+        }
+    }
+}
+
+/// How a region pointer argument maps back to the caller's objects
+/// (Stage 2's inter-procedural provenance information).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Provenance {
+    /// The argument is derived from the caller object with this id.
+    Object(u32),
+    /// The caller-side provenance could not be traced.
+    #[default]
+    Unknown,
+}
+
+/// The calling context of a region: per-argument provenance.
+///
+/// The paper's workloads invoke each accelerated path from a single call
+/// site with no function-pointer indirection, so the provenance of a region
+/// argument is a single caller object or unknown.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CallContext {
+    /// Provenance per region-argument index.
+    pub args: Vec<Provenance>,
+}
+
+impl CallContext {
+    /// A context in which no argument provenance is known.
+    #[must_use]
+    pub fn opaque(num_args: usize) -> Self {
+        Self {
+            args: vec![Provenance::Unknown; num_args],
+        }
+    }
+
+    /// The provenance of argument `index`, if recorded.
+    #[must_use]
+    pub fn provenance(&self, index: u32) -> Provenance {
+        self.args
+            .get(index as usize)
+            .cloned()
+            .unwrap_or(Provenance::Unknown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{LoopId, ParamId};
+
+    #[test]
+    fn identified_objects() {
+        assert!(BaseObject::global("g", 64, 0).kind.is_identified_object());
+        assert!(BaseObject::stack("s", 8).kind.is_identified_object());
+        assert!(BaseObject::heap(3, None).kind.is_identified_object());
+        assert!(!BaseObject::arg(0).kind.is_identified_object());
+    }
+
+    #[test]
+    fn access_type_compatibility() {
+        let int_ty = AccessType(1);
+        let float_ty = AccessType(2);
+        assert!(int_ty.compatible(int_ty));
+        assert!(!int_ty.compatible(float_ty));
+        assert!(AccessType::OPAQUE.compatible(float_ty));
+        assert!(int_ty.compatible(AccessType::OPAQUE));
+    }
+
+    #[test]
+    fn affine_eval() {
+        let i = LoopId::new(0);
+        let m = MemRef::affine(BaseId::new(0), AffineExpr::var(i).scaled(8).plus(4));
+        let ctx = EvalCtx {
+            base_addrs: &[0x1000],
+            iv: &[3],
+            params: &[],
+            unknowns: &[],
+        };
+        assert_eq!(m.eval(&ctx), 0x1000 + 24 + 4);
+    }
+
+    #[test]
+    fn multidim_eval_with_symbolic_stride() {
+        let i = LoopId::new(0);
+        let j = LoopId::new(1);
+        let n = ParamId::new(0);
+        // A[i][j] with elem size 8 and symbolic row extent n.
+        let m = MemRef::multi_dim(
+            BaseId::new(0),
+            vec![
+                Subscript {
+                    index: AffineExpr::var(i),
+                    stride: ScaledParam::symbolic(8, n),
+                    extent: None,
+                },
+                Subscript {
+                    index: AffineExpr::var(j),
+                    stride: ScaledParam::constant(8),
+                    extent: Some(ScaledParam::symbolic(1, n)),
+                },
+            ],
+        );
+        let ctx = EvalCtx {
+            base_addrs: &[0x2000],
+            iv: &[2, 3],
+            params: &[10],
+            unknowns: &[],
+        };
+        // 0x2000 + 2*80 + 3*8
+        assert_eq!(m.eval(&ctx), 0x2000 + 160 + 24);
+    }
+
+    #[test]
+    fn unknown_eval() {
+        let m = MemRef::unknown(UnknownId::new(1), 16);
+        let ctx = EvalCtx {
+            base_addrs: &[],
+            iv: &[],
+            params: &[],
+            unknowns: &[0x500, 0x900],
+        };
+        assert_eq!(m.eval(&ctx), 0x910);
+        assert!(m.ptr.is_unknown());
+        assert_eq!(m.ptr.base(), None);
+    }
+
+    #[test]
+    fn memref_builders() {
+        let m = MemRef::affine(BaseId::new(2), AffineExpr::zero())
+            .with_size(4)
+            .with_type(AccessType(7))
+            .with_space(MemSpace::Scratchpad)
+            .with_scope(ScopeId::new(1));
+        assert_eq!(m.size, 4);
+        assert_eq!(m.ty, AccessType(7));
+        assert!(!m.needs_disambiguation());
+        assert_eq!(m.noalias_scope, Some(ScopeId::new(1)));
+    }
+
+    #[test]
+    fn call_context_defaults_to_unknown() {
+        let ctx = CallContext::opaque(2);
+        assert_eq!(ctx.provenance(0), Provenance::Unknown);
+        assert_eq!(ctx.provenance(5), Provenance::Unknown);
+        let ctx = CallContext {
+            args: vec![Provenance::Object(3)],
+        };
+        assert_eq!(ctx.provenance(0), Provenance::Object(3));
+    }
+}

@@ -1,0 +1,155 @@
+//! Operation kinds for dataflow-graph nodes.
+
+use crate::memref::MemRef;
+use std::fmt;
+
+/// Integer ALU operations mapped onto a CGRA functional unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IntOp {
+    /// Addition/subtraction.
+    Add,
+    /// Multiplication.
+    Mul,
+    /// Shifts.
+    Shift,
+    /// Bitwise logic.
+    Logic,
+    /// Comparison / select.
+    Cmp,
+    /// Address computation (GEP-like).
+    AddrCalc,
+}
+
+/// Floating-point operations mapped onto a CGRA functional unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    /// FP add/subtract.
+    Add,
+    /// FP multiply.
+    Mul,
+    /// FP divide (long latency).
+    Div,
+    /// Fused multiply-add.
+    MulAdd,
+}
+
+/// The kind of a dataflow node.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// A live-in value entering the region (register operand or argument).
+    Input {
+        /// Position in the region signature.
+        index: u32,
+    },
+    /// A compile-time constant.
+    Const {
+        /// The constant's bit pattern.
+        value: u64,
+    },
+    /// Integer computation.
+    Int(IntOp),
+    /// Floating-point computation.
+    Fp(FpOp),
+    /// A memory load described by a [`MemRef`].
+    Load(MemRef),
+    /// A memory store described by a [`MemRef`].
+    Store(MemRef),
+    /// A live-out value leaving the region.
+    Output,
+}
+
+impl OpKind {
+    /// `true` for loads and stores.
+    #[must_use]
+    pub fn is_mem(&self) -> bool {
+        matches!(self, OpKind::Load(_) | OpKind::Store(_))
+    }
+
+    /// `true` for stores.
+    #[must_use]
+    pub fn is_store(&self) -> bool {
+        matches!(self, OpKind::Store(_))
+    }
+
+    /// `true` for loads.
+    #[must_use]
+    pub fn is_load(&self) -> bool {
+        matches!(self, OpKind::Load(_))
+    }
+
+    /// `true` for FP compute nodes.
+    #[must_use]
+    pub fn is_fp(&self) -> bool {
+        matches!(self, OpKind::Fp(_))
+    }
+
+    /// The memory reference of a load/store node, if any.
+    #[must_use]
+    pub fn mem_ref(&self) -> Option<&MemRef> {
+        match self {
+            OpKind::Load(m) | OpKind::Store(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// A short mnemonic for display and DOT output.
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            OpKind::Input { .. } => "in",
+            OpKind::Const { .. } => "const",
+            OpKind::Int(IntOp::Add) => "add",
+            OpKind::Int(IntOp::Mul) => "mul",
+            OpKind::Int(IntOp::Shift) => "shl",
+            OpKind::Int(IntOp::Logic) => "and",
+            OpKind::Int(IntOp::Cmp) => "cmp",
+            OpKind::Int(IntOp::AddrCalc) => "gep",
+            OpKind::Fp(FpOp::Add) => "fadd",
+            OpKind::Fp(FpOp::Mul) => "fmul",
+            OpKind::Fp(FpOp::Div) => "fdiv",
+            OpKind::Fp(FpOp::MulAdd) => "fma",
+            OpKind::Load(_) => "ld",
+            OpKind::Store(_) => "st",
+            OpKind::Output => "out",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AffineExpr;
+    use crate::ids::BaseId;
+
+    #[test]
+    fn mem_classification() {
+        let m = MemRef::affine(BaseId::new(0), AffineExpr::zero());
+        assert!(OpKind::Load(m.clone()).is_mem());
+        assert!(OpKind::Load(m.clone()).is_load());
+        assert!(!OpKind::Load(m.clone()).is_store());
+        assert!(OpKind::Store(m.clone()).is_store());
+        assert!(OpKind::Store(m.clone()).mem_ref().is_some());
+        assert!(!OpKind::Int(IntOp::Add).is_mem());
+        assert!(OpKind::Int(IntOp::Add).mem_ref().is_none());
+    }
+
+    #[test]
+    fn fp_classification() {
+        assert!(OpKind::Fp(FpOp::Mul).is_fp());
+        assert!(!OpKind::Int(IntOp::Mul).is_fp());
+    }
+
+    #[test]
+    fn mnemonics_are_distinct_for_mem() {
+        let m = MemRef::affine(BaseId::new(0), AffineExpr::zero());
+        assert_eq!(OpKind::Load(m.clone()).to_string(), "ld");
+        assert_eq!(OpKind::Store(m).to_string(), "st");
+        assert_eq!(OpKind::Const { value: 3 }.to_string(), "const");
+    }
+}

@@ -1,0 +1,227 @@
+//! Acceleration regions: a DFG plus the symbol tables it references.
+
+use crate::graph::Dfg;
+use crate::ids::{BaseId, ParamId, UnknownId};
+use crate::loops::LoopNest;
+use crate::memref::{BaseObject, CallContext, MemSpace, ParamInfo, PtrExpr};
+
+/// A complete acceleration region: the offloaded dataflow graph together
+/// with its base-object table, enclosing loop nest, symbolic parameters and
+/// calling context.
+///
+/// This is the unit the NACHOS-SW compiler analyzes and the CGRA executes.
+#[derive(Clone, Debug, Default)]
+pub struct Region {
+    /// Region name (benchmark + path index, e.g. `"equake.p0"`).
+    pub name: String,
+    /// The dataflow graph.
+    pub dfg: Dfg,
+    /// Base objects referenced by pointer expressions.
+    pub bases: Vec<BaseObject>,
+    /// Enclosing loop nest, outermost first.
+    pub loops: LoopNest,
+    /// Symbolic parameters (array extents etc.).
+    pub params: Vec<ParamInfo>,
+    /// Number of distinct unknown-provenance pointer sources.
+    pub num_unknowns: usize,
+    /// Inter-procedural provenance of region arguments.
+    pub context: CallContext,
+}
+
+impl Region {
+    /// An empty named region.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            ..Self::default()
+        }
+    }
+
+    /// Registers a base object, returning its id.
+    pub fn add_base(&mut self, base: BaseObject) -> BaseId {
+        let id = BaseId::new(self.bases.len());
+        self.bases.push(base);
+        id
+    }
+
+    /// Registers a symbolic parameter, returning its id.
+    pub fn add_param(&mut self, param: ParamInfo) -> ParamId {
+        let id = ParamId::new(self.params.len());
+        self.params.push(param);
+        id
+    }
+
+    /// Allocates a fresh unknown-pointer source id.
+    pub fn add_unknown(&mut self) -> UnknownId {
+        let id = UnknownId::new(self.num_unknowns);
+        self.num_unknowns += 1;
+        id
+    }
+
+    /// The base object for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn base(&self, id: BaseId) -> &BaseObject {
+        &self.bases[id.index()]
+    }
+
+    /// Mutable access to a base object (used by Stage 2 to record traced
+    /// provenance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn base_mut(&mut self, id: BaseId) -> &mut BaseObject {
+        &mut self.bases[id.index()]
+    }
+
+    /// Number of memory operations that target disambiguation-relevant
+    /// memory (Table II column `#MEM`): loads/stores to [`MemSpace::Memory`].
+    #[must_use]
+    pub fn num_global_mem_ops(&self) -> usize {
+        self.dfg
+            .mem_ops()
+            .iter()
+            .filter(|&&n| {
+                self.dfg
+                    .node(n)
+                    .kind
+                    .mem_ref()
+                    .is_some_and(|m| m.space == MemSpace::Memory)
+            })
+            .count()
+    }
+
+    /// Number of memory operations promoted to scratchpad (the `%LOC`
+    /// population of Table II column C5).
+    #[must_use]
+    pub fn num_scratchpad_ops(&self) -> usize {
+        self.dfg.num_mem_ops() - self.num_global_mem_ops()
+    }
+
+    /// Checks internal consistency: every pointer expression references
+    /// valid base/param/unknown ids and every affine term references a loop
+    /// in the nest.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        for n in self.dfg.node_ids() {
+            let Some(mem) = self.dfg.node(n).kind.mem_ref() else {
+                continue;
+            };
+            match &mem.ptr {
+                PtrExpr::Affine { base, offset } => {
+                    if base.index() >= self.bases.len() {
+                        return Err(format!("{n}: base {base} out of range"));
+                    }
+                    for (l, _) in offset.terms() {
+                        if self.loops.get(l).is_none() {
+                            return Err(format!("{n}: loop {l} out of range"));
+                        }
+                    }
+                }
+                PtrExpr::MultiDim { base, subs, .. } => {
+                    if base.index() >= self.bases.len() {
+                        return Err(format!("{n}: base {base} out of range"));
+                    }
+                    if subs.is_empty() {
+                        return Err(format!("{n}: multidim access with no subscripts"));
+                    }
+                    for sub in subs {
+                        for (l, _) in sub.index.terms() {
+                            if self.loops.get(l).is_none() {
+                                return Err(format!("{n}: loop {l} out of range"));
+                            }
+                        }
+                        for p in [sub.stride.param, sub.extent.and_then(|e| e.param)]
+                            .into_iter()
+                            .flatten()
+                        {
+                            if p.index() >= self.params.len() {
+                                return Err(format!("{n}: param {p} out of range"));
+                            }
+                        }
+                    }
+                }
+                PtrExpr::Unknown { source, .. } => {
+                    if source.index() >= self.num_unknowns {
+                        return Err(format!("{n}: unknown source {source} out of range"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AffineExpr;
+    use crate::ids::LoopId;
+    use crate::loops::LoopInfo;
+    use crate::memref::MemRef;
+    use crate::op::OpKind;
+
+    #[test]
+    fn region_tables() {
+        let mut r = Region::new("test");
+        let g = r.add_base(BaseObject::global("g", 1024, 0));
+        let p = r.add_param(ParamInfo::at_least("n", 1));
+        let u = r.add_unknown();
+        assert_eq!(g.index(), 0);
+        assert_eq!(p.index(), 0);
+        assert_eq!(u.index(), 0);
+        assert_eq!(r.base(g).size, Some(1024));
+        assert_eq!(r.num_unknowns, 1);
+    }
+
+    #[test]
+    fn global_vs_scratchpad_counting() {
+        let mut r = Region::new("test");
+        let b = r.add_base(BaseObject::global("g", 64, 0));
+        let global = MemRef::affine(b, AffineExpr::zero());
+        let local = global.clone().with_space(MemSpace::Scratchpad);
+        r.dfg.add_node(OpKind::Load(global)).unwrap();
+        r.dfg.add_node(OpKind::Load(local.clone())).unwrap();
+        r.dfg.add_node(OpKind::Store(local)).unwrap();
+        assert_eq!(r.dfg.num_mem_ops(), 3);
+        assert_eq!(r.num_global_mem_ops(), 1);
+        assert_eq!(r.num_scratchpad_ops(), 2);
+    }
+
+    #[test]
+    fn validate_catches_bad_base() {
+        let mut r = Region::new("bad");
+        let m = MemRef::affine(BaseId::new(7), AffineExpr::zero());
+        r.dfg.add_node(OpKind::Load(m)).unwrap();
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_loop() {
+        let mut r = Region::new("bad");
+        let b = r.add_base(BaseObject::global("g", 64, 0));
+        let m = MemRef::affine(b, AffineExpr::var(LoopId::new(3)));
+        r.dfg.add_node(OpKind::Load(m)).unwrap();
+        assert!(r.validate().is_err());
+        r.loops.push(LoopInfo::range("i", 0, 4));
+        assert!(r.validate().is_err(), "loop 3 still missing");
+    }
+
+    #[test]
+    fn validate_accepts_consistent_region() {
+        let mut r = Region::new("ok");
+        let b = r.add_base(BaseObject::global("g", 64, 0));
+        let i = r.loops.push(LoopInfo::range("i", 0, 4));
+        let m = MemRef::affine(b, AffineExpr::var(i).scaled(8));
+        r.dfg.add_node(OpKind::Load(m)).unwrap();
+        assert_eq!(r.validate(), Ok(()));
+    }
+}

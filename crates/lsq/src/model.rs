@@ -1,0 +1,611 @@
+//! The OPT-LSQ model: banked, address-partitioned queues with a bloom
+//! filter front-end and in-order allocation/retirement.
+//!
+//! This is the baseline the paper evaluates against (§VIII-C): a
+//! late-binding, address-partitioned LSQ [Sethumadhavan et al.] whose CAM
+//! searches are filtered by a counting bloom filter [same §]. Entries
+//! *allocate in program order* (the compiler communicates explicit 8-bit
+//! ages, like TRIPS), bind to a bank when their address resolves, search
+//! the relevant queue(s) before issuing to the cache, and retire in order.
+//!
+//! The model is deliberately mechanism-level: the simulator in the `nachos`
+//! crate drives `allocate → bind_address → search → complete → retire`
+//! per memory operation and converts the recorded events into energy.
+
+use crate::bloom::{BloomStats, CountingBloom};
+
+/// Geometry and bandwidth of the OPT-LSQ (paper Figure 3: 2 ports,
+/// 48 entries/bank, 2–8 banks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LsqConfig {
+    /// Number of address-partitioned banks.
+    pub banks: usize,
+    /// Capacity of each bank.
+    pub entries_per_bank: usize,
+    /// Memory operations that can allocate per cycle (ports).
+    pub alloc_per_cycle: u32,
+    /// In-order retirements per cycle.
+    pub retire_per_cycle: u32,
+    /// Extra cycles the LSQ pipeline adds to every load's path
+    /// (the paper observes a 2-cycle load-to-use penalty on cache hits).
+    pub load_to_use_penalty: u64,
+}
+
+impl Default for LsqConfig {
+    fn default() -> Self {
+        Self {
+            // Eight banks (the top of the paper's 2-8 range) give 384
+            // entries — enough for any 256-op region, so bank capacity
+            // manifests as occupancy pressure rather than deadlock-prone
+            // structural stalls (see `LsqStats::bank_overflows`).
+            banks: 8,
+            entries_per_bank: 48,
+            alloc_per_cycle: 2,
+            retire_per_cycle: 2,
+            load_to_use_penalty: 2,
+        }
+    }
+}
+
+/// Event counters converted to energy by the simulator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LsqStats {
+    /// Entries allocated.
+    pub allocs: u64,
+    /// Address bindings that found their bank already at capacity. A
+    /// late-binding LSQ cannot stall these without risking deadlock
+    /// (younger ops can fill a bank before an older op binds while
+    /// in-order retirement waits on the older op), so the model admits
+    /// them and reports the pressure here instead.
+    pub bank_overflows: u64,
+    /// CAM searches performed by loads (store-queue search).
+    pub cam_load_searches: u64,
+    /// CAM searches performed by stores (both-queue search).
+    pub cam_store_searches: u64,
+    /// Store-to-load forwards performed.
+    pub forwards: u64,
+}
+
+/// Result of a load's disambiguation search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadSearch {
+    /// No conflicting older store: the load may issue to the cache.
+    CanIssue,
+    /// An exact-match older store with its data ready: forward. Carries the
+    /// store's age.
+    Forward(u32),
+    /// Blocked: some older store's address is still unknown (ambiguous),
+    /// or an overlapping older store has not yet produced/committed its
+    /// value. Carries the blocking store's age.
+    Blocked(u32),
+}
+
+/// Result of a store's disambiguation search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreSearch {
+    /// No conflicting older operation: the store may issue.
+    CanIssue,
+    /// Blocked by the operation with the carried age (unknown address or
+    /// overlapping and incomplete).
+    Blocked(u32),
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    is_store: bool,
+    addr: Option<(u64, u8)>,
+    bank: Option<usize>,
+    /// Store value produced (stores only).
+    data_ready: bool,
+    /// Access performed (cache response received / store committed).
+    completed: bool,
+    retired: bool,
+    /// Address deposited in the bloom filter.
+    deposited: bool,
+    /// First search already counted for energy.
+    searched: bool,
+}
+
+/// The OPT-LSQ. Ages are the region's program-order memory-operation
+/// indices for the current invocation; invocations are block-atomic, so
+/// the queue drains between invocations ([`Lsq::begin_invocation`]).
+#[derive(Clone, Debug)]
+pub struct Lsq {
+    config: LsqConfig,
+    entries: Vec<Entry>,
+    next_alloc: u32,
+    next_retire: u32,
+    bank_load: Vec<usize>,
+    /// Bloom over in-flight store addresses (queried by loads).
+    sq_bloom: CountingBloom,
+    /// Bloom over in-flight load addresses (queried by stores).
+    lq_bloom: CountingBloom,
+    stats: LsqStats,
+    cycle: u64,
+    allocs_this_cycle: u32,
+    retires_this_cycle: u32,
+}
+
+impl Lsq {
+    /// Creates an LSQ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any geometry/bandwidth parameter is zero.
+    #[must_use]
+    pub fn new(config: LsqConfig) -> Self {
+        assert!(
+            config.banks > 0
+                && config.entries_per_bank > 0
+                && config.alloc_per_cycle > 0
+                && config.retire_per_cycle > 0,
+            "degenerate LSQ configuration"
+        );
+        Self {
+            config,
+            entries: Vec::new(),
+            next_alloc: 0,
+            next_retire: 0,
+            bank_load: vec![0; config.banks],
+            sq_bloom: CountingBloom::lsq_default(),
+            lq_bloom: CountingBloom::lsq_default(),
+            stats: LsqStats::default(),
+            cycle: 0,
+            allocs_this_cycle: 0,
+            retires_this_cycle: 0,
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &LsqConfig {
+        &self.config
+    }
+
+    /// Starts a new region invocation with the given per-age op kinds
+    /// (`true` = store). The queue must have drained (all entries retired).
+    ///
+    /// # Panics
+    ///
+    /// Panics if un-retired entries remain.
+    pub fn begin_invocation(&mut self, is_store: &[bool]) {
+        assert!(
+            self.entries.iter().all(|e| e.retired),
+            "LSQ must drain between invocations"
+        );
+        self.entries = is_store
+            .iter()
+            .map(|&s| Entry {
+                is_store: s,
+                addr: None,
+                bank: None,
+                data_ready: false,
+                completed: false,
+                retired: false,
+                deposited: false,
+                searched: false,
+            })
+            .collect();
+        self.next_alloc = 0;
+        self.next_retire = 0;
+        self.bank_load.fill(0);
+        self.sq_bloom.clear();
+        self.lq_bloom.clear();
+    }
+
+    fn roll_cycle(&mut self, cycle: u64) {
+        if cycle != self.cycle {
+            self.cycle = cycle;
+            self.allocs_this_cycle = 0;
+            self.retires_this_cycle = 0;
+        }
+    }
+
+    /// Attempts to allocate the next program-order entry at `cycle`.
+    /// Returns the allocated age, or `None` when allocation bandwidth for
+    /// this cycle is exhausted or all entries are allocated.
+    pub fn allocate_next(&mut self, cycle: u64) -> Option<u32> {
+        self.roll_cycle(cycle);
+        if self.allocs_this_cycle >= self.config.alloc_per_cycle
+            || (self.next_alloc as usize) >= self.entries.len()
+        {
+            return None;
+        }
+        let age = self.next_alloc;
+        self.next_alloc += 1;
+        self.allocs_this_cycle += 1;
+        self.stats.allocs += 1;
+        Some(age)
+    }
+
+    /// `true` once `age` has been allocated this invocation.
+    #[must_use]
+    pub fn is_allocated(&self, age: u32) -> bool {
+        age < self.next_alloc
+    }
+
+    /// Binds a resolved address to an allocated entry, claiming a slot in
+    /// the address-selected bank. Always succeeds; a bank above capacity
+    /// is recorded in [`LsqStats::bank_overflows`] (see that field for
+    /// why a structural stall would deadlock a late-binding queue).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `age` is unallocated or already bound.
+    pub fn bind_address(&mut self, age: u32, addr: u64, size: u8) {
+        assert!(self.is_allocated(age), "bind before allocate");
+        let bank = (addr >> 6) as usize % self.config.banks;
+        let e = &mut self.entries[age as usize];
+        assert!(e.addr.is_none(), "address already bound");
+        if self.bank_load[bank] >= self.config.entries_per_bank {
+            self.stats.bank_overflows += 1;
+        }
+        self.bank_load[bank] += 1;
+        e.addr = Some((addr, size));
+        e.bank = Some(bank);
+    }
+
+    fn overlaps(a: (u64, u8), b: (u64, u8)) -> bool {
+        a.0 < b.0 + u64::from(b.1) && b.0 < a.0 + u64::from(a.1)
+    }
+
+    fn count_first_search(&mut self, age: u32) -> bool {
+        let first = !self.entries[age as usize].searched;
+        self.entries[age as usize].searched = true;
+        first
+    }
+
+    fn deposit(&mut self, age: u32) {
+        let e = &mut self.entries[age as usize];
+        if !e.deposited {
+            if let Some((addr, _)) = e.addr {
+                let key = addr >> 3;
+                if e.is_store {
+                    self.sq_bloom.insert(key);
+                } else {
+                    self.lq_bloom.insert(key);
+                }
+                e.deposited = true;
+            }
+        }
+    }
+
+    /// Disambiguation search for a load whose address is bound. Searches
+    /// the store queue for older conflicting stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `age` is not a bound load.
+    pub fn search_load(&mut self, age: u32) -> LoadSearch {
+        let my = self.entries[age as usize]
+            .addr
+            .expect("search before bind");
+        assert!(!self.entries[age as usize].is_store, "load search on store");
+        let first = self.count_first_search(age);
+        if first {
+            let bloom_hit = self.sq_bloom.query(my.0 >> 3);
+            if bloom_hit {
+                self.stats.cam_load_searches += 1;
+            }
+        }
+        let result = self.scan_for_load(age, my);
+        if !matches!(result, LoadSearch::Blocked(_)) {
+            self.deposit(age);
+            if matches!(result, LoadSearch::Forward(_)) {
+                self.stats.forwards += 1;
+            }
+        }
+        result
+    }
+
+    fn scan_for_load(&self, age: u32, my: (u64, u8)) -> LoadSearch {
+        // Youngest older store that matters.
+        for older in (0..age).rev() {
+            let e = &self.entries[older as usize];
+            if !e.is_store || e.retired {
+                continue;
+            }
+            match e.addr {
+                None => return LoadSearch::Blocked(older),
+                Some(theirs) if Self::overlaps(my, theirs) => {
+                    return if theirs == my && e.data_ready {
+                        LoadSearch::Forward(older)
+                    } else if e.completed {
+                        LoadSearch::CanIssue
+                    } else {
+                        LoadSearch::Blocked(older)
+                    };
+                }
+                Some(_) => {}
+            }
+        }
+        LoadSearch::CanIssue
+    }
+
+    /// Disambiguation search for a store whose address is bound. Searches
+    /// both queues for older conflicting operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `age` is not a bound store.
+    pub fn search_store(&mut self, age: u32) -> StoreSearch {
+        let my = self.entries[age as usize]
+            .addr
+            .expect("search before bind");
+        assert!(self.entries[age as usize].is_store, "store search on load");
+        let first = self.count_first_search(age);
+        if first {
+            let hit = self.sq_bloom.query(my.0 >> 3) | self.lq_bloom.query(my.0 >> 3);
+            if hit {
+                self.stats.cam_store_searches += 1;
+            }
+        }
+        let result = self.scan_for_store(age, my);
+        if result == StoreSearch::CanIssue {
+            self.deposit(age);
+        }
+        result
+    }
+
+    fn scan_for_store(&self, age: u32, my: (u64, u8)) -> StoreSearch {
+        for older in (0..age).rev() {
+            let e = &self.entries[older as usize];
+            if e.retired {
+                continue;
+            }
+            match e.addr {
+                None => return StoreSearch::Blocked(older),
+                Some(theirs) if Self::overlaps(my, theirs) && !e.completed => {
+                    return StoreSearch::Blocked(older);
+                }
+                Some(_) => {}
+            }
+        }
+        StoreSearch::CanIssue
+    }
+
+    /// Marks a store's data operand as produced.
+    pub fn mark_data_ready(&mut self, age: u32) {
+        self.entries[age as usize].data_ready = true;
+    }
+
+    /// Marks an operation's memory access as performed.
+    pub fn mark_completed(&mut self, age: u32) {
+        self.entries[age as usize].completed = true;
+    }
+
+    /// Retires completed entries in program order (bandwidth-limited),
+    /// releasing bank slots and bloom deposits. Returns how many retired.
+    pub fn retire_ready(&mut self, cycle: u64) -> u32 {
+        self.roll_cycle(cycle);
+        let mut retired = 0;
+        while (self.next_retire as usize) < self.entries.len()
+            && self.retires_this_cycle < self.config.retire_per_cycle
+        {
+            let age = self.next_retire as usize;
+            if !self.entries[age].completed {
+                break;
+            }
+            let (deposited, is_store, addr) = {
+                let e = &self.entries[age];
+                (e.deposited, e.is_store, e.addr)
+            };
+            if deposited {
+                let key = addr.expect("deposited implies bound").0 >> 3;
+                if is_store {
+                    self.sq_bloom.remove(key);
+                } else {
+                    self.lq_bloom.remove(key);
+                }
+            }
+            if let Some(bank) = self.entries[age].bank {
+                self.bank_load[bank] -= 1;
+            }
+            self.entries[age].retired = true;
+            self.next_retire += 1;
+            self.retires_this_cycle += 1;
+            retired += 1;
+        }
+        retired
+    }
+
+    /// `true` once every entry of the current invocation has retired
+    /// (also true before any invocation begins).
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.next_retire as usize == self.entries.len()
+    }
+
+    /// Event counters.
+    #[must_use]
+    pub fn stats(&self) -> LsqStats {
+        self.stats
+    }
+
+    /// Combined bloom-filter statistics (both queues' filters).
+    #[must_use]
+    pub fn bloom_stats(&self) -> BloomStats {
+        let (s, l) = (self.sq_bloom.stats(), self.lq_bloom.stats());
+        BloomStats {
+            queries: s.queries + l.queries,
+            hits: s.hits + l.hits,
+        }
+    }
+
+    /// Total CAM searches.
+    #[must_use]
+    pub fn cam_searches(&self) -> u64 {
+        self.stats.cam_load_searches + self.stats.cam_store_searches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lsq_for(kinds: &[bool]) -> Lsq {
+        let mut l = Lsq::new(LsqConfig::default());
+        l.begin_invocation(kinds);
+        l
+    }
+
+    fn alloc_all(l: &mut Lsq, n: usize) {
+        let mut cycle = 0;
+        let mut done = 0;
+        while done < n {
+            if l.allocate_next(cycle).is_some() {
+                done += 1;
+            } else {
+                cycle += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_is_in_order_and_bandwidth_limited() {
+        let mut l = lsq_for(&[false; 5]);
+        assert_eq!(l.allocate_next(0), Some(0));
+        assert_eq!(l.allocate_next(0), Some(1));
+        assert_eq!(l.allocate_next(0), None, "2 ports per cycle");
+        assert_eq!(l.allocate_next(1), Some(2));
+        assert!(l.is_allocated(2));
+        assert!(!l.is_allocated(3));
+    }
+
+    #[test]
+    fn independent_load_can_issue() {
+        let mut l = lsq_for(&[true, false]);
+        alloc_all(&mut l, 2);
+        l.bind_address(0, 0x100, 8);
+        l.bind_address(1, 0x200, 8);
+        assert_eq!(l.search_load(1), LoadSearch::CanIssue);
+    }
+
+    #[test]
+    fn load_blocked_by_unknown_store_address() {
+        let mut l = lsq_for(&[true, false]);
+        alloc_all(&mut l, 2);
+        l.bind_address(1, 0x200, 8);
+        assert_eq!(l.search_load(1), LoadSearch::Blocked(0));
+    }
+
+    #[test]
+    fn exact_store_forwards_when_data_ready() {
+        let mut l = lsq_for(&[true, false]);
+        alloc_all(&mut l, 2);
+        l.bind_address(0, 0x100, 8);
+        l.bind_address(1, 0x100, 8);
+        assert_eq!(l.search_load(1), LoadSearch::Blocked(0));
+        l.mark_data_ready(0);
+        assert_eq!(l.search_load(1), LoadSearch::Forward(0));
+        assert_eq!(l.stats().forwards, 1);
+    }
+
+    #[test]
+    fn partial_overlap_waits_for_completion() {
+        let mut l = lsq_for(&[true, false]);
+        alloc_all(&mut l, 2);
+        l.bind_address(0, 0x100, 8);
+        l.bind_address(1, 0x104, 4);
+        l.mark_data_ready(0);
+        assert_eq!(l.search_load(1), LoadSearch::Blocked(0));
+        l.mark_completed(0);
+        assert_eq!(l.search_load(1), LoadSearch::CanIssue);
+    }
+
+    #[test]
+    fn store_blocked_by_older_conflicting_load() {
+        let mut l = lsq_for(&[false, true]);
+        alloc_all(&mut l, 2);
+        l.bind_address(0, 0x100, 8);
+        l.bind_address(1, 0x100, 8);
+        // Older load must be deposited/visible: search it first.
+        assert_eq!(l.search_load(0), LoadSearch::CanIssue);
+        assert_eq!(l.search_store(1), StoreSearch::Blocked(0));
+        l.mark_completed(0);
+        assert_eq!(l.search_store(1), StoreSearch::CanIssue);
+    }
+
+    #[test]
+    fn energy_counted_once_per_op() {
+        let mut l = lsq_for(&[true, false]);
+        alloc_all(&mut l, 2);
+        l.bind_address(0, 0x100, 8);
+        l.bind_address(1, 0x100, 8);
+        let _ = l.search_load(1);
+        let _ = l.search_load(1);
+        let _ = l.search_load(1);
+        // One bloom query from the load (plus none from the store yet).
+        assert_eq!(l.bloom_stats().queries, 1);
+    }
+
+    #[test]
+    fn disjoint_addresses_yield_zero_bloom_hits() {
+        let mut l = lsq_for(&[true, false, true, false]);
+        alloc_all(&mut l, 4);
+        for (age, addr) in [(0u32, 0x1000u64), (1, 0x2000), (2, 0x3000), (3, 0x4000)] {
+            l.bind_address(age, addr, 8);
+        }
+        assert_eq!(l.search_store(0), StoreSearch::CanIssue);
+        assert_eq!(l.search_load(1), LoadSearch::CanIssue);
+        assert_eq!(l.search_store(2), StoreSearch::CanIssue);
+        assert_eq!(l.search_load(3), LoadSearch::CanIssue);
+        assert_eq!(l.bloom_stats().hits, 0);
+        assert_eq!(l.cam_searches(), 0, "bloom filtered all CAM searches");
+    }
+
+    #[test]
+    fn conflicting_addresses_pay_cam() {
+        let mut l = lsq_for(&[true, false]);
+        alloc_all(&mut l, 2);
+        l.bind_address(0, 0x100, 8);
+        l.bind_address(1, 0x100, 8);
+        assert_eq!(l.search_store(0), StoreSearch::CanIssue);
+        l.mark_data_ready(0);
+        let _ = l.search_load(1);
+        assert_eq!(l.stats().cam_load_searches, 1);
+    }
+
+    #[test]
+    fn retirement_is_in_order_and_overflow_counted() {
+        let mut l = Lsq::new(LsqConfig {
+            banks: 1,
+            entries_per_bank: 2,
+            ..LsqConfig::default()
+        });
+        l.begin_invocation(&[false, false, false]);
+        alloc_all(&mut l, 3);
+        l.bind_address(0, 0x000, 8);
+        l.bind_address(1, 0x040, 8);
+        assert_eq!(l.stats().bank_overflows, 0);
+        l.bind_address(2, 0x080, 8);
+        assert_eq!(l.stats().bank_overflows, 1, "third binding overflows");
+        l.mark_completed(1);
+        assert_eq!(l.retire_ready(10), 0, "age 0 incomplete blocks retire");
+        l.mark_completed(0);
+        assert_eq!(l.retire_ready(11), 2);
+        l.mark_completed(2);
+        assert_eq!(l.retire_ready(12), 1);
+        assert!(l.is_drained());
+    }
+
+    #[test]
+    fn begin_invocation_requires_drain() {
+        let mut l = lsq_for(&[false]);
+        alloc_all(&mut l, 1);
+        l.bind_address(0, 0, 8);
+        l.mark_completed(0);
+        l.retire_ready(0);
+        // Drained: OK to restart.
+        l.begin_invocation(&[true]);
+        assert_eq!(l.stats().allocs, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "drain")]
+    fn begin_invocation_panics_when_not_drained() {
+        let mut l = lsq_for(&[false]);
+        alloc_all(&mut l, 1);
+        l.begin_invocation(&[false]);
+    }
+}

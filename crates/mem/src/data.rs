@@ -1,0 +1,125 @@
+//! Byte-addressable functional memory, used to check that every
+//! disambiguation backend preserves sequential semantics.
+
+use std::collections::HashMap;
+
+/// Sparse byte-addressable memory. Unwritten bytes read as zero.
+///
+/// This is the *functional* half of the simulator: the timing models decide
+/// *when* accesses happen, while `DataMemory` records *what* they produce,
+/// so tests can compare the final state (and every load's value) against an
+/// in-order reference execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DataMemory {
+    bytes: HashMap<u64, u8>,
+}
+
+impl DataMemory {
+    /// An empty (all-zero) memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads `size` bytes (1–8) at `addr`, little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is 0 or greater than 8.
+    #[must_use]
+    pub fn read(&self, addr: u64, size: u8) -> u64 {
+        assert!((1..=8).contains(&size), "size must be 1..=8");
+        let mut v = 0u64;
+        for i in (0..size).rev() {
+            v = (v << 8)
+                | u64::from(
+                    self.bytes
+                        .get(&addr.wrapping_add(u64::from(i)))
+                        .copied()
+                        .unwrap_or(0),
+                );
+        }
+        v
+    }
+
+    /// Writes the low `size` bytes (1–8) of `value` at `addr`,
+    /// little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is 0 or greater than 8.
+    pub fn write(&mut self, addr: u64, size: u8, value: u64) {
+        assert!((1..=8).contains(&size), "size must be 1..=8");
+        for i in 0..size {
+            self.bytes.insert(
+                addr.wrapping_add(u64::from(i)),
+                (value >> (8 * i)) as u8,
+            );
+        }
+    }
+
+    /// Number of bytes ever written.
+    #[must_use]
+    pub fn footprint(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Iterates over `(address, byte)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u8)> + '_ {
+        self.bytes.iter().map(|(&a, &b)| (a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = DataMemory::new();
+        m.write(0x100, 8, 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read(0x100, 8), 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read(0x100, 4), 0x89ab_cdef);
+        assert_eq!(m.read(0x104, 4), 0x0123_4567);
+        assert_eq!(m.read(0x100, 1), 0xef);
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let m = DataMemory::new();
+        assert_eq!(m.read(0xdead, 8), 0);
+    }
+
+    #[test]
+    fn partial_overwrite() {
+        let mut m = DataMemory::new();
+        m.write(0, 8, u64::MAX);
+        m.write(2, 2, 0);
+        assert_eq!(m.read(0, 8), 0xffff_ffff_0000_ffff);
+    }
+
+    #[test]
+    fn footprint_counts_bytes() {
+        let mut m = DataMemory::new();
+        m.write(0, 8, 1);
+        m.write(4, 8, 1); // overlaps 4 bytes
+        assert_eq!(m.footprint(), 12);
+    }
+
+    #[test]
+    fn equality_is_content_based() {
+        let mut a = DataMemory::new();
+        let mut b = DataMemory::new();
+        a.write(0, 4, 0xaabbccdd);
+        b.write(0, 2, 0xccdd);
+        b.write(2, 2, 0xaabb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8")]
+    fn oversized_read_panics() {
+        let m = DataMemory::new();
+        let _ = m.read(0, 9);
+    }
+}

@@ -1,0 +1,258 @@
+//! The two-level cache hierarchy with non-blocking (MSHR-merged) misses.
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use std::collections::HashMap;
+
+/// Where an access was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Hit in the accelerator's private L1.
+    L1Hit,
+    /// Missed L1, hit the shared LLC.
+    L2Hit,
+    /// Missed both levels; served from DRAM.
+    MemMiss,
+    /// Merged into an already-outstanding miss for the same line.
+    MshrMerge,
+}
+
+/// Timing and placement result of one access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Cycle at which the data is available at the cache edge.
+    pub complete_at: u64,
+    /// Where the access was satisfied.
+    pub outcome: AccessOutcome,
+}
+
+/// Configuration of the full hierarchy (paper Figure 3):
+/// L1 64K/4-way/3 cycles, LLC 4M/16-way/25 cycles, memory 200 cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Private L1 geometry/latency.
+    pub l1: CacheConfig,
+    /// Shared last-level cache geometry/latency.
+    pub llc: CacheConfig,
+    /// DRAM access latency in cycles.
+    pub mem_latency: u64,
+    /// Maximum outstanding misses (MSHR entries).
+    pub mshrs: usize,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self {
+            l1: CacheConfig::paper_l1(),
+            llc: CacheConfig::paper_llc(),
+            mem_latency: 200,
+            mshrs: 16,
+        }
+    }
+}
+
+/// A non-blocking two-level hierarchy.
+///
+/// Timing is *functional*: [`MemoryHierarchy::access`] is called with the
+/// issue cycle and returns the completion cycle, updating tag state
+/// eagerly. Outstanding misses to the same line merge (MSHR semantics);
+/// when all MSHRs are busy the access is delayed until the oldest
+/// outstanding miss retires.
+#[derive(Clone, Debug)]
+pub struct MemoryHierarchy {
+    config: HierarchyConfig,
+    l1: Cache,
+    llc: Cache,
+    /// line address → completion cycle of the outstanding fill.
+    inflight: HashMap<u64, u64>,
+    merges: u64,
+}
+
+impl MemoryHierarchy {
+    /// Creates an empty hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either cache geometry is inconsistent or `mshrs == 0`.
+    #[must_use]
+    pub fn new(config: HierarchyConfig) -> Self {
+        assert!(config.mshrs > 0, "need at least one MSHR");
+        Self {
+            config,
+            l1: Cache::new(config.l1),
+            llc: Cache::new(config.llc),
+            inflight: HashMap::new(),
+            merges: 0,
+        }
+    }
+
+    /// Accesses `addr` at cycle `now`; returns completion time and outcome.
+    pub fn access(&mut self, addr: u64, is_write: bool, now: u64) -> AccessResult {
+        let line = self.l1.line_of(addr);
+        // Retire completed fills.
+        self.inflight.retain(|_, &mut done| done > now);
+
+        if let Some(&done) = self.inflight.get(&line) {
+            // Merge into the outstanding miss; data usable when the fill
+            // lands, plus the L1 array access.
+            self.merges += 1;
+            self.l1.access(addr, is_write);
+            return AccessResult {
+                complete_at: done.max(now) + self.config.l1.latency,
+                outcome: AccessOutcome::MshrMerge,
+            };
+        }
+
+        let issue = if self.inflight.len() >= self.config.mshrs {
+            // Structural stall: wait for the oldest outstanding fill.
+            let oldest = *self
+                .inflight
+                .values()
+                .min()
+                .expect("inflight nonempty when full");
+            self.inflight.retain(|_, &mut done| done > oldest);
+            oldest.max(now)
+        } else {
+            now
+        };
+
+        if self.l1.access(addr, is_write) {
+            return AccessResult {
+                complete_at: issue + self.config.l1.latency,
+                outcome: AccessOutcome::L1Hit,
+            };
+        }
+        let (latency, outcome) = if self.llc.access(addr, is_write) {
+            (
+                self.config.l1.latency + self.config.llc.latency,
+                AccessOutcome::L2Hit,
+            )
+        } else {
+            (
+                self.config.l1.latency + self.config.llc.latency + self.config.mem_latency,
+                AccessOutcome::MemMiss,
+            )
+        };
+        let complete_at = issue + latency;
+        self.inflight.insert(line, complete_at);
+        AccessResult {
+            complete_at,
+            outcome,
+        }
+    }
+
+    /// L1 statistics.
+    #[must_use]
+    pub fn l1_stats(&self) -> CacheStats {
+        self.l1.stats()
+    }
+
+    /// LLC statistics.
+    #[must_use]
+    pub fn llc_stats(&self) -> CacheStats {
+        self.llc.stats()
+    }
+
+    /// Number of accesses merged into outstanding misses.
+    #[must_use]
+    pub fn mshr_merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Invalidates both levels and clears statistics; configuration is
+    /// retained.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.llc.reset();
+        self.inflight.clear();
+        self.merges = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hier() -> MemoryHierarchy {
+        MemoryHierarchy::new(HierarchyConfig::default())
+    }
+
+    #[test]
+    fn cold_miss_goes_to_memory() {
+        let mut h = hier();
+        let r = h.access(0x1000, false, 0);
+        assert_eq!(r.outcome, AccessOutcome::MemMiss);
+        assert_eq!(r.complete_at, 3 + 25 + 200);
+    }
+
+    #[test]
+    fn l1_hit_after_fill() {
+        let mut h = hier();
+        h.access(0x1000, false, 0);
+        let r = h.access(0x1000, false, 500);
+        assert_eq!(r.outcome, AccessOutcome::L1Hit);
+        assert_eq!(r.complete_at, 503);
+    }
+
+    #[test]
+    fn llc_hit_when_l1_evicted() {
+        let mut h = hier();
+        // Fill L1 set with conflicting lines (L1: 256 sets * 64B = 16KiB
+        // stride per set image; 4 ways). Use 5 lines mapping to set 0.
+        for k in 0..5u64 {
+            h.access(k * 16384, false, 1000 * k);
+        }
+        // First line evicted from L1 but still in the 4MiB LLC.
+        let r = h.access(0, false, 100_000);
+        assert_eq!(r.outcome, AccessOutcome::L2Hit);
+        assert_eq!(r.complete_at, 100_000 + 28);
+    }
+
+    #[test]
+    fn outstanding_miss_merges() {
+        let mut h = hier();
+        let first = h.access(0x2000, false, 0);
+        let merged = h.access(0x2008, false, 1);
+        assert_eq!(merged.outcome, AccessOutcome::MshrMerge);
+        assert_eq!(merged.complete_at, first.complete_at + 3);
+        assert_eq!(h.mshr_merges(), 1);
+    }
+
+    #[test]
+    fn merge_window_closes_after_fill() {
+        let mut h = hier();
+        let first = h.access(0x2000, false, 0);
+        let later = h.access(0x2008, false, first.complete_at + 1);
+        assert_eq!(later.outcome, AccessOutcome::L1Hit);
+    }
+
+    #[test]
+    fn mshr_exhaustion_delays_issue() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig {
+            mshrs: 2,
+            ..HierarchyConfig::default()
+        });
+        let a = h.access(0x0000, false, 0);
+        let _b = h.access(0x4000_0000, false, 0);
+        // Third distinct-line miss at cycle 0 must wait for the oldest.
+        let c = h.access(0x8000_0000, false, 0);
+        assert!(c.complete_at >= a.complete_at + 228);
+    }
+
+    #[test]
+    fn stats_accumulate_per_level() {
+        let mut h = hier();
+        h.access(0, false, 0);
+        h.access(0, false, 1000);
+        assert_eq!(h.l1_stats().hits, 1);
+        assert_eq!(h.l1_stats().misses, 1);
+        assert_eq!(h.llc_stats().misses, 1);
+        h.reset();
+        assert_eq!(h.l1_stats().accesses(), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # nachos-mem — memory substrate for the NACHOS reproduction
+//!
+//! The cache hierarchy behind the CGRA accelerator of *NACHOS* (HPCA 2018,
+//! Figure 3): a private L1 (64 KiB, 4-way, 3 cycles) backed by a shared
+//! LLC (4 MiB, 16-way, 25 cycles) and DRAM (200 cycles), with non-blocking
+//! MSHR-merged misses — plus the byte-addressable [`DataMemory`] used to
+//! verify that every disambiguation backend preserves sequential
+//! semantics.
+//!
+//! ```
+//! use nachos_mem::{AccessOutcome, HierarchyConfig, MemoryHierarchy};
+//!
+//! let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
+//! let cold = hier.access(0x1000, false, 0);
+//! assert_eq!(cold.outcome, AccessOutcome::MemMiss);
+//! let warm = hier.access(0x1000, false, cold.complete_at + 1);
+//! assert_eq!(warm.outcome, AccessOutcome::L1Hit);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod data;
+mod hierarchy;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use data::DataMemory;
+pub use hierarchy::{AccessOutcome, AccessResult, HierarchyConfig, MemoryHierarchy};

@@ -1,0 +1,669 @@
+//! Synthetic acceleration-region generator.
+//!
+//! Builds, for each Table II specification, a [`Region`] + [`Binding`]
+//! whose *static* characteristics (op counts, memory-level parallelism,
+//! dependence pairs, scratchpad promotion) and *provenance structure*
+//! (which NACHOS-SW stage can resolve its MAY aliases) match the paper's
+//! description of that benchmark's hottest path. The alias stages then run
+//! their real algorithms against these pointer expressions — nothing is
+//! labeled by fiat.
+//!
+//! Region layout, in program order:
+//!
+//! 1. *Ambiguous stores* (unknown provenance, early — the pathological
+//!    serializers),
+//! 2. first halves of the C4 dependence pairs,
+//! 3. the independent lanes (static / inter-procedural / multidim /
+//!    pointer-chase), operations within a lane chained by data,
+//! 4. second halves of the dependence pairs,
+//! 5. *ambiguous loads* (unknown provenance, late — the fan-in sites),
+//! 6. scratchpad traffic and a compute reduction tree sized to reach the
+//!    benchmark's C1 operation count.
+
+use crate::spec::{BenchSpec, MissClass};
+use nachos_ir::{
+    AffineExpr, Binding, FpOp, IntOp, LoopId, LoopInfo, MemRef, MemSpace, NodeId, ParamInfo,
+    Provenance, Region, RegionBuilder, ScaledParam, Subscript, UnknownPattern,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated workload: the region plus its runtime binding.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The Table II row this was generated from.
+    pub spec: BenchSpec,
+    /// The acceleration region.
+    pub region: Region,
+    /// Concrete addresses/parameters/pointer behaviours.
+    pub binding: Binding,
+}
+
+/// Generates the hottest path (path 0) of a benchmark.
+#[must_use]
+pub fn generate(spec: &BenchSpec) -> Workload {
+    generate_path(spec, 0)
+}
+
+/// Generates one of a benchmark's top-5 accelerated paths. Path 0 is the
+/// hottest and matches Table II exactly; higher indices shrink the region
+/// (fewer ops, same structure), mirroring the paper's per-path studies in
+/// Figures 6, 7 and 9.
+///
+/// # Panics
+///
+/// Panics if `path >= 5`.
+#[must_use]
+pub fn generate_path(spec: &BenchSpec, path: u32) -> Workload {
+    assert!(path < 5, "the paper studies the top five paths");
+    Generator::new(spec, path).build()
+}
+
+/// Generates the hottest path of every Table II benchmark.
+#[must_use]
+pub fn generate_all() -> Vec<Workload> {
+    crate::spec::all().iter().map(generate).collect()
+}
+
+fn seed_of(name: &str, path: u32) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ u64::from(path).wrapping_mul(0x9e37_79b9)
+}
+
+/// Scales a count for path `path` (path 0 keeps it exact), keeping
+/// nonzero counts nonzero.
+fn scale(count: u32, path: u32) -> u32 {
+    if count == 0 {
+        return 0;
+    }
+    let scaled = count * (10 - 2 * path) / 10;
+    scaled.max(1)
+}
+
+struct Generator<'s> {
+    spec: &'s BenchSpec,
+    path: u32,
+    rng: SmallRng,
+    b: RegionBuilder,
+    inv_loop: LoopId,
+    /// Bytes each lane/dep object advances per invocation-loop iteration.
+    trip: i64,
+    /// Object address assignments, in `BaseId` order.
+    next_addr: u64,
+    base_addrs: Vec<u64>,
+    unknowns: Vec<UnknownPattern>,
+    /// `(object range start, length)` of store-bearing lanes — candidate
+    /// victims for conflicting ambiguous windows.
+    store_ranges: Vec<(u64, u64)>,
+    /// Result values feeding the final reduction.
+    fringe: Vec<NodeId>,
+    /// Compute nodes threaded between consecutive lane operations, sized
+    /// so the compute/memory balance matches Table II's C1:C2 ratio —
+    /// compute-heavy regions hide the LSQ's load-to-use penalty inside
+    /// their compute chains, memory-dominated ones expose it (paper §VI).
+    chain_len: u32,
+    /// Count of store ops emitted so far (for `store_pct` balancing).
+    stores_emitted: u32,
+    mem_emitted: u32,
+    multidim_base: Option<nachos_ir::BaseId>,
+    multidim_param: Option<nachos_ir::ParamId>,
+}
+
+impl<'s> Generator<'s> {
+    fn new(spec: &'s BenchSpec, path: u32) -> Self {
+        let mut b = RegionBuilder::new(&format!("{}.p{}", spec.name, path));
+        // The invocation-walking loop: its trip count bounds the footprint
+        // each object cycles through, which sets the cache behaviour.
+        let trips = match spec.miss {
+            MissClass::Resident => 4,
+            MissClass::Strided => 16,
+            MissClass::Streaming => 1 << 20,
+        };
+        let inv_loop = b.enclosing_loop(LoopInfo::range("inv", 0, trips));
+        let mem = spec.mem_ops.max(1);
+        let chain_len = (spec.ops.saturating_sub(2 * mem) / mem).clamp(1, 10);
+        Self {
+            spec,
+            path,
+            chain_len,
+            rng: SmallRng::seed_from_u64(seed_of(spec.name, path)),
+            b,
+            inv_loop,
+            trip: trips,
+            next_addr: 0x10_0000,
+            base_addrs: Vec::new(),
+            unknowns: Vec::new(),
+            store_ranges: Vec::new(),
+            fringe: Vec::new(),
+            stores_emitted: 0,
+            mem_emitted: 0,
+            multidim_base: None,
+            multidim_param: None,
+        }
+    }
+
+    /// Reserves an address range for a new object and records it.
+    fn alloc_range(&mut self, len: u64) -> u64 {
+        let addr = self.next_addr;
+        // Advance by a stride co-prime with the L1 set image (16 KiB for
+        // a 64K/4-way/64B cache) so objects spread across sets instead of
+        // aliasing into the same few.
+        self.next_addr += len.next_multiple_of(4096) + 4096 + 0x10c0;
+        addr
+    }
+
+    /// Per-invocation byte offset term: walks one cache line per
+    /// iteration of the invocation loop.
+    fn inv_term(&self) -> AffineExpr {
+        AffineExpr::var(self.inv_loop).scaled(64)
+    }
+
+    fn should_store(&mut self) -> bool {
+        if self.spec.store_pct == 0 {
+            return false;
+        }
+        // Deterministic thinning toward the configured store percentage.
+        let target = self.spec.store_pct;
+        let current = (self.stores_emitted * 100)
+            .checked_div(self.mem_emitted)
+            .unwrap_or(0);
+        current < target
+    }
+
+    fn note_mem(&mut self, is_store: bool) {
+        self.mem_emitted += 1;
+        if is_store {
+            self.stores_emitted += 1;
+        }
+    }
+
+    /// A few compute nodes chaining `from` toward the next lane op.
+    fn chain_compute(&mut self, from: NodeId, len: u32) -> NodeId {
+        let mut cur = from;
+        for _ in 0..len {
+            cur = if self.rng.gen_range(0..100) < self.spec.fp_pct {
+                self.b.fp_op(FpOp::Mul, &[cur])
+            } else {
+                self.b.int_op(IntOp::Add, &[cur])
+            };
+        }
+        cur
+    }
+
+    fn build(mut self) -> Workload {
+        let spec = *self.spec;
+        let path = self.path;
+        let mem_budget = scale(spec.mem_ops, path);
+        let amb_st = scale(spec.mix.ambiguous_stores, path).min(mem_budget);
+        let amb_ld = scale(spec.mix.ambiguous_loads, path).min(mem_budget - amb_st);
+
+        // C4 dependence pairs, capped to 40% of the memory budget (at
+        // least one pair when the benchmark has any, budget permitting).
+        let budget_left = mem_budget - amb_st - amb_ld;
+        let cap_pairs = (budget_left * 2 / 5 / 2).max(u32::from(budget_left >= 4));
+        let want = [spec.st_st, spec.st_ld, spec.ld_st];
+        let total_want: u32 = want.iter().sum();
+        let dep_pairs: [u32; 3] = if total_want == 0 || cap_pairs == 0 {
+            [0, 0, 0]
+        } else {
+            let mut out = [0u32; 3];
+            for (o, &w) in out.iter_mut().zip(&want) {
+                if w > 0 {
+                    *o = (w * cap_pairs / total_want).clamp(1, w);
+                }
+            }
+            out
+        };
+        let dep_ops: u32 = dep_pairs.iter().sum::<u32>() * 2;
+        let lane_budget = budget_left.saturating_sub(dep_ops);
+
+        let x0 = self.b.input();
+
+        // Phase 1: early ambiguous stores.
+        let mut amb_store_nodes = Vec::new();
+        for k in 0..amb_st {
+            let u = self.b.unknown_ptr();
+            self.unknowns.push(UnknownPattern::Fixed(0)); // patched below
+            let val = self.chain_compute(x0, 1);
+            let st = self.b.store(MemRef::unknown(u, i64::from(k) * 8), &[val]);
+            self.note_mem(true);
+            amb_store_nodes.push(st);
+        }
+
+        // Phase 2: first halves of dependence pairs.
+        // kinds: 0 = St-St, 1 = St-Ld, 2 = Ld-St.
+        let mut dep_handles: Vec<(usize, MemRef, NodeId)> = Vec::new();
+        for (kind, &pairs) in dep_pairs.iter().enumerate() {
+            for p in 0..pairs {
+                let base = self.b.global(
+                    &format!("dep{kind}_{p}"),
+                    (self.trip as u64) * 64 + 64,
+                    9_000 + (kind as u32) * 100 + p,
+                );
+                let addr = self.alloc_range((self.trip as u64) * 64 + 64);
+                self.base_addrs.push(addr);
+                let mref = MemRef::affine(base, self.inv_term());
+                let first_is_store = kind != 2;
+                let node = if first_is_store {
+                    let v = self.chain_compute(x0, 1);
+                    let st = self.b.store(mref.clone(), &[v]);
+                    self.store_ranges.push((addr, (self.trip as u64) * 64 + 64));
+                    st
+                } else {
+                    self.b.load(mref.clone(), &[])
+                };
+                self.note_mem(first_is_store);
+                dep_handles.push((kind, mref, node));
+            }
+        }
+
+        // Phase 3: independent lanes.
+        let lanes = spec.mix.lanes().max(1);
+        let per_lane = lane_budget / lanes;
+        let extra = lane_budget % lanes;
+        let mut lane_kinds: Vec<LaneKind> = Vec::new();
+        for _ in 0..spec.mix.static_lanes {
+            lane_kinds.push(LaneKind::Static);
+        }
+        for _ in 0..spec.mix.interproc_lanes {
+            lane_kinds.push(LaneKind::InterProc);
+        }
+        for _ in 0..spec.mix.multidim_lanes {
+            lane_kinds.push(LaneKind::MultiDim);
+        }
+        for _ in 0..spec.mix.irregular_lanes {
+            lane_kinds.push(LaneKind::Chase);
+        }
+        for (lane, kind) in lane_kinds.iter().enumerate() {
+            let ops = per_lane + u32::from((lane as u32) < extra);
+            if ops == 0 {
+                continue;
+            }
+            self.build_lane(lane as u32, *kind, ops, x0);
+        }
+
+        // Phase 4: second halves of dependence pairs.
+        for (kind, mref, _first) in &dep_handles {
+            let node = match kind {
+                // St-St: a second store to the same location.
+                0 => {
+                    let v = self.chain_compute(x0, 1);
+                    let st = self.b.store(mref.clone(), &[v]);
+                    self.note_mem(true);
+                    st
+                }
+                // St-Ld: a load that should forward from the store.
+                1 => {
+                    let ld = self.b.load(mref.clone(), &[]);
+                    self.note_mem(false);
+                    self.fringe.push(ld);
+                    ld
+                }
+                // Ld-St: a read-modify-write — the store's value chains
+                // from the load, so the MUST relation is implied by the
+                // data dependence and Stage 3 prunes it (Figure 8).
+                _ => {
+                    let v = self.chain_compute(*_first, 1);
+                    let st = self.b.store(mref.clone(), &[v]);
+                    self.note_mem(true);
+                    st
+                }
+            };
+            let _ = node;
+        }
+
+        // Phase 5: late ambiguous loads (the MAY fan-in sites). With
+        // `late_ambiguous_addresses`, the load's index computation hangs
+        // off a deep lane chain, so its address (and thus its serialized
+        // `==?` checks) resolve late.
+        for _ in 0..amb_ld {
+            let u = self.b.unknown_ptr();
+            self.unknowns.push(UnknownPattern::Fixed(0)); // patched below
+            let operands: Vec<NodeId> = if spec.mix.late_ambiguous_addresses {
+                self.fringe.last().copied().into_iter().collect()
+            } else {
+                Vec::new()
+            };
+            let ld = self.b.load(MemRef::unknown(u, 0), &operands);
+            self.note_mem(false);
+            // The forward slice that stalls when the load stalls.
+            let slice = self.chain_compute(ld, 3);
+            self.fringe.push(slice);
+        }
+
+        // Phase 6: scratchpad traffic (perfectly disambiguated locals).
+        let n_local = scale(spec.local_ops(), path);
+        if n_local > 0 {
+            let buf = self.b.stack("locals", u64::from(n_local) * 8 + 8);
+            let laddr = self.alloc_range(u64::from(n_local) * 8 + 8);
+            self.base_addrs.push(laddr);
+            let mut prev = x0;
+            for k in 0..n_local {
+                let mref = MemRef::affine(buf, AffineExpr::constant_expr(i64::from(k / 2) * 8))
+                    .with_space(MemSpace::Scratchpad);
+                if k % 2 == 0 {
+                    let v = self.chain_compute(prev, 1);
+                    self.b.store(mref, &[v]);
+                } else {
+                    prev = self.b.load(mref, &[]);
+                    self.fringe.push(prev);
+                }
+            }
+        }
+
+        // Phase 7: fill compute to the C1 target with a reduction tree.
+        if self.fringe.is_empty() {
+            self.fringe.push(x0);
+        }
+        let ops_target = scale(spec.ops, path) as usize;
+        while self.b.region().dfg.num_nodes() + self.fringe.len() < ops_target {
+            // Blend two fringe values; removing one and pushing the blend
+            // keeps the tree balanced and the fringe shrinking slowly.
+            let i = self.rng.gen_range(0..self.fringe.len());
+            let a = self.fringe[i];
+            let blended = self.chain_compute(a, 1);
+            self.fringe[i] = blended;
+        }
+        // Final reduce + output: a balanced binary tree (logarithmic
+        // depth), so the reduction stays off the memory critical path.
+        while self.fringe.len() > 1 {
+            let level = std::mem::take(&mut self.fringe);
+            for pair in level.chunks(2) {
+                let combined = if pair.len() == 2 {
+                    if self.rng.gen_range(0..100) < self.spec.fp_pct {
+                        self.b.fp_op(FpOp::Add, &[pair[0], pair[1]])
+                    } else {
+                        self.b.int_op(IntOp::Add, &[pair[0], pair[1]])
+                    }
+                } else {
+                    pair[0]
+                };
+                self.fringe.push(combined);
+            }
+        }
+        let last = self.fringe[0];
+        self.b.output(last);
+
+        // Patch ambiguous windows now that victim ranges are known.
+        let conflict_pct = u32::from(spec.mix.conflict_pct);
+        let mut patched = Vec::with_capacity(self.unknowns.len());
+        for (k, _) in self.unknowns.iter().enumerate() {
+            let collide = !self.store_ranges.is_empty()
+                && self.rng.gen_range(0..100) < conflict_pct;
+            let pat = if collide {
+                let victim = self.store_ranges[k % self.store_ranges.len()];
+                UnknownPattern::Scatter {
+                    seed: self.rng.gen(),
+                    lo: victim.0,
+                    hi: victim.0 + victim.1.max(8),
+                    align: 8,
+                }
+            } else {
+                // A small private window: the pointer jumps around but
+                // stays cache-warm, so the *ordering* behaviour (not a
+                // guaranteed DRAM miss) differentiates the backends.
+                let lo = 0x4000_0000 + (k as u64) * 0x1_0000;
+                UnknownPattern::Scatter {
+                    seed: self.rng.gen(),
+                    lo,
+                    hi: lo + 0x400,
+                    align: 8,
+                }
+            };
+            patched.push(pat);
+        }
+
+        let region = self.b.finish();
+        debug_assert_eq!(region.bases.len(), self.base_addrs.len());
+        let params = region
+            .params
+            .iter()
+            .map(|p| p.min.max(64))
+            .collect();
+        let binding = Binding {
+            base_addrs: self.base_addrs,
+            params,
+            unknowns: patched,
+        };
+        Workload {
+            spec,
+            region,
+            binding,
+        }
+    }
+
+    fn build_lane(&mut self, lane: u32, kind: LaneKind, ops: u32, x0: NodeId) {
+        match kind {
+            LaneKind::Static | LaneKind::InterProc | LaneKind::Chase => {
+                let len = (self.trip as u64) * 64 + u64::from(ops) * 8 + 64;
+                let base = match kind {
+                    LaneKind::Static => self.b.global(&format!("g{lane}"), len, lane),
+                    LaneKind::InterProc => {
+                        self.b.arg(lane, Provenance::Object(10_000 + lane))
+                    }
+                    _ => self.b.heap(lane, Some(len)),
+                };
+                let addr = self.alloc_range(len);
+                self.base_addrs.push(addr);
+                let mut carried = x0;
+                let mut lane_has_store = false;
+                // Offset of the last load, for accumulation stores
+                // (`x[i] += …`): the resulting LD→ST MUST relation is
+                // already ordered by the data chain, which is exactly the
+                // redundancy Stage 3 prunes (paper Figure 8).
+                let mut last_load_off: Option<AffineExpr> = None;
+                for j in 0..ops {
+                    let off = self.inv_term().plus(i64::from(j) * 8);
+                    let is_store = self.should_store();
+                    let node = if is_store {
+                        let target = last_load_off.take().unwrap_or_else(|| off.clone());
+                        let mref = MemRef::affine(base, target);
+                        let v = self.chain_compute(carried, 1);
+                        self.b.store(mref, &[v])
+                    } else {
+                        let mref = MemRef::affine(base, off.clone());
+                        // Pointer-chase lanes serialize: the next access's
+                        // index computation consumes the previous result.
+                        // Affine-indexed lanes issue independently; their
+                        // in-flight parallelism is bounded by the machine
+                        // (LSQ allocation / cache ports), which is what
+                        // Table II's measured MLP reflects.
+                        let operands: &[NodeId] = if kind == LaneKind::Chase && j > 0 {
+                            &[carried]
+                        } else {
+                            &[]
+                        };
+                        last_load_off = Some(off);
+                        self.b.load(mref, operands)
+                    };
+                    self.note_mem(is_store);
+                    lane_has_store |= is_store;
+                    if !is_store {
+                        let k = self.chain_len;
+                        carried = self.chain_compute(node, k);
+                        self.fringe.push(carried);
+                    }
+                }
+                if lane_has_store {
+                    self.store_ranges.push((addr, len));
+                }
+            }
+            LaneKind::MultiDim => {
+                let (base, n) = match (self.multidim_base, self.multidim_param) {
+                    (Some(b), Some(n)) => (b, n),
+                    _ => {
+                        let n = self.b.param(ParamInfo::at_least("n", 64));
+                        let b = self.b.global("grid", 1 << 24, 20_000);
+                        let addr = self.alloc_range(1 << 24);
+                        self.base_addrs.push(addr);
+                        self.multidim_base = Some(b);
+                        self.multidim_param = Some(n);
+                        (b, n)
+                    }
+                };
+                let mut carried = x0;
+                let mut lane_has_store = false;
+                let mut last_load_row: Option<i64> = None;
+                for j in 0..ops {
+                    // A[inv + j][lane] over a symbolic row stride 8·n:
+                    // Stage 1 cannot linearize this; Stage 4 separates the
+                    // column dimension per lane. Stores accumulate into
+                    // the previously-loaded row (stencil update pattern).
+                    let is_store = self.should_store();
+                    let row = if is_store {
+                        last_load_row.take().unwrap_or(i64::from(j))
+                    } else {
+                        i64::from(j)
+                    };
+                    let subs = vec![
+                        Subscript {
+                            index: AffineExpr::var(self.inv_loop).plus(row),
+                            stride: ScaledParam::symbolic(8, n),
+                            extent: None,
+                        },
+                        Subscript {
+                            index: AffineExpr::constant_expr(i64::from(lane)),
+                            stride: ScaledParam::constant(8),
+                            extent: Some(ScaledParam::symbolic(1, n)),
+                        },
+                    ];
+                    let mref = MemRef::multi_dim(base, subs);
+                    if is_store {
+                        let v = self.chain_compute(carried, 1);
+                        self.b.store(mref, &[v]);
+                    } else {
+                        last_load_row = Some(i64::from(j));
+                        let ld = self.b.load(mref, &[]);
+                        let k = self.chain_len;
+                        carried = self.chain_compute(ld, k);
+                        self.fringe.push(carried);
+                    }
+                    self.note_mem(is_store);
+                    lane_has_store |= is_store;
+                }
+                if lane_has_store {
+                    if let Some(&addr) =
+                        self.multidim_base.and_then(|b| self.base_addrs.get(b.index()))
+                    {
+                        self.store_ranges.push((addr, 64 * 512));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LaneKind {
+    Static,
+    InterProc,
+    MultiDim,
+    Chase,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+
+    #[test]
+    fn all_regions_validate() {
+        for w in generate_all() {
+            assert_eq!(w.region.validate(), Ok(()), "{}", w.spec.name);
+            assert!(
+                w.binding.base_addrs.len() >= w.region.bases.len(),
+                "{}: binding missing bases",
+                w.spec.name
+            );
+            assert!(
+                w.binding.unknowns.len() >= w.region.num_unknowns,
+                "{}: binding missing unknowns",
+                w.spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn op_counts_track_table2() {
+        for w in generate_all() {
+            let total = w.region.dfg.num_nodes() as i64;
+            let target = i64::from(w.spec.ops);
+            assert!(
+                (total - target).abs() <= target / 5 + 8,
+                "{}: {total} nodes vs C1 target {target}",
+                w.spec.name
+            );
+            let mem = w.region.num_global_mem_ops() as i64;
+            let mem_target = i64::from(w.spec.mem_ops);
+            assert!(
+                (mem - mem_target).abs() <= mem_target / 5 + 2,
+                "{}: {mem} mem ops vs C2 target {mem_target}",
+                w.spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let s = spec::by_name("183.equake").unwrap();
+        let a = generate(&s);
+        let b = generate(&s);
+        assert_eq!(a.region.dfg.num_nodes(), b.region.dfg.num_nodes());
+        assert_eq!(a.binding, b.binding);
+    }
+
+    #[test]
+    fn paths_shrink_monotonically_in_size_class() {
+        let s = spec::by_name("401.bzip2").unwrap();
+        let p0 = generate_path(&s, 0);
+        let p4 = generate_path(&s, 4);
+        assert!(p4.region.dfg.num_nodes() < p0.region.dfg.num_nodes());
+    }
+
+    #[test]
+    #[should_panic(expected = "top five")]
+    fn path_index_bounded() {
+        let s = spec::by_name("gzip").unwrap();
+        let _ = generate_path(&s, 5);
+    }
+
+    #[test]
+    fn store_mix_roughly_matches() {
+        let s = spec::by_name("401.bzip2").unwrap();
+        let w = generate(&s);
+        let stores = w
+            .region
+            .dfg
+            .mem_ops()
+            .iter()
+            .filter(|&&n| w.region.dfg.node(n).kind.is_store())
+            .count();
+        let total = w.region.dfg.num_mem_ops();
+        let pct = stores * 100 / total;
+        assert!(
+            (25..=60).contains(&pct),
+            "store fraction {pct}% far from spec {}%",
+            s.store_pct
+        );
+    }
+
+    #[test]
+    fn scratchpad_ops_present_when_promoted() {
+        let s = spec::by_name("crafty").unwrap();
+        let w = generate(&s);
+        assert!(w.region.num_scratchpad_ops() > 0);
+        let z = spec::by_name("histog.").unwrap();
+        let wz = generate(&z);
+        assert_eq!(wz.region.num_scratchpad_ops(), 0);
+    }
+
+    #[test]
+    fn blackscholes_has_no_memory_traffic() {
+        let s = spec::by_name("blacks.").unwrap();
+        let w = generate(&s);
+        assert_eq!(w.region.num_global_mem_ops(), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # nachos-workloads — the 27 Table II acceleration regions
+//!
+//! Synthetic reproductions of the paper's accelerated program paths
+//! (extracted by NEEDLE from SPEC2K, SPEC2K6 and PARSEC/PERFECT and
+//! characterized in Table II). Each [`BenchSpec`] records the published
+//! static characteristics; [`generate`] turns it into an executable
+//! [`nachos_ir::Region`] + [`nachos_ir::Binding`] whose provenance
+//! structure reproduces which NACHOS-SW stage resolves the region — see
+//! DESIGN.md for the substitution argument.
+//!
+//! ```
+//! use nachos_workloads::{by_name, generate};
+//!
+//! let spec = by_name("183.equake").expect("Table II row");
+//! let w = generate(&spec);
+//! assert_eq!(w.region.validate(), Ok(()));
+//! assert!(w.region.num_global_mem_ops() > 150);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gen;
+mod spec;
+
+pub use gen::{generate, generate_all, generate_path, Workload};
+pub use spec::{all, by_name, AliasMix, BenchSpec, MissClass, Suite};

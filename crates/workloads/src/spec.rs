@@ -1,0 +1,490 @@
+//! Table II: the 27 acceleration-region specifications.
+//!
+//! Each entry records the paper's static characteristics (columns C1–C5)
+//! plus the *provenance structure* that determines which NACHOS-SW stage
+//! can resolve the region's MAY aliases — derived from the paper's
+//! per-stage discussion (§V, §VIII-B) and its workload classifications
+//! (Figure 18's bloom classes, Figure 14's fan-in profile).
+//!
+//! OCR notes (see DESIGN.md §6): `181.mcf` is read as 29/2/2/5%,
+//! `lbm` as 147 ops (the printed "47" cannot be below its 57 memory
+//! operations), `povray` %LOC as 9 and `streamcluster` %LOC as 0.
+
+/// Benchmark suite of origin.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Suite {
+    /// SPEC CPU2000.
+    Spec2k,
+    /// SPEC CPU2006.
+    Spec2k6,
+    /// PARSEC / PERFECT (sar, dwt53, fft-2d, histogram).
+    Parsec,
+}
+
+/// Cache behaviour class of the region's address streams.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MissClass {
+    /// Footprint resident in L1 after warm-up.
+    Resident,
+    /// Streams through memory: a new line per lane per invocation.
+    Streaming,
+    /// Strided reuse: walks within lines, occasional new line.
+    Strided,
+}
+
+/// Composition of the region's memory lanes by provenance structure.
+/// Lane counts sum to the region's memory-level parallelism (Table II C3):
+/// lanes are mutually independent; operations within a lane are chained by
+/// data dependence.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AliasMix {
+    /// Lanes over distinct globals with strided affine accesses — Stage 1
+    /// proves everything.
+    pub static_lanes: u32,
+    /// Lanes through pointer arguments whose caller provenance Stage 2
+    /// recovers.
+    pub interproc_lanes: u32,
+    /// Lanes over multidimensional symbolic-stride arrays — only Stage 4
+    /// (polyhedral) proves independence.
+    pub multidim_lanes: u32,
+    /// Pointer-chasing lanes over distinct heap allocation sites: the
+    /// compiler still proves independence (distinct identified objects),
+    /// but each access's address depends on the previous access's value,
+    /// so the lane is serial and cache-unfriendly.
+    pub irregular_lanes: u32,
+    /// Stores through unknown-provenance pointers, placed *early* in
+    /// program order: the paper's pathological case where one ambiguous
+    /// operation serializes every younger memory operation under
+    /// NACHOS-SW.
+    pub ambiguous_stores: u32,
+    /// Loads through unknown-provenance pointers, placed *late*: each
+    /// MAY-depends on every older store (the bzip2 fan-in sites of
+    /// Figure 14).
+    pub ambiguous_loads: u32,
+    /// Percent of ambiguous address windows that overlap a live object at
+    /// run time (drives true dynamic conflicts).
+    pub conflict_pct: u8,
+    /// When set, the ambiguous loads' addresses come from a deep index
+    /// computation (bzip2's BWT indices, sar-pfa's interpolation
+    /// coordinates): the `==?` checks start late and their one-per-cycle
+    /// arbitration lands on the critical path — the contention that makes
+    /// NACHOS ~8% slower than OPT-LSQ on these two workloads (§VIII-A).
+    pub late_ambiguous_addresses: bool,
+}
+
+impl AliasMix {
+    /// Total independent lanes.
+    #[must_use]
+    pub fn lanes(&self) -> u32 {
+        self.static_lanes + self.interproc_lanes + self.multidim_lanes + self.irregular_lanes
+    }
+
+    /// Total unknown-provenance operations (the MAY sources).
+    #[must_use]
+    pub fn ambiguous_ops(&self) -> u32 {
+        self.ambiguous_stores + self.ambiguous_loads
+    }
+}
+
+/// One Table II row plus generator knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BenchSpec {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Suite of origin.
+    pub suite: Suite,
+    /// C1: static operations in the region's dataflow graph.
+    pub ops: u32,
+    /// C2: memory operations needing disambiguation (non-local).
+    pub mem_ops: u32,
+    /// C3: memory-level parallelism.
+    pub mlp: u32,
+    /// C4: dynamic store-store dependencies per invocation.
+    pub st_st: u32,
+    /// C4: dynamic store-load dependencies per invocation.
+    pub st_ld: u32,
+    /// C4: dynamic load-store dependencies per invocation.
+    pub ld_st: u32,
+    /// C5: percent of memory operations promoted to scratchpad.
+    pub pct_local: u32,
+    /// Percent of compute operations that are floating point.
+    pub fp_pct: u32,
+    /// Percent of (non-dependency) memory operations that are stores.
+    pub store_pct: u32,
+    /// Provenance composition.
+    pub mix: AliasMix,
+    /// Cache behaviour.
+    pub miss: MissClass,
+}
+
+impl BenchSpec {
+    /// Number of scratchpad operations implied by C5 (`pct_local` percent
+    /// of *all* memory operations, which are not part of `mem_ops`).
+    #[must_use]
+    pub fn local_ops(&self) -> u32 {
+        if self.pct_local >= 100 {
+            return 0;
+        }
+        (self.mem_ops * self.pct_local + (100 - self.pct_local) / 2) / (100 - self.pct_local)
+    }
+
+    /// Memory operations as a percentage of all operations (Figure 10's
+    /// `%MEM`).
+    #[must_use]
+    pub fn pct_mem(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            100.0 * f64::from(self.mem_ops) / f64::from(self.ops)
+        }
+    }
+}
+
+/// Shorthand constructors for common mixes.
+fn static_only(lanes: u32) -> AliasMix {
+    AliasMix {
+        static_lanes: lanes,
+        ..AliasMix::default()
+    }
+}
+
+fn interproc(resolved: u32, irregular: u32) -> AliasMix {
+    AliasMix {
+        interproc_lanes: resolved,
+        irregular_lanes: irregular,
+        ..AliasMix::default()
+    }
+}
+
+fn multidim(lanes: u32) -> AliasMix {
+    AliasMix {
+        multidim_lanes: lanes,
+        ..AliasMix::default()
+    }
+}
+
+/// The 27 acceleration regions of Table II.
+#[must_use]
+pub fn all() -> Vec<BenchSpec> {
+    use MissClass::{Resident, Streaming, Strided};
+    use Suite::{Parsec, Spec2k, Spec2k6};
+    vec![
+        // ---------------- SPEC2K ----------------
+        BenchSpec {
+            name: "gzip", suite: Spec2k, ops: 64, mem_ops: 4, mlp: 4,
+            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 21, fp_pct: 0,
+            store_pct: 0, mix: static_only(4), miss: Resident,
+        },
+        BenchSpec {
+            name: "art", suite: Spec2k, ops: 100, mem_ops: 36, mlp: 4,
+            st_st: 6, st_ld: 6, ld_st: 10, pct_local: 0, fp_pct: 60,
+            store_pct: 30,
+            mix: AliasMix {
+                static_lanes: 1,
+                irregular_lanes: 3,
+                ambiguous_stores: 1,
+                ambiguous_loads: 2,
+                conflict_pct: 25,
+                ..AliasMix::default()
+            },
+            miss: Strided,
+        },
+        BenchSpec {
+            name: "181.mcf", suite: Spec2k, ops: 29, mem_ops: 2, mlp: 2,
+            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 5, fp_pct: 0,
+            store_pct: 0, mix: static_only(2), miss: Streaming,
+        },
+        BenchSpec {
+            name: "183.equake", suite: Spec2k, ops: 559, mem_ops: 215, mlp: 16,
+            st_st: 0, st_ld: 0, ld_st: 12, pct_local: 2, fp_pct: 60,
+            store_pct: 25, mix: multidim(16), miss: Strided,
+        },
+        BenchSpec {
+            name: "crafty", suite: Spec2k, ops: 72, mem_ops: 7, mlp: 8,
+            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 40, fp_pct: 0,
+            store_pct: 0, mix: static_only(7), miss: Resident,
+        },
+        BenchSpec {
+            name: "parser", suite: Spec2k, ops: 81, mem_ops: 12, mlp: 4,
+            st_st: 0, st_ld: 0, ld_st: 2, pct_local: 34, fp_pct: 0,
+            store_pct: 25, mix: interproc(4, 0), miss: Strided,
+        },
+        // ---------------- SPEC2K6 ----------------
+        BenchSpec {
+            name: "401.bzip2", suite: Spec2k6, ops: 501, mem_ops: 110, mlp: 128,
+            st_st: 3, st_ld: 0, ld_st: 3, pct_local: 27, fp_pct: 0,
+            store_pct: 45,
+            mix: AliasMix {
+                static_lanes: 8,
+                irregular_lanes: 56,
+                ambiguous_loads: 3,
+                conflict_pct: 5,
+                ..AliasMix::default()
+            },
+            miss: Strided,
+        },
+        BenchSpec {
+            name: "gcc", suite: Spec2k6, ops: 47, mem_ops: 2, mlp: 2,
+            st_st: 1, st_ld: 0, ld_st: 0, pct_local: 26, fp_pct: 0,
+            store_pct: 50, mix: interproc(2, 0), miss: Resident,
+        },
+        BenchSpec {
+            name: "429.mcf", suite: Spec2k6, ops: 30, mem_ops: 3, mlp: 4,
+            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 24, fp_pct: 0,
+            store_pct: 0, mix: static_only(3), miss: Streaming,
+        },
+        BenchSpec {
+            name: "namd", suite: Spec2k6, ops: 527, mem_ops: 100, mlp: 16,
+            st_st: 6, st_ld: 6, ld_st: 30, pct_local: 41, fp_pct: 70,
+            store_pct: 30, mix: multidim(16), miss: Strided,
+        },
+        BenchSpec {
+            name: "soplex", suite: Spec2k6, ops: 140, mem_ops: 32, mlp: 4,
+            st_st: 0, st_ld: 0, ld_st: 8, pct_local: 19, fp_pct: 40,
+            store_pct: 30,
+            mix: AliasMix {
+                static_lanes: 1,
+                irregular_lanes: 3,
+                ambiguous_stores: 1,
+                ambiguous_loads: 1,
+                conflict_pct: 20,
+                ..AliasMix::default()
+            },
+            miss: Strided,
+        },
+        BenchSpec {
+            name: "453.povray", suite: Spec2k6, ops: 223, mem_ops: 74, mlp: 32,
+            st_st: 4, st_ld: 21, ld_st: 24, pct_local: 9, fp_pct: 42,
+            store_pct: 35,
+            mix: AliasMix {
+                static_lanes: 4,
+                irregular_lanes: 26,
+                ambiguous_stores: 2,
+                ambiguous_loads: 8,
+                conflict_pct: 15,
+                ..AliasMix::default()
+            },
+            miss: Strided,
+        },
+        BenchSpec {
+            name: "sjeng", suite: Spec2k6, ops: 99, mem_ops: 11, mlp: 8,
+            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 33, fp_pct: 0,
+            store_pct: 9, mix: static_only(8), miss: Resident,
+        },
+        BenchSpec {
+            name: "464.h264ref", suite: Spec2k6, ops: 224, mem_ops: 42, mlp: 8,
+            st_st: 0, st_ld: 5, ld_st: 0, pct_local: 27, fp_pct: 10,
+            store_pct: 20,
+            mix: AliasMix {
+                interproc_lanes: 7,
+                irregular_lanes: 1,
+                ambiguous_loads: 1,
+                ..AliasMix::default()
+            },
+            miss: Resident,
+        },
+        BenchSpec {
+            name: "lbm", suite: Spec2k6, ops: 147, mem_ops: 57, mlp: 32,
+            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 12, fp_pct: 65,
+            store_pct: 40, mix: multidim(32), miss: Streaming,
+        },
+        BenchSpec {
+            name: "sphinx3", suite: Spec2k6, ops: 133, mem_ops: 20, mlp: 32,
+            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 0, fp_pct: 50,
+            store_pct: 10,
+            mix: AliasMix {
+                static_lanes: 18,
+                irregular_lanes: 2,
+                ambiguous_loads: 1,
+                ..AliasMix::default()
+            },
+            miss: Resident,
+        },
+        // ---------------- PARSEC / PERFECT ----------------
+        BenchSpec {
+            name: "blacks.", suite: Parsec, ops: 297, mem_ops: 0, mlp: 0,
+            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 4, fp_pct: 80,
+            store_pct: 0, mix: AliasMix::default(), miss: Resident,
+        },
+        BenchSpec {
+            name: "bodytrack", suite: Parsec, ops: 285, mem_ops: 42, mlp: 4,
+            st_st: 30, st_ld: 30, ld_st: 42, pct_local: 10, fp_pct: 30,
+            store_pct: 40, mix: multidim(4), miss: Resident,
+        },
+        BenchSpec {
+            name: "dwt53", suite: Parsec, ops: 106, mem_ops: 16, mlp: 16,
+            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 11, fp_pct: 0,
+            store_pct: 50, mix: multidim(16), miss: Strided,
+        },
+        BenchSpec {
+            name: "ferret", suite: Parsec, ops: 185, mem_ops: 0, mlp: 2,
+            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 29, fp_pct: 40,
+            store_pct: 0, mix: AliasMix::default(), miss: Resident,
+        },
+        BenchSpec {
+            name: "fft-2d", suite: Parsec, ops: 314, mem_ops: 80, mlp: 4,
+            st_st: 0, st_ld: 24, ld_st: 24, pct_local: 18, fp_pct: 55,
+            store_pct: 45,
+            mix: AliasMix {
+                static_lanes: 1,
+                irregular_lanes: 3,
+                ambiguous_stores: 2,
+                ambiguous_loads: 2,
+                conflict_pct: 30,
+                ..AliasMix::default()
+            },
+            miss: Streaming,
+        },
+        BenchSpec {
+            name: "fluida.", suite: Parsec, ops: 229, mem_ops: 28, mlp: 8,
+            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 14, fp_pct: 50,
+            store_pct: 25, mix: interproc(8, 0), miss: Resident,
+        },
+        BenchSpec {
+            name: "freqmi.", suite: Parsec, ops: 109, mem_ops: 32, mlp: 4,
+            st_st: 0, st_ld: 8, ld_st: 0, pct_local: 17, fp_pct: 0,
+            store_pct: 35,
+            mix: AliasMix {
+                interproc_lanes: 2,
+                irregular_lanes: 2,
+                ambiguous_loads: 2,
+                conflict_pct: 10,
+                ..AliasMix::default()
+            },
+            miss: Strided,
+        },
+        BenchSpec {
+            name: "sar-back", suite: Parsec, ops: 151, mem_ops: 7, mlp: 8,
+            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 64, fp_pct: 55,
+            store_pct: 30,
+            mix: AliasMix {
+                interproc_lanes: 4,
+                irregular_lanes: 1,
+                ambiguous_loads: 1,
+                ..AliasMix::default()
+            },
+            miss: Strided,
+        },
+        BenchSpec {
+            name: "sar-pfa.", suite: Parsec, ops: 500, mem_ops: 32, mlp: 16,
+            st_st: 12, st_ld: 0, ld_st: 12, pct_local: 19, fp_pct: 60,
+            store_pct: 40,
+            mix: AliasMix {
+                interproc_lanes: 6,
+                irregular_lanes: 10,
+                ambiguous_stores: 2,
+                ambiguous_loads: 4,
+                conflict_pct: 10,
+                late_ambiguous_addresses: true,
+                ..AliasMix::default()
+            },
+            miss: Strided,
+        },
+        BenchSpec {
+            name: "stream.", suite: Parsec, ops: 210, mem_ops: 32, mlp: 16,
+            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 0, fp_pct: 50,
+            store_pct: 15,
+            mix: AliasMix {
+                static_lanes: 14,
+                irregular_lanes: 2,
+                ambiguous_loads: 1,
+                ..AliasMix::default()
+            },
+            miss: Streaming,
+        },
+        BenchSpec {
+            name: "histog.", suite: Parsec, ops: 522, mem_ops: 48, mlp: 16,
+            st_st: 0, st_ld: 0, ld_st: 6, pct_local: 0, fp_pct: 0,
+            store_pct: 40,
+            mix: AliasMix {
+                interproc_lanes: 10,
+                irregular_lanes: 6,
+                ambiguous_loads: 3,
+                conflict_pct: 5,
+                ..AliasMix::default()
+            },
+            miss: Strided,
+        },
+    ]
+}
+
+/// Looks a benchmark up by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<BenchSpec> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_seven_benchmarks() {
+        assert_eq!(all().len(), 27);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let specs = all();
+        let mut names: Vec<_> = specs.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 27);
+    }
+
+    #[test]
+    fn lanes_bounded_by_mem_ops() {
+        for s in all() {
+            assert!(
+                s.mix.lanes() <= s.mem_ops.max(1),
+                "{}: more lanes than memory ops",
+                s.name
+            );
+            assert!(s.mem_ops <= s.ops, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn fifteen_regions_have_no_ambiguity() {
+        // The paper reports 15 of 27 workloads with zero MAY MDEs
+        // (no NACHOS energy overhead).
+        let clean = all()
+            .iter()
+            .filter(|s| s.mix.ambiguous_ops() == 0)
+            .count();
+        assert_eq!(clean, 15);
+    }
+
+    #[test]
+    fn stage_classes_match_paper() {
+        // Stage 4 beneficiaries.
+        for name in ["183.equake", "lbm", "namd", "bodytrack", "dwt53"] {
+            let s = by_name(name).unwrap();
+            assert!(s.mix.multidim_lanes > 0, "{name} should be multidim");
+        }
+        // Stage-1-perfect workloads.
+        for name in ["gzip", "181.mcf", "429.mcf", "crafty", "sjeng"] {
+            let s = by_name(name).unwrap();
+            assert_eq!(s.mix.lanes(), s.mix.static_lanes, "{name} static only");
+        }
+        // Fan-in hotspots of Figure 14: bzip2's three late ambiguous
+        // loads each face ~50 older stores.
+        assert_eq!(by_name("401.bzip2").unwrap().mix.ambiguous_loads, 3);
+        assert!(by_name("sar-pfa.").unwrap().mix.ambiguous_ops() >= 4);
+    }
+
+    #[test]
+    fn local_ops_arithmetic() {
+        let s = by_name("gzip").unwrap();
+        // 4 global ops at 21% local: local/(local+4) ~= 21% -> 1 op.
+        assert_eq!(s.local_ops(), 1);
+        let z = by_name("histog.").unwrap();
+        assert_eq!(z.local_ops(), 0);
+    }
+
+    #[test]
+    fn pct_mem_matches_table() {
+        let e = by_name("183.equake").unwrap();
+        assert!((e.pct_mem() - 38.46).abs() < 0.1);
+    }
+}

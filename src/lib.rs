@@ -1,0 +1,23 @@
+//! # nachos-suite — umbrella crate for the NACHOS (HPCA 2018) reproduction
+//!
+//! Re-exports every crate of the workspace so the examples under
+//! `examples/` and the integration tests under `tests/` can use the whole
+//! system through one dependency. Start with the
+//! [repository README](https://github.com/sfu-arch/nachos) and the
+//! `quickstart` example; the individual crates are:
+//!
+//! * [`nachos_ir`] — the dataflow IR and pointer-expression model,
+//! * [`nachos_alias`] — the four-stage NACHOS-SW compiler,
+//! * [`nachos_mem`] / [`nachos_lsq`] / [`nachos_cgra`] — the substrates,
+//! * [`nachos`] — the cycle-level simulator and energy model,
+//! * [`nachos_workloads`] — the 27 Table II region generators.
+
+#![forbid(unsafe_code)]
+
+pub use nachos;
+pub use nachos_alias;
+pub use nachos_cgra;
+pub use nachos_ir;
+pub use nachos_lsq;
+pub use nachos_mem;
+pub use nachos_workloads;

@@ -1,0 +1,160 @@
+//! Cross-crate checks that the alias pipeline reproduces the paper's
+//! per-stage structure on the Table II workloads (§V, §VIII-B).
+
+use nachos_alias::{analyze, StageConfig};
+use nachos_workloads::{by_name, generate, generate_all};
+
+#[test]
+fn stage1_perfect_workloads_need_no_further_analysis() {
+    // §V-B: seven workloads are fully handled by Stage 1 alone.
+    for name in ["gzip", "181.mcf", "429.mcf", "crafty", "sjeng", "blacks.", "ferret"] {
+        let w = generate(&by_name(name).unwrap());
+        let a = analyze(&w.region, StageConfig::stage1_only());
+        assert_eq!(
+            a.report.after_stage1.may, 0,
+            "{name}: Stage 1 should leave no MAY pairs"
+        );
+    }
+}
+
+#[test]
+fn stage2_resolves_interprocedural_workloads() {
+    // §V-C: provenance tracing converts MAY to NO where arguments trace
+    // to distinct caller objects (parser, gcc, fluidanimate, ...).
+    for name in ["parser", "gcc", "fluida."] {
+        let w = generate(&by_name(name).unwrap());
+        let without = analyze(&w.region, StageConfig::stage1_only());
+        let with = analyze(&w.region, StageConfig::full());
+        assert!(
+            without.report.after_stage1.may > 0,
+            "{name}: Stage 1 alone must leave MAY pairs"
+        );
+        assert!(with.report.stage2_refined > 0, "{name}: Stage 2 must refine");
+        assert_eq!(
+            with.report.final_labels.may, 0,
+            "{name}: fully resolved with Stage 2"
+        );
+    }
+}
+
+#[test]
+fn stage4_resolves_multidim_workloads() {
+    // §V-E: Polly-style analysis resolves all MAYs in exactly these five.
+    for name in ["183.equake", "lbm", "namd", "bodytrack", "dwt53"] {
+        let w = generate(&by_name(name).unwrap());
+        let without = analyze(
+            &w.region,
+            StageConfig {
+                stage2: true,
+                stage3: true,
+                stage4: false,
+            },
+        );
+        let with = analyze(&w.region, StageConfig::full());
+        assert!(
+            without.report.final_labels.may > 0,
+            "{name}: stages 1-3 must be insufficient"
+        );
+        assert!(with.report.stage4_refined > 0, "{name}: Stage 4 must refine");
+        assert_eq!(
+            with.report.final_labels.may, 0,
+            "{name}: Stage 4 resolves everything"
+        );
+    }
+}
+
+#[test]
+fn stage3_prunes_redundant_relations() {
+    // §V-D: overall about two thirds of relations need no explicit edge;
+    // check that pruning removes a substantial fraction somewhere and
+    // never changes labels.
+    let mut any_pruned = false;
+    for w in generate_all() {
+        let unpruned = analyze(
+            &w.region,
+            StageConfig {
+                stage2: true,
+                stage3: false,
+                stage4: true,
+            },
+        );
+        let pruned = analyze(&w.region, StageConfig::full());
+        assert_eq!(
+            unpruned.report.final_labels, pruned.report.final_labels,
+            "{}: stage 3 must not relabel",
+            w.spec.name
+        );
+        assert!(
+            pruned.plan.num_mdes() <= unpruned.plan.num_mdes(),
+            "{}: pruning cannot add edges",
+            w.spec.name
+        );
+        any_pruned |= pruned.report.pruned > 0;
+    }
+    assert!(any_pruned, "stage 3 should prune something across the suite");
+}
+
+#[test]
+fn fifteen_workloads_have_zero_may_mdes() {
+    // §VIII-B Observation 1: NACHOS imposes no energy overhead in 15 of
+    // 27 benchmarks — the compiler resolves every dependence.
+    let clean = generate_all()
+        .iter()
+        .map(|w| analyze(&w.region, StageConfig::full()))
+        .filter(|a| a.report.fully_resolved())
+        .count();
+    assert_eq!(clean, 15);
+}
+
+#[test]
+fn bzip2_fanin_matches_figure14() {
+    // Figure 14: three operations with ~50 older MAY parents.
+    let w = generate(&by_name("401.bzip2").unwrap());
+    let a = analyze(&w.region, StageConfig::full());
+    let fanin = nachos_alias::may_fanin(&a);
+    let hot: Vec<usize> = fanin.iter().copied().filter(|&f| f >= 30).collect();
+    assert_eq!(hot.len(), 3, "three hot fan-in sites, got {fanin:?}");
+    assert!(hot.iter().all(|&f| f >= 35), "each faces dozens of parents");
+}
+
+#[test]
+fn labels_are_dynamically_sound() {
+    // A pair labeled NO must never collide dynamically: evaluate every
+    // address over a sample of invocations and cross-check.
+    use nachos_alias::{AliasMatrix, Pair};
+    for w in generate_all() {
+        let a = analyze(&w.region, StageConfig::full());
+        let matrix: &AliasMatrix = &a.matrix;
+        let nest_total = w.region.loops.total_invocations().max(1);
+        for inv in 0..16u64 {
+            let iv = if w.region.loops.is_empty() {
+                Vec::new()
+            } else {
+                w.region.loops.iteration_vector(inv % nest_total)
+            };
+            let unknowns = w.binding.unknown_values(inv);
+            let ctx = w.binding.eval_ctx(&iv, &unknowns);
+            let addrs: Vec<(u64, u8)> = matrix
+                .ops()
+                .iter()
+                .map(|&n| {
+                    let m = w.region.dfg.node(n).kind.mem_ref().unwrap();
+                    (m.eval(&ctx), m.size)
+                })
+                .collect();
+            for (pair, _, label) in matrix.pairs() {
+                if label.is_no() {
+                    let (a1, s1) = addrs[pair.older];
+                    let (a2, s2) = addrs[pair.younger];
+                    let overlap = a1 < a2 + u64::from(s2) && a2 < a1 + u64::from(s1);
+                    assert!(
+                        !overlap,
+                        "{}: NO-labeled pair {:?} overlaps at invocation {inv}",
+                        w.spec.name,
+                        Pair { older: pair.older, younger: pair.younger }
+                    );
+                }
+            }
+        }
+    }
+}

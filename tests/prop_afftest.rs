@@ -1,0 +1,81 @@
+//! Property tests for the affine dependence tester: every verdict the
+//! interval+GCD test produces must agree with exhaustive enumeration of
+//! the iteration box.
+
+use nachos_alias::afftest::{overlap_oracle, overlap_test, IvBox, Overlap};
+use nachos_ir::{AffineExpr, LoopId};
+use proptest::prelude::*;
+
+fn arb_expr_and_box() -> impl Strategy<Value = (AffineExpr, IvBox)> {
+    // Up to 3 induction variables with small coefficients and bounds so
+    // the oracle stays cheap.
+    let term = (0usize..3, -32i64..=32);
+    (
+        proptest::collection::vec(term, 0..=3),
+        -256i64..=256,
+        proptest::collection::vec((-8i64..=8, 0i64..=12), 3),
+    )
+        .prop_map(|(terms, constant, ranges)| {
+            let terms: Vec<(LoopId, i64)> = terms
+                .into_iter()
+                .map(|(l, c)| (LoopId::new(l), c))
+                .collect();
+            let expr = AffineExpr::from_terms(&terms, constant);
+            let bounds = ranges
+                .into_iter()
+                .map(|(lo, span)| (lo, lo + span))
+                .collect();
+            (expr, IvBox::from_bounds(bounds))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Soundness: a `Disjoint` verdict must never contradict an actual
+    /// overlap, `Exact`/`Partial` must hold on every point.
+    #[test]
+    fn overlap_test_is_sound((delta, bx) in arb_expr_and_box(),
+                             size_a in prop::sample::select(vec![1u32, 2, 4, 8]),
+                             size_b in prop::sample::select(vec![1u32, 2, 4, 8])) {
+        let verdict = overlap_test(&delta, &bx, size_a, size_b);
+        let truth = overlap_oracle(&delta, &bx, size_a, size_b);
+        match verdict {
+            Overlap::Disjoint => prop_assert_eq!(truth, Overlap::Disjoint),
+            Overlap::Exact => prop_assert_eq!(truth, Overlap::Exact),
+            Overlap::Partial => prop_assert!(
+                truth == Overlap::Partial || truth == Overlap::Exact,
+                "claimed always-overlap but truth is {truth:?}"
+            ),
+            Overlap::Unknown => {} // giving up is always allowed
+        }
+    }
+
+    /// Completeness on single-variable differences: the interval+GCD test
+    /// decides every single-IV case exactly (it only says Unknown when
+    /// the truth really is mixed).
+    #[test]
+    fn single_iv_is_exact(coeff in -32i64..=32, constant in -256i64..=256,
+                          lo in -8i64..=8, span in 0i64..=12,
+                          size in prop::sample::select(vec![1u32, 2, 4, 8])) {
+        let delta = AffineExpr::from_terms(&[(LoopId::new(0), coeff)], constant);
+        let bx = IvBox::from_bounds(vec![(lo, lo + span)]);
+        let verdict = overlap_test(&delta, &bx, size, size);
+        let truth = overlap_oracle(&delta, &bx, size, size);
+        if verdict == Overlap::Unknown {
+            prop_assert_eq!(truth, Overlap::Unknown,
+                "test gave up on a decidable single-IV case");
+        }
+    }
+
+    /// The verdict is invariant under swapping the two accesses
+    /// (with the delta negated and sizes exchanged).
+    #[test]
+    fn overlap_test_is_symmetric((delta, bx) in arb_expr_and_box(),
+                                 size_a in prop::sample::select(vec![1u32, 4, 8]),
+                                 size_b in prop::sample::select(vec![1u32, 4, 8])) {
+        let forward = overlap_test(&delta, &bx, size_a, size_b);
+        let backward = overlap_test(&delta.clone().scaled(-1), &bx, size_b, size_a);
+        prop_assert_eq!(forward, backward);
+    }
+}
