@@ -145,10 +145,7 @@ pub fn overlap_test(delta: &AffineExpr, bx: &IvBox, size_a: u32, size_b: u32) ->
         return Overlap::Partial;
     }
     // GCD refinement: delta ≡ constant (mod g).
-    let g = delta
-        .terms()
-        .map(|(_, c)| c.unsigned_abs())
-        .fold(0u64, gcd);
+    let g = delta.terms().map(|(_, c)| c.unsigned_abs()).fold(0u64, gcd);
     let clipped_lo = lo.max(window_lo);
     let clipped_hi = hi.min(window_hi);
     if !congruence_hits(clipped_lo, clipped_hi, i128::from(delta.constant()), g) {
@@ -181,10 +178,7 @@ pub fn overlap_test(delta: &AffineExpr, bx: &IvBox, size_a: u32, size_b: u32) ->
 pub fn overlap_oracle(delta: &AffineExpr, bx: &IvBox, size_a: u32, size_b: u32) -> Overlap {
     let dims: Vec<usize> = delta.terms().map(|(l, _)| l.index()).collect();
     let ranges: Vec<(i64, i64)> = dims.iter().map(|&d| bx.bound(d)).collect();
-    let total: u128 = ranges
-        .iter()
-        .map(|&(l, h)| (h - l + 1) as u128)
-        .product();
+    let total: u128 = ranges.iter().map(|&(l, h)| (h - l + 1) as u128).product();
     assert!(total <= 20_000_000, "oracle box too large: {total}");
     let window_lo = -i128::from(size_a) + 1;
     let window_hi = i128::from(size_b) - 1;

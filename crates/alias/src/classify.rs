@@ -124,7 +124,10 @@ mod tests {
         let a = MemRef::affine(BaseId::new(0), AffineExpr::constant_expr(0));
         let b = MemRef::affine(BaseId::new(0), AffineExpr::constant_expr(8));
         assert_eq!(classify_same_object(&a, &b, &bx, false), AliasLabel::No);
-        assert_eq!(classify_same_object(&a, &a, &bx, false), AliasLabel::MustExact);
+        assert_eq!(
+            classify_same_object(&a, &a, &bx, false),
+            AliasLabel::MustExact
+        );
     }
 
     #[test]

@@ -51,15 +51,6 @@ impl ValueSet {
         self.words[off / 64] |= 1 << (off % 64);
     }
 
-    #[cfg(test)]
-    fn contains(&self, v: i128) -> bool {
-        if v < self.min {
-            return false;
-        }
-        let off = (v - self.min) as usize;
-        off / 64 < self.words.len() && self.words[off / 64] & (1 << (off % 64)) != 0
-    }
-
     /// `self ∪ (self << shift_bits)` within the allocated range, where the
     /// shift is in value units.
     fn or_shifted(&mut self, shift: i128) {
@@ -99,7 +90,11 @@ impl ValueSet {
             }
             if w == hw {
                 let top = hi_off % 64;
-                mask &= if top == 63 { u64::MAX } else { (1u64 << (top + 1)) - 1 };
+                mask &= if top == 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (top + 1)) - 1
+                };
             }
             if self.words[w] & mask != 0 {
                 return true;

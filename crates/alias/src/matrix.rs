@@ -328,9 +328,18 @@ mod tests {
         assert_eq!(m.num_ops(), 4);
         // 6 pairs total; (ld0, ld2) is LD-LD and untracked.
         assert_eq!(m.num_tracked_pairs(), 5);
-        assert_eq!(m.get(Pair { older: 0, younger: 2 }), None);
         assert_eq!(
-            m.get(Pair { older: 0, younger: 1 }),
+            m.get(Pair {
+                older: 0,
+                younger: 2
+            }),
+            None
+        );
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
             Some(AliasLabel::May),
             "tracked pairs default to MAY"
         );
@@ -340,10 +349,34 @@ mod tests {
     fn pair_kinds() {
         let r = region_lsls();
         let m = AliasMatrix::new(&r);
-        assert_eq!(m.kind(Pair { older: 0, younger: 1 }), PairKind::LdSt);
-        assert_eq!(m.kind(Pair { older: 1, younger: 2 }), PairKind::StLd);
-        assert_eq!(m.kind(Pair { older: 1, younger: 3 }), PairKind::StSt);
-        assert_eq!(m.kind(Pair { older: 0, younger: 2 }), PairKind::LdLd);
+        assert_eq!(
+            m.kind(Pair {
+                older: 0,
+                younger: 1
+            }),
+            PairKind::LdSt
+        );
+        assert_eq!(
+            m.kind(Pair {
+                older: 1,
+                younger: 2
+            }),
+            PairKind::StLd
+        );
+        assert_eq!(
+            m.kind(Pair {
+                older: 1,
+                younger: 3
+            }),
+            PairKind::StSt
+        );
+        assert_eq!(
+            m.kind(Pair {
+                older: 0,
+                younger: 2
+            }),
+            PairKind::LdLd
+        );
         assert!(!PairKind::LdLd.needs_ordering());
     }
 
@@ -351,8 +384,20 @@ mod tests {
     fn set_get_roundtrip_and_counts() {
         let r = region_lsls();
         let mut m = AliasMatrix::new(&r);
-        m.set(Pair { older: 0, younger: 1 }, AliasLabel::No);
-        m.set(Pair { older: 1, younger: 2 }, AliasLabel::MustExact);
+        m.set(
+            Pair {
+                older: 0,
+                younger: 1,
+            },
+            AliasLabel::No,
+        );
+        m.set(
+            Pair {
+                older: 1,
+                younger: 2,
+            },
+            AliasLabel::MustExact,
+        );
         let c = m.label_counts();
         assert_eq!(c.no, 1);
         assert_eq!(c.must, 1);
@@ -366,7 +411,13 @@ mod tests {
     fn setting_ldld_panics() {
         let r = region_lsls();
         let mut m = AliasMatrix::new(&r);
-        m.set(Pair { older: 0, younger: 2 }, AliasLabel::No);
+        m.set(
+            Pair {
+                older: 0,
+                younger: 2,
+            },
+            AliasLabel::No,
+        );
     }
 
     #[test]

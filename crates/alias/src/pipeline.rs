@@ -229,10 +229,7 @@ mod tests {
         // Re-compile with the full pipeline: MAY edges disappear.
         let a2 = compile(&mut r, StageConfig::full());
         assert_eq!(r.dfg.count_edges(EdgeKind::May), 0);
-        assert_eq!(
-            r.dfg.count_edges(EdgeKind::Forward),
-            a2.plan.forward.len()
-        );
+        assert_eq!(r.dfg.count_edges(EdgeKind::Forward), a2.plan.forward.len());
     }
 
     #[test]

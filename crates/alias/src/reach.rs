@@ -80,8 +80,7 @@ impl Reachability {
         merged[vi / 64] |= 1 << (vi % 64);
         // Update u itself and everything that reaches u.
         for a in 0..self.n {
-            let reaches_u =
-                a == ui || self.bits[a * self.words + ui / 64] & (1 << (ui % 64)) != 0;
+            let reaches_u = a == ui || self.bits[a * self.words + ui / 64] & (1 << (ui % 64)) != 0;
             if reaches_u {
                 let base = a * self.words;
                 for w in 0..self.words {

@@ -91,10 +91,7 @@ pub fn classify_pair(region: &Region, bx: &IvBox, a: &MemRef, b: &MemRef) -> Ali
         BaseRel::Distinct => AliasLabel::No,
         BaseRel::Unknown => AliasLabel::May,
         BaseRel::Same => match (&a.ptr, &b.ptr) {
-            (
-                PtrExpr::Unknown { offset: oa, .. },
-                PtrExpr::Unknown { offset: ob, .. },
-            ) => {
+            (PtrExpr::Unknown { offset: oa, .. }, PtrExpr::Unknown { offset: ob, .. }) => {
                 // Same unknown pointer, constant offsets.
                 let delta = oa - ob;
                 if delta == 0 && a.size == b.size {
@@ -137,9 +134,7 @@ pub fn run(region: &Region, matrix: &mut AliasMatrix) {
 mod tests {
     use super::*;
     use crate::matrix::Pair;
-    use nachos_ir::{
-        AccessType, AffineExpr, LoopInfo, MemRef, Provenance, RegionBuilder, ScopeId,
-    };
+    use nachos_ir::{AccessType, AffineExpr, LoopInfo, MemRef, Provenance, RegionBuilder, ScopeId};
 
     fn bx() -> IvBox {
         IvBox::from_bounds(vec![(0, 7)])
@@ -157,7 +152,13 @@ mod tests {
         };
         let mut m = AliasMatrix::new(&r);
         run(&r, &mut m);
-        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::No));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
+            Some(AliasLabel::No)
+        );
     }
 
     #[test]
@@ -171,7 +172,10 @@ mod tests {
         let mut m = AliasMatrix::new(&r);
         run(&r, &mut m);
         assert_eq!(
-            m.get(Pair { older: 0, younger: 1 }),
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
             Some(AliasLabel::MustExact)
         );
     }
@@ -191,15 +195,27 @@ mod tests {
         let mut m = AliasMatrix::new(&r);
         run(&r, &mut m);
         // st@0 vs ld@8: disjoint.
-        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::No));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
+            Some(AliasLabel::No)
+        );
         // st@0 vs st@0: exact.
         assert_eq!(
-            m.get(Pair { older: 0, younger: 2 }),
+            m.get(Pair {
+                older: 0,
+                younger: 2
+            }),
             Some(AliasLabel::MustExact)
         );
         // st@0 (8B) vs ld@4 (4B): partial overlap.
         assert_eq!(
-            m.get(Pair { older: 0, younger: 3 }),
+            m.get(Pair {
+                older: 0,
+                younger: 3
+            }),
             Some(AliasLabel::MustPartial)
         );
     }
@@ -222,7 +238,13 @@ mod tests {
         let r = b.finish();
         let mut m = AliasMatrix::new(&r);
         run(&r, &mut m);
-        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::No));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
+            Some(AliasLabel::No)
+        );
     }
 
     #[test]
@@ -231,10 +253,7 @@ mod tests {
         let g = b.global("g", 64, 0);
         let int_ty = AccessType(1);
         let fp_ty = AccessType(2);
-        b.store(
-            MemRef::affine(g, AffineExpr::zero()).with_type(int_ty),
-            &[],
-        );
+        b.store(MemRef::affine(g, AffineExpr::zero()).with_type(int_ty), &[]);
         b.load(MemRef::affine(g, AffineExpr::zero()).with_type(fp_ty), &[]);
         b.store(
             MemRef::affine(g, AffineExpr::zero()).with_scope(ScopeId::new(0)),
@@ -248,9 +267,21 @@ mod tests {
         let mut m = AliasMatrix::new(&r);
         run(&r, &mut m);
         // TBAA-incompatible.
-        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::No));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
+            Some(AliasLabel::No)
+        );
         // Different restrict scopes.
-        assert_eq!(m.get(Pair { older: 2, younger: 3 }), Some(AliasLabel::No));
+        assert_eq!(
+            m.get(Pair {
+                older: 2,
+                younger: 3
+            }),
+            Some(AliasLabel::No)
+        );
     }
 
     #[test]
@@ -268,11 +299,29 @@ mod tests {
         let mut m = AliasMatrix::new(&r);
         run(&r, &mut m);
         // arg vs arg: MAY (despite provenance — that is Stage 2's job).
-        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::May));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
+            Some(AliasLabel::May)
+        );
         // arg vs stack: NO.
-        assert_eq!(m.get(Pair { older: 0, younger: 2 }), Some(AliasLabel::No));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 2
+            }),
+            Some(AliasLabel::No)
+        );
         // arg vs global: MAY.
-        assert_eq!(m.get(Pair { older: 0, younger: 3 }), Some(AliasLabel::May));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 3
+            }),
+            Some(AliasLabel::May)
+        );
     }
 
     #[test]
@@ -291,16 +340,43 @@ mod tests {
         run(&r, &mut m);
         // Same unknown source, same offset: MUST exact.
         assert_eq!(
-            m.get(Pair { older: 0, younger: 1 }),
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
             Some(AliasLabel::MustExact)
         );
         // Same source, far offset: NO.
-        assert_eq!(m.get(Pair { older: 0, younger: 2 }), Some(AliasLabel::No));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 2
+            }),
+            Some(AliasLabel::No)
+        );
         // Different unknown sources: MAY.
-        assert_eq!(m.get(Pair { older: 0, younger: 3 }), Some(AliasLabel::May));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 3
+            }),
+            Some(AliasLabel::May)
+        );
         // Unknown vs non-escaping stack slot: NO.
-        assert_eq!(m.get(Pair { older: 0, younger: 4 }), Some(AliasLabel::No));
-        assert_eq!(m.get(Pair { older: 3, younger: 4 }), Some(AliasLabel::No));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 4
+            }),
+            Some(AliasLabel::No)
+        );
+        assert_eq!(
+            m.get(Pair {
+                older: 3,
+                younger: 4
+            }),
+            Some(AliasLabel::No)
+        );
     }
 
     #[test]
@@ -323,7 +399,13 @@ mod tests {
         let r = b.finish();
         let mut m = AliasMatrix::new(&r);
         run(&r, &mut m);
-        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::May));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
+            Some(AliasLabel::May)
+        );
     }
 
     #[test]

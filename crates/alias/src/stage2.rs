@@ -132,10 +132,22 @@ mod tests {
         let r = b.finish();
         let mut m = AliasMatrix::new(&r);
         stage1::run(&r, &mut m);
-        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::May));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
+            Some(AliasLabel::May)
+        );
         let changed = run(&r, &mut m);
         assert_eq!(changed, 1);
-        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::No));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
+            Some(AliasLabel::No)
+        );
     }
 
     #[test]
@@ -151,10 +163,19 @@ mod tests {
         stage1::run(&r, &mut m);
         run(&r, &mut m);
         assert_eq!(
-            m.get(Pair { older: 0, younger: 1 }),
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
             Some(AliasLabel::MustExact)
         );
-        assert_eq!(m.get(Pair { older: 0, younger: 2 }), Some(AliasLabel::No));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 2
+            }),
+            Some(AliasLabel::No)
+        );
     }
 
     #[test]
@@ -168,7 +189,13 @@ mod tests {
         let mut m = AliasMatrix::new(&r);
         stage1::run(&r, &mut m);
         run(&r, &mut m);
-        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::No));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
+            Some(AliasLabel::No)
+        );
     }
 
     #[test]
@@ -183,7 +210,10 @@ mod tests {
         stage1::run(&r, &mut m);
         run(&r, &mut m);
         assert_eq!(
-            m.get(Pair { older: 0, younger: 1 }),
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
             Some(AliasLabel::MustExact)
         );
     }
@@ -200,7 +230,13 @@ mod tests {
         stage1::run(&r, &mut m);
         let changed = run(&r, &mut m);
         assert_eq!(changed, 0);
-        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::May));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
+            Some(AliasLabel::May)
+        );
     }
 
     #[test]
@@ -214,7 +250,13 @@ mod tests {
         let mut m = AliasMatrix::new(&r);
         stage1::run(&r, &mut m);
         run(&r, &mut m);
-        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::No));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
+            Some(AliasLabel::No)
+        );
     }
 
     #[test]
@@ -228,6 +270,12 @@ mod tests {
         let mut m = AliasMatrix::new(&r);
         stage1::run(&r, &mut m);
         assert_eq!(run(&r, &mut m), 0);
-        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::May));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
+            Some(AliasLabel::May)
+        );
     }
 }

@@ -62,15 +62,18 @@ fn multidim_test(
     mem_a: &MemRef,
     mem_b: &MemRef,
 ) -> Option<AliasLabel> {
-    let (PtrExpr::MultiDim {
-        base: base_a,
-        subs: subs_a,
-        in_bounds: ib_a,
-    }, PtrExpr::MultiDim {
-        base: base_b,
-        subs: subs_b,
-        in_bounds: ib_b,
-    }) = (&mem_a.ptr, &mem_b.ptr)
+    let (
+        PtrExpr::MultiDim {
+            base: base_a,
+            subs: subs_a,
+            in_bounds: ib_a,
+        },
+        PtrExpr::MultiDim {
+            base: base_b,
+            subs: subs_b,
+            in_bounds: ib_b,
+        },
+    ) = (&mem_a.ptr, &mem_b.ptr)
     else {
         return None;
     };
@@ -171,9 +174,7 @@ mod tests {
     use super::*;
     use crate::matrix::Pair;
     use crate::stage1;
-    use nachos_ir::{
-        AffineExpr, BaseId, LoopInfo, ParamId, ParamInfo, RegionBuilder,
-    };
+    use nachos_ir::{AffineExpr, BaseId, LoopInfo, ParamId, ParamInfo, RegionBuilder};
 
     fn sub_sym(idx: AffineExpr, scale: i64, p: ParamId, extent: Option<ScaledParam>) -> Subscript {
         Subscript {
@@ -210,10 +211,22 @@ mod tests {
         let r = b.finish();
         let mut m = AliasMatrix::new(&r);
         stage1::run(&r, &mut m);
-        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::May));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
+            Some(AliasLabel::May)
+        );
         let changed = run(&r, &mut m);
         assert_eq!(changed, 1);
-        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::No));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
+            Some(AliasLabel::No)
+        );
     }
 
     #[test]
@@ -242,7 +255,10 @@ mod tests {
         stage1::run(&r, &mut m);
         run(&r, &mut m);
         assert_eq!(
-            m.get(Pair { older: 0, younger: 1 }),
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
             Some(AliasLabel::MustExact)
         );
     }
@@ -273,7 +289,13 @@ mod tests {
         let mut m = AliasMatrix::new(&r);
         stage1::run(&r, &mut m);
         run(&r, &mut m);
-        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::No));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
+            Some(AliasLabel::No)
+        );
     }
 
     #[test]
@@ -304,7 +326,13 @@ mod tests {
         stage1::run(&r, &mut m);
         let changed = run(&r, &mut m);
         assert_eq!(changed, 0);
-        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::May));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
+            Some(AliasLabel::May)
+        );
     }
 
     #[test]
@@ -357,9 +385,21 @@ mod tests {
         let r = b.finish();
         let mut m = AliasMatrix::new(&r);
         stage1::run(&r, &mut m);
-        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::May));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
+            Some(AliasLabel::May)
+        );
         run(&r, &mut m);
-        assert_eq!(m.get(Pair { older: 0, younger: 1 }), Some(AliasLabel::No));
+        assert_eq!(
+            m.get(Pair {
+                older: 0,
+                younger: 1
+            }),
+            Some(AliasLabel::No)
+        );
     }
 
     #[test]

@@ -13,7 +13,11 @@ fn bench_tester(c: &mut Criterion) {
 
     // Multi-IV interval + GCD query.
     let delta = AffineExpr::from_terms(
-        &[(LoopId::new(0), 64), (LoopId::new(1), -8), (LoopId::new(2), 1)],
+        &[
+            (LoopId::new(0), 64),
+            (LoopId::new(1), -8),
+            (LoopId::new(2), 1),
+        ],
         4,
     );
     let bx = IvBox::from_bounds(vec![(0, 127), (0, 63), (0, 7)]);

@@ -2,7 +2,9 @@
 //! observes fan-in contention on bzip2/sar-pfa (§VII, §VIII-A); this sweep
 //! shows the contention dissolving as sites gain check bandwidth.
 
-use nachos::{run_backend, Backend, EnergyModel, SimConfig};
+use nachos::sweep::{run_sweep, SweepConfig, SweepJob, SweepVariant};
+use nachos::{Backend, SimConfig};
+use nachos_alias::StageConfig;
 use nachos_workloads::{by_name, generate};
 
 fn main() {
@@ -10,26 +12,50 @@ fn main() {
         "Ablation: comparators per MAY site",
         "§VII 'Why decentralized checking?'",
     );
-    let energy = EnergyModel::default();
+    let apps = ["401.bzip2", "sar-pfa.", "453.povray", "fft-2d"];
+    let mut jobs: Vec<SweepJob> = Vec::new();
+    let mut fanins = Vec::new();
+    for name in apps {
+        let spec = by_name(name).expect("spec");
+        let w = generate(&spec);
+        let a = nachos_alias::analyze(&w.region, StageConfig::full());
+        fanins.push(nachos_alias::may_fanin(&a).into_iter().max().unwrap_or(0));
+        jobs.push(nachos_bench::job_for(&w));
+    }
+
+    // One parallel differential sweep per comparator provision; each
+    // sweep covers all four apps under NACHOS.
+    let points = [1u32, 2, 4, 8];
+    let sweeps: Vec<_> = points
+        .iter()
+        .map(|&comparators| {
+            let cfg = SweepConfig {
+                sim: SimConfig {
+                    comparators_per_site: comparators,
+                    ..SimConfig::default()
+                }
+                .with_invocations(32),
+                variants: vec![SweepVariant {
+                    label: format!("nachos-{comparators}cmp"),
+                    backend: Backend::Nachos,
+                    stages: StageConfig::full(),
+                }],
+                ..SweepConfig::default()
+            };
+            run_sweep(&jobs, &cfg).expect("simulate")
+        })
+        .collect();
+
     println!(
         "{:<14} {:>6} {:>10} {:>10} {:>10} {:>10}",
         "App", "fanin*", "1 cmp", "2 cmp", "4 cmp", "8 cmp"
     );
-    for name in ["401.bzip2", "sar-pfa.", "453.povray", "fft-2d"] {
-        let spec = by_name(name).expect("spec");
-        let w = generate(&spec);
-        let a = nachos_alias::analyze(&w.region, nachos_alias::StageConfig::full());
-        let max_fanin = nachos_alias::may_fanin(&a).into_iter().max().unwrap_or(0);
-        print!("{name:<14} {max_fanin:>6}");
-        for comparators in [1u32, 2, 4, 8] {
-            let config = SimConfig {
-                comparators_per_site: comparators,
-                ..SimConfig::default()
-            }
-            .with_invocations(32);
-            let run = run_backend(&w.region, &w.binding, Backend::Nachos, &config, &energy)
-                .expect("simulate");
-            print!(" {:>10}", run.sim.cycles);
+    for (i, name) in apps.iter().enumerate() {
+        print!("{name:<14} {:>6}", fanins[i]);
+        for sweep in &sweeps {
+            let run = &sweep.jobs[i].runs[0];
+            assert!(run.matches_reference, "{name} diverged from reference");
+            print!(" {:>10}", run.run.sim.cycles);
         }
         println!();
     }

@@ -53,8 +53,8 @@ fn main() {
                 .expect("re-inserting planned edges");
         }
 
-        let base = simulate(&with_fwd, &w.binding, Backend::Nachos, &config, &energy)
-            .expect("simulate");
+        let base =
+            simulate(&with_fwd, &w.binding, Backend::Nachos, &config, &energy).expect("simulate");
         let degraded = simulate(&without_fwd, &w.binding, Backend::Nachos, &config, &energy)
             .expect("simulate");
         println!(

@@ -2,7 +2,9 @@
 //! Challenge 2 (§VIII-C): no single LSQ configuration fits workloads whose
 //! memory-operation counts span 0–215 and MLP spans 2–128.
 
-use nachos::{run_backend, Backend, EnergyModel, SimConfig};
+use nachos::sweep::{run_sweep, SweepConfig, SweepJob, SweepVariant};
+use nachos::{Backend, SimConfig};
+use nachos_alias::StageConfig;
 use nachos_workloads::{by_name, generate};
 
 fn main() {
@@ -10,27 +12,48 @@ fn main() {
         "Ablation: OPT-LSQ geometry (banks x allocation bandwidth)",
         "§VIII-C Challenge 2",
     );
-    let energy = EnergyModel::default();
+    let apps = ["gzip", "464.h264ref", "401.bzip2", "183.equake"];
+    let mut jobs: Vec<SweepJob> = Vec::new();
+    let mut mem_ops = Vec::new();
+    for name in apps {
+        let spec = by_name(name).expect("spec");
+        mem_ops.push(spec.mem_ops);
+        jobs.push(nachos_bench::job_for(&generate(&spec)));
+    }
+
+    // One parallel differential sweep per LSQ geometry, all apps each.
+    let points = [(2usize, 1u32), (4, 2), (8, 4)];
+    let sweeps: Vec<_> = points
+        .iter()
+        .map(|&(banks, alloc)| {
+            let mut sim = SimConfig::default().with_invocations(32);
+            sim.lsq.banks = banks;
+            sim.lsq.alloc_per_cycle = alloc;
+            let cfg = SweepConfig {
+                sim,
+                variants: vec![SweepVariant {
+                    label: format!("opt-lsq-{banks}bk{alloc}al"),
+                    backend: Backend::OptLsq,
+                    stages: StageConfig::full(),
+                }],
+                ..SweepConfig::default()
+            };
+            run_sweep(&jobs, &cfg).expect("simulate")
+        })
+        .collect();
+
     println!(
         "{:<14} {:>6} | {:>10} {:>10} {:>10} | {:>12}",
         "App", "#MEM", "2bk/1alloc", "4bk/2alloc", "8bk/4alloc", "overflows@2bk"
     );
-    for name in ["gzip", "464.h264ref", "401.bzip2", "183.equake"] {
-        let spec = by_name(name).expect("spec");
-        let w = generate(&spec);
-        print!("{name:<14} {:>6} |", spec.mem_ops);
-        let mut overflow_small = 0;
-        for (banks, alloc) in [(2usize, 1u32), (4, 2), (8, 4)] {
-            let mut config = SimConfig::default().with_invocations(32);
-            config.lsq.banks = banks;
-            config.lsq.alloc_per_cycle = alloc;
-            let run = run_backend(&w.region, &w.binding, Backend::OptLsq, &config, &energy)
-                .expect("simulate");
-            if banks == 2 {
-                overflow_small = run.sim.events.lsq_bank_overflows;
-            }
-            print!(" {:>10}", run.sim.cycles);
+    for (i, name) in apps.iter().enumerate() {
+        print!("{name:<14} {:>6} |", mem_ops[i]);
+        for sweep in &sweeps {
+            let run = &sweep.jobs[i].runs[0];
+            assert!(run.matches_reference, "{name} diverged from reference");
+            print!(" {:>10}", run.run.sim.cycles);
         }
+        let overflow_small = sweeps[0].jobs[i].runs[0].run.sim.events.lsq_bank_overflows;
         println!(" | {overflow_small:>12}");
     }
     println!();

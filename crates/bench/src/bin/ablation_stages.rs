@@ -2,8 +2,9 @@
 //! workloads where each stage matters. Extends the paper's Figure 12,
 //! which is the {stage 2, stage 4}-off point of this sweep.
 
-use nachos::{pct_slowdown, run_backend_with_stages, Backend, EnergyModel, SimConfig};
-use nachos_alias::{analyze, StageConfig};
+use nachos::sweep::{run_sweep, SweepConfig, SweepJob, SweepVariant};
+use nachos::{pct_slowdown, Backend, SimConfig};
+use nachos_alias::StageConfig;
 use nachos_workloads::{by_name, generate};
 
 fn main() {
@@ -12,48 +13,115 @@ fn main() {
         "an extension of Figure 12",
     );
     let configs: [(&str, StageConfig); 8] = [
-        ("s1", StageConfig { stage2: false, stage3: false, stage4: false }),
-        ("s1+s2", StageConfig { stage2: true, stage3: false, stage4: false }),
-        ("s1+s3", StageConfig { stage2: false, stage3: true, stage4: false }),
-        ("s1+s4", StageConfig { stage2: false, stage3: false, stage4: true }),
-        ("s1+s2+s3", StageConfig { stage2: true, stage3: true, stage4: false }),
-        ("s1+s2+s4", StageConfig { stage2: true, stage3: false, stage4: true }),
-        ("s1+s3+s4", StageConfig { stage2: false, stage3: true, stage4: true }),
+        (
+            "s1",
+            StageConfig {
+                stage2: false,
+                stage3: false,
+                stage4: false,
+            },
+        ),
+        (
+            "s1+s2",
+            StageConfig {
+                stage2: true,
+                stage3: false,
+                stage4: false,
+            },
+        ),
+        (
+            "s1+s3",
+            StageConfig {
+                stage2: false,
+                stage3: true,
+                stage4: false,
+            },
+        ),
+        (
+            "s1+s4",
+            StageConfig {
+                stage2: false,
+                stage3: false,
+                stage4: true,
+            },
+        ),
+        (
+            "s1+s2+s3",
+            StageConfig {
+                stage2: true,
+                stage3: true,
+                stage4: false,
+            },
+        ),
+        (
+            "s1+s2+s4",
+            StageConfig {
+                stage2: true,
+                stage3: false,
+                stage4: true,
+            },
+        ),
+        (
+            "s1+s3+s4",
+            StageConfig {
+                stage2: false,
+                stage3: true,
+                stage4: true,
+            },
+        ),
         ("full", StageConfig::full()),
     ];
     let witnesses = ["parser", "183.equake", "histog.", "453.povray"];
-    let sim = SimConfig::default().with_invocations(32);
-    let energy = EnergyModel::default();
+    let jobs: Vec<SweepJob> = witnesses
+        .iter()
+        .map(|name| nachos_bench::job_for(&generate(&by_name(name).expect("spec"))))
+        .collect();
+
+    // The whole 8-config x 4-app matrix is one parallel differential
+    // sweep: every stage subset becomes a NACHOS-SW variant.
+    let cfg = SweepConfig {
+        sim: SimConfig::default().with_invocations(32),
+        variants: configs
+            .iter()
+            .map(|&(label, stages)| SweepVariant {
+                label: label.to_owned(),
+                backend: Backend::NachosSw,
+                stages,
+            })
+            .collect(),
+        ..SweepConfig::default()
+    };
+    let sweep = run_sweep(&jobs, &cfg).expect("simulate");
+    assert!(sweep.all_match(), "divergence: {:?}", sweep.mismatches());
+    let full_idx = configs.len() - 1;
 
     print!("{:<10}", "config");
     for name in witnesses {
         print!(" | {name:>20}");
     }
     println!();
-    println!("{:-<10}{}", "", " | cycles  MDEs  %vs-full".repeat(witnesses.len()));
+    println!(
+        "{:-<10}{}",
+        "",
+        " | cycles  MDEs  %vs-full".repeat(witnesses.len())
+    );
 
-    let mut fulls = Vec::new();
-    for name in witnesses {
-        let w = generate(&by_name(name).expect("spec"));
-        let full = run_backend_with_stages(
-            &w.region, &w.binding, Backend::NachosSw, &sim, &energy, StageConfig::full(),
-        )
-        .expect("simulate");
-        fulls.push((w, full.sim.cycles));
-    }
-    for (label, cfg) in configs {
+    for (ci, (label, _)) in configs.iter().enumerate() {
         print!("{label:<10}");
-        for (w, full_cycles) in &fulls {
-            let a = analyze(&w.region, cfg);
-            let run = run_backend_with_stages(
-                &w.region, &w.binding, Backend::NachosSw, &sim, &energy, cfg,
-            )
-            .expect("simulate");
+        for job in &sweep.jobs {
+            let run = &job.runs[ci].run;
+            let full_cycles = job.runs[full_idx].run.sim.cycles;
+            let mdes = run
+                .analysis
+                .as_ref()
+                .expect("NACHOS-SW runs carry their analysis")
+                .plan
+                .num_mdes();
             print!(
                 " | {:>7} {:>5} {:>+7.0}%",
                 run.sim.cycles,
-                a.plan.num_mdes(),
-                pct_slowdown(run.sim.cycles, *full_cycles)
+                mdes,
+                pct_slowdown(run.sim.cycles, full_cycles)
             );
         }
         println!();

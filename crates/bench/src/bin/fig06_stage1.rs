@@ -26,7 +26,13 @@ fn main() {
             no += c.no;
             total += c.total();
         }
-        let pct = |x: usize| if total == 0 { 0.0 } else { 100.0 * x as f64 / total as f64 };
+        let pct = |x: usize| {
+            if total == 0 {
+                0.0
+            } else {
+                100.0 * x as f64 / total as f64
+            }
+        };
         if may == 0 {
             resolved += 1;
         }

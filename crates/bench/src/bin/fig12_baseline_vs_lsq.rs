@@ -21,8 +21,14 @@ fn main() {
         if base > 10.0 {
             over_10 += 1;
         }
-        let s2 = r.sw.analysis.as_ref().map_or(0, |a| a.report.stage2_refined);
-        let s4 = r.sw.analysis.as_ref().map_or(0, |a| a.report.stage4_refined);
+        let s2 =
+            r.sw.analysis
+                .as_ref()
+                .map_or(0, |a| a.report.stage2_refined);
+        let s4 =
+            r.sw.analysis
+                .as_ref()
+                .map_or(0, |a| a.report.stage4_refined);
         println!(
             "{:<14} {:>+11.1}% {:>+13.1}% {:>12} {:>12}",
             r.spec.name, base, full, s2, s4

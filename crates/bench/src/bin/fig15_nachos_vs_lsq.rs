@@ -26,12 +26,7 @@ fn main() {
         }
         println!(
             "{:<14} {:>12} {:>12} {:>+11.1}% {:>+11.1}% {:>12}",
-            r.spec.name,
-            r.lsq.sim.cycles,
-            r.hw.sim.cycles,
-            hw,
-            sw,
-            r.hw.sim.events.may_checks
+            r.spec.name, r.lsq.sim.cycles, r.hw.sim.cycles, hw, sw, r.hw.sim.events.may_checks
         );
     }
     println!();

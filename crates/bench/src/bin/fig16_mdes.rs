@@ -22,7 +22,11 @@ fn main() {
         let nachos_mdes = full.plan.num_mdes();
         let base_mdes = base.plan.num_mdes();
         let ratio = if base_mdes == 0 {
-            if nachos_mdes == 0 { 0.0 } else { 1.0 }
+            if nachos_mdes == 0 {
+                0.0
+            } else {
+                1.0
+            }
         } else {
             nachos_mdes as f64 / base_mdes as f64
         };
@@ -42,8 +46,6 @@ fn main() {
     }
     println!();
     if let Some(avg) = total_mdes.checked_div(with_mdes) {
-        println!(
-            "Average MDEs across workloads that need them: {avg} (paper: ~54; max ~296)"
-        );
+        println!("Average MDEs across workloads that need them: {avg} (paper: ~54; max ~296)");
     }
 }

@@ -23,7 +23,10 @@ fn main() {
         .collect();
 
     // NACHOS vs OPT-LSQ.
-    let hw_within = results.iter().filter(|r| r.hw_slowdown_pct().abs() <= 2.5).count();
+    let hw_within = results
+        .iter()
+        .filter(|r| r.hw_slowdown_pct().abs() <= 2.5)
+        .count();
     let hw_fast: Vec<_> = results
         .iter()
         .filter(|r| r.hw_slowdown_pct() < -2.5)
@@ -36,8 +39,17 @@ fn main() {
         .collect();
 
     // Energy.
-    let zero_mde = results.iter().filter(|r| r.hw.sim.events.may_checks == 0).count();
-    let avg = |xs: &[f64]| if xs.is_empty() { 0.0 } else { xs.iter().sum::<f64>() / xs.len() as f64 };
+    let zero_mde = results
+        .iter()
+        .filter(|r| r.hw.sim.events.may_checks == 0)
+        .count();
+    let avg = |xs: &[f64]| {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    };
     let mde_pcts: Vec<f64> = results
         .iter()
         .map(|r| r.hw.sim.energy.pct(r.hw.sim.energy.mde))
@@ -50,8 +62,7 @@ fn main() {
         .iter()
         .filter(|r| r.lsq.sim.energy.total() > 0.0)
         .map(|r| {
-            100.0 * (r.lsq.sim.energy.total() - r.hw.sim.energy.total())
-                / r.lsq.sim.energy.total()
+            100.0 * (r.lsq.sim.energy.total() - r.hw.sim.energy.total()) / r.lsq.sim.energy.total()
         })
         .collect();
 

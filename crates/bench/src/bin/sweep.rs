@@ -1,0 +1,66 @@
+//! The machine-readable sweep: runs the full 27-workload × 4-variant
+//! differential matrix on the parallel harness and emits the JSON report
+//! (schema `nachos-sweep-v1`).
+//!
+//! Usage: `sweep [--threads N] [--invocations N] [--out FILE]`
+//! (defaults: auto threads, 64 invocations, stdout).
+
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: sweep [--threads N] [--invocations N] [--out FILE]";
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut threads = 0usize;
+    let mut invocations = nachos_bench::DEFAULT_INVOCATIONS;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let Some(value) = (match a.as_str() {
+            "--threads" | "--invocations" | "--out" => args.next(),
+            other => return usage_error(&format!("unknown argument: {other}")),
+        }) else {
+            return usage_error(&format!("{a} requires a value"));
+        };
+        match a.as_str() {
+            "--threads" => match value.parse() {
+                Ok(n) => threads = n,
+                Err(_) => return usage_error(&format!("--threads takes a count, got {value:?}")),
+            },
+            "--invocations" => match value.parse() {
+                Ok(n) => invocations = n,
+                Err(_) => {
+                    return usage_error(&format!("--invocations takes a count, got {value:?}"))
+                }
+            },
+            _ => out = Some(value),
+        }
+    }
+
+    let suite = nachos_bench::run_suite_threads(invocations, threads);
+    let json = suite.sweep.to_json();
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("writing the report file");
+            eprintln!(
+                "wrote {} jobs x {} variants to {path}",
+                suite.sweep.jobs.len(),
+                suite.sweep.variants.len()
+            );
+        }
+        None => print!("{json}"),
+    }
+    if suite.sweep.all_match() {
+        ExitCode::SUCCESS
+    } else {
+        // Unreachable today (run_suite_threads panics on divergence), but
+        // keeps the bin honest if that policy ever loosens.
+        eprintln!("DIVERGENCE: {:?}", suite.sweep.mismatches());
+        ExitCode::FAILURE
+    }
+}

@@ -5,17 +5,23 @@
 //! series the paper reports; this library provides the shared runner that
 //! compiles and simulates every Table II workload under every backend.
 //!
+//! The whole matrix goes through the parallel differential-sweep harness
+//! ([`nachos::sweep`]): every run is checked against the in-order
+//! reference executor, and the 27 workloads are distributed over a scoped
+//! worker pool, so a full-suite figure regenerates in roughly the time of
+//! its slowest workload rather than the sum of all of them.
+//!
 //! Run an experiment with e.g.
-//! `cargo run --release -p nachos-bench --bin fig15_nachos_vs_lsq`.
+//! `cargo run --release -p nachos-bench --bin fig15_nachos_vs_lsq`, or
+//! emit the machine-readable sweep report with
+//! `cargo run --release -p nachos-bench --bin sweep`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use nachos::{
-    pct_slowdown, run_backend, run_backend_with_stages, Backend, EnergyModel, ExperimentRun,
-    SimConfig,
-};
-use nachos_alias::{analyze, Analysis, StageConfig};
+use nachos::sweep::{run_sweep, JobOutcome, SweepConfig, SweepJob, SweepResult, SweepVariant};
+use nachos::{pct_slowdown, ExperimentRun};
+use nachos_alias::Analysis;
 use nachos_workloads::{generate, BenchSpec, Workload};
 
 /// Default invocation count for the experiment harness: enough to warm
@@ -63,52 +69,117 @@ impl BenchResult {
     }
 }
 
+/// A suite run: per-workload figure data plus the raw sweep (for the
+/// machine-readable report).
+#[derive(Clone, Debug)]
+pub struct SuiteRun {
+    /// One result per Table II workload, in table order.
+    pub results: Vec<BenchResult>,
+    /// The underlying differential sweep.
+    pub sweep: SweepResult,
+}
+
+/// The sweep configuration the experiment matrix uses: the paper's three
+/// backends plus NACHOS-SW under the baseline compiler.
+#[must_use]
+pub fn suite_config(invocations: u64, threads: usize) -> SweepConfig {
+    SweepConfig::default()
+        .with_invocations(invocations)
+        .with_threads(threads)
+        .with_variants(SweepVariant::bench_matrix())
+}
+
+/// Converts one generated workload into a sweep job.
+#[must_use]
+pub fn job_for(w: &Workload) -> SweepJob {
+    SweepJob {
+        name: w.spec.name.to_owned(),
+        region: w.region.clone(),
+        binding: w.binding.clone(),
+    }
+}
+
+/// Builds a [`BenchResult`] from one job's sweep outcome.
+///
+/// # Panics
+///
+/// Panics if any run diverged from the reference executor or the outcome
+/// does not carry the [`SweepVariant::bench_matrix`] variants — either
+/// means the experiment data would be meaningless.
+fn from_outcome(spec: BenchSpec, workload: Workload, outcome: JobOutcome) -> BenchResult {
+    for r in &outcome.runs {
+        assert!(
+            r.matches_reference,
+            "differential check failed: {} [{}] diverges from the in-order reference",
+            outcome.name, r.variant
+        );
+    }
+    let [lsq, sw, hw, sw_baseline]: [_; 4] = outcome
+        .runs
+        .try_into()
+        .expect("bench outcomes carry the 4-variant bench matrix");
+    let analysis_full = sw
+        .run
+        .analysis
+        .clone()
+        .expect("NACHOS-SW runs carry their analysis");
+    let analysis_baseline = sw_baseline
+        .run
+        .analysis
+        .clone()
+        .expect("baseline NACHOS-SW runs carry their analysis");
+    BenchResult {
+        spec,
+        workload,
+        analysis_full,
+        analysis_baseline,
+        lsq: lsq.run,
+        sw: sw.run,
+        hw: hw.run,
+        sw_baseline: sw_baseline.run,
+    }
+}
+
 /// Runs one benchmark through the whole experiment matrix.
 ///
 /// # Panics
 ///
-/// Panics if a simulation fails (generated workloads always fit the grid).
+/// Panics if a simulation fails or diverges from the reference executor
+/// (generated workloads always fit the grid).
 #[must_use]
 pub fn run_bench(spec: &BenchSpec, invocations: u64) -> BenchResult {
     let workload = generate(spec);
-    let config = SimConfig::default().with_invocations(invocations);
-    let energy = EnergyModel::default();
-    let analysis_full = analyze(&workload.region, StageConfig::full());
-    let analysis_baseline = analyze(&workload.region, StageConfig::baseline());
-    let lsq = run_backend(&workload.region, &workload.binding, Backend::OptLsq, &config, &energy)
-        .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
-    let sw = run_backend(&workload.region, &workload.binding, Backend::NachosSw, &config, &energy)
-        .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
-    let hw = run_backend(&workload.region, &workload.binding, Backend::Nachos, &config, &energy)
-        .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
-    let sw_baseline = run_backend_with_stages(
-        &workload.region,
-        &workload.binding,
-        Backend::NachosSw,
-        &config,
-        &energy,
-        StageConfig::baseline(),
-    )
-    .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
-    BenchResult {
-        spec: *spec,
-        workload,
-        analysis_full,
-        analysis_baseline,
-        lsq,
-        sw,
-        hw,
-        sw_baseline,
-    }
+    let cfg = suite_config(invocations, 1);
+    let sweep =
+        run_sweep(&[job_for(&workload)], &cfg).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    let outcome = sweep.jobs.into_iter().next().expect("one job in, one out");
+    from_outcome(*spec, workload, outcome)
 }
 
-/// Runs the full 27-benchmark suite.
+/// Runs the full 27-benchmark suite on `threads` workers (`0` = one per
+/// available core) and returns both the figure data and the raw sweep.
+///
+/// # Panics
+///
+/// Panics if a simulation fails or diverges from the reference executor.
+#[must_use]
+pub fn run_suite_threads(invocations: u64, threads: usize) -> SuiteRun {
+    let workloads = nachos_workloads::generate_all();
+    let jobs: Vec<SweepJob> = workloads.iter().map(job_for).collect();
+    let cfg = suite_config(invocations, threads);
+    let sweep = run_sweep(&jobs, &cfg).unwrap_or_else(|e| panic!("{e}"));
+    let results = workloads
+        .into_iter()
+        .zip(sweep.jobs.iter().cloned())
+        .map(|(w, outcome)| from_outcome(w.spec, w, outcome))
+        .collect();
+    SuiteRun { results, sweep }
+}
+
+/// Runs the full 27-benchmark suite (parallel, auto thread count).
 #[must_use]
 pub fn run_suite(invocations: u64) -> Vec<BenchResult> {
-    nachos_workloads::all()
-        .iter()
-        .map(|s| run_bench(s, invocations))
-        .collect()
+    run_suite_threads(invocations, 0).results
 }
 
 /// Prints a standard experiment banner.
@@ -122,6 +193,7 @@ pub fn banner(title: &str, paper_ref: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nachos::Backend;
     use nachos_workloads::by_name;
 
     #[test]
@@ -143,5 +215,15 @@ mod tests {
         let r = run_bench(&spec, 4);
         let direct = pct_slowdown(r.sw.sim.cycles, r.lsq.sim.cycles);
         assert!((r.sw_slowdown_pct() - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suite_run_carries_matching_sweep() {
+        let suite = run_suite_threads(2, 2);
+        assert_eq!(suite.results.len(), suite.sweep.jobs.len());
+        assert!(suite.sweep.all_match());
+        for (r, j) in suite.results.iter().zip(&suite.sweep.jobs) {
+            assert_eq!(r.spec.name, j.name);
+        }
     }
 }

@@ -28,7 +28,14 @@ pub fn run_backend(
     config: &SimConfig,
     energy: &EnergyModel,
 ) -> Result<ExperimentRun, SimError> {
-    run_backend_with_stages(region, binding, backend, config, energy, StageConfig::full())
+    run_backend_with_stages(
+        region,
+        binding,
+        backend,
+        config,
+        energy,
+        StageConfig::full(),
+    )
 }
 
 /// Like [`run_backend`] but with an explicit compiler stage configuration

@@ -114,8 +114,7 @@ impl EnergyBreakdown {
             compute: ev.int_ops as f64 * model.int_alu
                 + ev.fp_ops as f64 * model.fp_alu
                 + ev.data_links as f64 * model.network_per_link,
-            mde: ev.may_checks as f64 * model.mde_may
-                + ev.must_tokens as f64 * model.mde_must,
+            mde: ev.may_checks as f64 * model.mde_may + ev.must_tokens as f64 * model.mde_must,
             lsq_bloom: ev.lsq_bloom_queries as f64 * model.lsq_bloom,
             lsq_cam: ev.lsq_cam_loads as f64 * model.lsq_cam_load
                 + ev.lsq_cam_stores as f64 * model.lsq_cam_store

@@ -39,13 +39,16 @@
 mod analytic;
 mod config;
 mod driver;
-mod engine;
 mod energy;
+mod engine;
 pub mod reference;
+pub mod sweep;
 pub mod value;
 
 pub use analytic::DecentralizedModel;
 pub use config::{Backend, SimConfig};
-pub use driver::{pct_slowdown, run_all_backends, run_backend, run_backend_with_stages, ExperimentRun};
+pub use driver::{
+    pct_slowdown, run_all_backends, run_backend, run_backend_with_stages, ExperimentRun,
+};
 pub use energy::{EnergyBreakdown, EnergyModel, EventCounts};
-pub use engine::{simulate, SimError, SimResult};
+pub use engine::{simulate, SimError, SimResult, StallCounts};

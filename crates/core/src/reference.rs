@@ -87,7 +87,9 @@ mod tests {
 
     fn simple_binding(bases: usize) -> Binding {
         Binding {
-            base_addrs: (0..bases).map(|i| 0x1_0000 + (i as u64) * 0x1_0000).collect(),
+            base_addrs: (0..bases)
+                .map(|i| 0x1_0000 + (i as u64) * 0x1_0000)
+                .collect(),
             params: Vec::new(),
             unknowns: Vec::new(),
         }

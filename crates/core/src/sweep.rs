@@ -1,0 +1,656 @@
+//! Parallel differential-sweep harness.
+//!
+//! Runs a set of jobs (region + binding pairs) through a matrix of
+//! simulation variants on a scoped worker pool, differential-checking
+//! every run against the in-order [`crate::reference`] executor and
+//! aggregating per-run cycle, energy, event and stall statistics into a
+//! machine-readable report.
+//!
+//! Determinism contract: the sweep's output — including the JSON report
+//! from [`SweepResult::to_json`] — depends only on the jobs, the variant
+//! matrix and the [`SimConfig`], **never** on the worker-thread count or
+//! on scheduling. Workers claim job indices from a shared counter and the
+//! results are re-assembled in job order; no wall-clock quantity enters
+//! the report.
+//!
+//! ```
+//! use nachos::sweep::{run_sweep, SweepConfig, SweepJob, SweepVariant};
+//! use nachos_ir::{AffineExpr, Binding, MemRef, RegionBuilder};
+//!
+//! let mut b = RegionBuilder::new("demo");
+//! let g = b.global("g", 64, 0);
+//! let m = MemRef::affine(g, AffineExpr::zero());
+//! let x = b.input();
+//! b.store(m.clone(), &[x]);
+//! b.load(m, &[]);
+//! let job = SweepJob {
+//!     name: "demo".into(),
+//!     region: b.finish(),
+//!     binding: Binding { base_addrs: vec![0x1_0000], ..Binding::default() },
+//! };
+//! let cfg = SweepConfig::default().with_invocations(4);
+//! let sweep = run_sweep(&[job], &cfg)?;
+//! assert!(sweep.all_match());
+//! # Ok::<(), nachos::sweep::SweepError>(())
+//! ```
+
+use crate::config::{Backend, SimConfig};
+use crate::driver::{run_backend_with_stages, ExperimentRun};
+use crate::energy::EnergyModel;
+use crate::engine::SimError;
+use crate::reference::{self, ReferenceResult};
+use nachos_alias::StageConfig;
+use nachos_ir::{Binding, Region};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::{fmt, thread};
+
+/// One unit of sweep work: a compiled-from region with its address binding.
+#[derive(Clone, Debug)]
+pub struct SweepJob {
+    /// Job name (workload name in the standard suite).
+    pub name: String,
+    /// The region to compile and simulate.
+    pub region: Region,
+    /// Address binding for the region's symbols.
+    pub binding: Binding,
+}
+
+/// One column of the sweep matrix: a backend plus its compiler staging.
+#[derive(Clone, Debug)]
+pub struct SweepVariant {
+    /// Stable label used in reports (e.g. `"nachos-sw"`).
+    pub label: String,
+    /// Simulated backend.
+    pub backend: Backend,
+    /// Compiler stage configuration (ignored by [`Backend::OptLsq`]).
+    pub stages: StageConfig,
+}
+
+impl SweepVariant {
+    /// The paper's three-backend comparison matrix, in comparison order.
+    #[must_use]
+    pub fn paper_matrix() -> Vec<SweepVariant> {
+        vec![
+            SweepVariant {
+                label: "opt-lsq".into(),
+                backend: Backend::OptLsq,
+                stages: StageConfig::full(),
+            },
+            SweepVariant {
+                label: "nachos-sw".into(),
+                backend: Backend::NachosSw,
+                stages: StageConfig::full(),
+            },
+            SweepVariant {
+                label: "nachos".into(),
+                backend: Backend::Nachos,
+                stages: StageConfig::full(),
+            },
+        ]
+    }
+
+    /// The experiment-harness matrix: the paper's three backends plus
+    /// NACHOS-SW under the baseline compiler (Figures 12 and 16).
+    #[must_use]
+    pub fn bench_matrix() -> Vec<SweepVariant> {
+        let mut v = Self::paper_matrix();
+        v.push(SweepVariant {
+            label: "nachos-sw-baseline".into(),
+            backend: Backend::NachosSw,
+            stages: StageConfig::baseline(),
+        });
+        v
+    }
+}
+
+/// Sweep-wide configuration.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Base simulator configuration (shared by every run).
+    pub sim: SimConfig,
+    /// Energy model (shared by every run).
+    pub energy: EnergyModel,
+    /// The variant matrix; every job runs every variant.
+    pub variants: Vec<SweepVariant>,
+    /// Worker threads; `0` uses the machine's available parallelism.
+    pub threads: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            sim: SimConfig::default(),
+            energy: EnergyModel::default(),
+            variants: SweepVariant::paper_matrix(),
+            threads: 0,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// Sets the per-run invocation count, builder-style.
+    #[must_use]
+    pub fn with_invocations(mut self, invocations: u64) -> Self {
+        self.sim.invocations = invocations;
+        self
+    }
+
+    /// Sets the worker-thread count, builder-style (`0` = auto).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the variant matrix, builder-style.
+    #[must_use]
+    pub fn with_variants(mut self, variants: Vec<SweepVariant>) -> Self {
+        self.variants = variants;
+        self
+    }
+}
+
+/// One variant's run within a job, with its differential verdict.
+#[derive(Clone, Debug)]
+pub struct VariantOutcome {
+    /// The variant's label.
+    pub variant: String,
+    /// The compiled-and-simulated run.
+    pub run: ExperimentRun,
+    /// `true` iff final memory and the load digest both equal the
+    /// reference executor's.
+    pub matches_reference: bool,
+}
+
+/// All of one job's runs plus the shared reference execution.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// The job's name.
+    pub name: String,
+    /// Ground truth from the in-order reference executor.
+    pub reference: ReferenceResult,
+    /// One outcome per configured variant, in variant order.
+    pub runs: Vec<VariantOutcome>,
+}
+
+/// The assembled sweep: job outcomes in job order.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// Invocations simulated per run.
+    pub invocations: u64,
+    /// Variant labels, in matrix order.
+    pub variants: Vec<String>,
+    /// Per-job outcomes, in input-job order.
+    pub jobs: Vec<JobOutcome>,
+}
+
+/// A simulation failure, attributed to its job and variant.
+#[derive(Clone, Debug)]
+pub struct SweepError {
+    /// The failing job's name.
+    pub job: String,
+    /// The failing variant's label.
+    pub variant: String,
+    /// The underlying simulator error.
+    pub source: SimError,
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sweep job {} [{}]: {}",
+            self.job, self.variant, self.source
+        )
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Runs every job through every variant on a scoped worker pool.
+///
+/// Results are identical for any worker-thread count; see the module
+/// documentation for the determinism contract.
+///
+/// # Errors
+///
+/// Returns the first failing run in deterministic (job, variant) order.
+///
+/// # Panics
+///
+/// Re-raises panics from worker threads (e.g. an engine invariant
+/// violation such as a token-accounting underflow).
+pub fn run_sweep(jobs: &[SweepJob], cfg: &SweepConfig) -> Result<SweepResult, SweepError> {
+    let threads = effective_threads(cfg.threads, jobs.len());
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<(usize, Result<JobOutcome, SweepError>)> = Vec::with_capacity(jobs.len());
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        mine.push((i, run_job(&jobs[i], cfg)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => slots.extend(part),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    slots.sort_by_key(|(i, _)| *i);
+    let mut out = Vec::with_capacity(slots.len());
+    for (_, r) in slots {
+        out.push(r?);
+    }
+    Ok(SweepResult {
+        invocations: cfg.sim.invocations,
+        variants: cfg.variants.iter().map(|v| v.label.clone()).collect(),
+        jobs: out,
+    })
+}
+
+fn effective_threads(requested: usize, jobs: usize) -> usize {
+    let auto = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let n = if requested == 0 { auto } else { requested };
+    n.clamp(1, jobs.max(1))
+}
+
+/// Runs one job through the whole variant matrix, sequentially.
+fn run_job(job: &SweepJob, cfg: &SweepConfig) -> Result<JobOutcome, SweepError> {
+    let reference = reference::execute(&job.region, &job.binding, cfg.sim.invocations);
+    let mut runs = Vec::with_capacity(cfg.variants.len());
+    for v in &cfg.variants {
+        let run = run_backend_with_stages(
+            &job.region,
+            &job.binding,
+            v.backend,
+            &cfg.sim,
+            &cfg.energy,
+            v.stages,
+        )
+        .map_err(|source| SweepError {
+            job: job.name.clone(),
+            variant: v.label.clone(),
+            source,
+        })?;
+        let matches_reference =
+            run.sim.mem == reference.mem && run.sim.loads.digest() == reference.loads.digest();
+        runs.push(VariantOutcome {
+            variant: v.label.clone(),
+            run,
+            matches_reference,
+        });
+    }
+    Ok(JobOutcome {
+        name: job.name.clone(),
+        reference,
+        runs,
+    })
+}
+
+impl SweepResult {
+    /// `true` iff every run of every job matched the reference executor.
+    #[must_use]
+    pub fn all_match(&self) -> bool {
+        self.jobs
+            .iter()
+            .all(|j| j.runs.iter().all(|r| r.matches_reference))
+    }
+
+    /// `(job, variant)` labels of every diverging run, in sweep order.
+    #[must_use]
+    pub fn mismatches(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for j in &self.jobs {
+            for r in &j.runs {
+                if !r.matches_reference {
+                    out.push((j.name.clone(), r.variant.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes the sweep to JSON (schema `nachos-sweep-v1`).
+    ///
+    /// The writer is hand-rolled (the workspace takes no serialization
+    /// dependency) and emits keys in a fixed order; the output is
+    /// byte-identical across runs and worker-thread counts.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open_obj();
+        w.str_field("schema", "nachos-sweep-v1");
+        w.u64_field("invocations", self.invocations);
+        w.key("variants");
+        w.open_arr();
+        for v in &self.variants {
+            w.str_item(v);
+        }
+        w.close_arr();
+        w.key("jobs");
+        w.open_arr();
+        for j in &self.jobs {
+            j.write_json(&mut w);
+        }
+        w.close_arr();
+        w.close_obj();
+        w.finish()
+    }
+}
+
+impl JobOutcome {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.open_obj();
+        w.str_field("name", &self.name);
+        w.key("reference");
+        {
+            let (hash, count) = self.reference.loads.digest();
+            w.open_obj();
+            w.u64_field("load_digest", hash);
+            w.u64_field("load_count", count);
+            w.u64_field("mem_footprint", self.reference.mem.footprint() as u64);
+            w.close_obj();
+        }
+        w.key("runs");
+        w.open_arr();
+        for r in &self.runs {
+            r.write_json(w);
+        }
+        w.close_arr();
+        w.close_obj();
+    }
+}
+
+impl VariantOutcome {
+    fn write_json(&self, w: &mut JsonWriter) {
+        let sim = &self.run.sim;
+        w.open_obj();
+        w.str_field("variant", &self.variant);
+        w.str_field("backend", &sim.backend.to_string());
+        w.bool_field("matches_reference", self.matches_reference);
+        w.u64_field("cycles", sim.cycles);
+        w.key("stalls");
+        {
+            let s = &sim.stalls;
+            w.open_obj();
+            w.u64_field("lsq_alloc", s.lsq_alloc);
+            w.u64_field("lsq_search", s.lsq_search);
+            w.u64_field("token", s.token);
+            w.u64_field("may_gate", s.may_gate);
+            w.u64_field("comparator", s.comparator);
+            w.u64_field("mem_port", s.mem_port);
+            w.u64_field("total", s.total());
+            w.close_obj();
+        }
+        w.key("events");
+        {
+            let e = &sim.events;
+            w.open_obj();
+            w.u64_field("int_ops", e.int_ops);
+            w.u64_field("fp_ops", e.fp_ops);
+            w.u64_field("data_links", e.data_links);
+            w.u64_field("mem_links", e.mem_links);
+            w.u64_field("may_checks", e.may_checks);
+            w.u64_field("must_tokens", e.must_tokens);
+            w.u64_field("l1_accesses", e.l1_accesses);
+            w.u64_field("lsq_allocs", e.lsq_allocs);
+            w.u64_field("lsq_bank_overflows", e.lsq_bank_overflows);
+            w.u64_field("lsq_bloom_queries", e.lsq_bloom_queries);
+            w.u64_field("lsq_bloom_hits", e.lsq_bloom_hits);
+            w.u64_field("lsq_cam_loads", e.lsq_cam_loads);
+            w.u64_field("lsq_cam_stores", e.lsq_cam_stores);
+            w.u64_field("forwards", e.forwards);
+            w.close_obj();
+        }
+        w.key("energy_fj");
+        {
+            let en = &sim.energy;
+            w.open_obj();
+            w.f64_field("compute", en.compute);
+            w.f64_field("mde", en.mde);
+            w.f64_field("lsq_bloom", en.lsq_bloom);
+            w.f64_field("lsq_cam", en.lsq_cam);
+            w.f64_field("l1", en.l1);
+            w.f64_field("total", en.total());
+            w.close_obj();
+        }
+        w.key("l1");
+        cache_json(w, sim.l1.hits, sim.l1.misses, sim.l1.writebacks);
+        w.key("llc");
+        cache_json(w, sim.llc.hits, sim.llc.misses, sim.llc.writebacks);
+        w.close_obj();
+    }
+}
+
+fn cache_json(w: &mut JsonWriter, hits: u64, misses: u64, writebacks: u64) {
+    w.open_obj();
+    w.u64_field("hits", hits);
+    w.u64_field("misses", misses);
+    w.u64_field("writebacks", writebacks);
+    w.close_obj();
+}
+
+/// Minimal pretty-printing JSON writer with a fixed key order (the caller
+/// emits keys in schema order) and deterministic number formatting.
+struct JsonWriter {
+    out: String,
+    indent: usize,
+    /// `true` when the next emission at this nesting level needs a comma.
+    need_comma: Vec<bool>,
+    /// `true` immediately after `key()` — the value belongs to that key.
+    pending_value: bool,
+}
+
+impl JsonWriter {
+    fn new() -> Self {
+        Self {
+            out: String::new(),
+            indent: 0,
+            need_comma: vec![false],
+            pending_value: false,
+        }
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push('\n');
+        self.out
+    }
+
+    /// Starts a new value: handles comma, newline and indentation unless
+    /// the value directly follows its key.
+    fn begin_value(&mut self) {
+        if self.pending_value {
+            self.pending_value = false;
+            return;
+        }
+        let top = self.need_comma.last_mut().expect("writer has a level");
+        if *top {
+            self.out.push(',');
+        }
+        *top = true;
+        if self.indent > 0 {
+            self.out.push('\n');
+            for _ in 0..self.indent {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        self.begin_value();
+        let _ = write!(self.out, "\"{}\": ", escape(k));
+        self.pending_value = true;
+    }
+
+    fn open_obj(&mut self) {
+        self.begin_value();
+        self.out.push('{');
+        self.indent += 1;
+        self.need_comma.push(false);
+    }
+
+    fn close_obj(&mut self) {
+        self.close_with('}');
+    }
+
+    fn open_arr(&mut self) {
+        self.begin_value();
+        self.out.push('[');
+        self.indent += 1;
+        self.need_comma.push(false);
+    }
+
+    fn close_arr(&mut self) {
+        self.close_with(']');
+    }
+
+    fn close_with(&mut self, ch: char) {
+        let had_items = self.need_comma.pop().expect("balanced writer");
+        self.indent -= 1;
+        if had_items {
+            self.out.push('\n');
+            for _ in 0..self.indent {
+                self.out.push_str("  ");
+            }
+        }
+        self.out.push(ch);
+    }
+
+    fn str_item(&mut self, v: &str) {
+        self.begin_value();
+        let _ = write!(self.out, "\"{}\"", escape(v));
+    }
+
+    fn str_field(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.str_item(v);
+    }
+
+    fn u64_field(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.begin_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    fn bool_field(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.begin_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Writes a finite float with Rust's shortest-roundtrip formatting
+    /// (deterministic for identical bit patterns), forcing a decimal
+    /// point so the value parses as a JSON number of float kind.
+    fn f64_field(&mut self, k: &str, v: f64) {
+        assert!(v.is_finite(), "JSON numbers must be finite");
+        self.key(k);
+        self.begin_value();
+        let s = format!("{v}");
+        self.out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            self.out.push_str(".0");
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nachos_ir::{AffineExpr, MemRef, RegionBuilder};
+
+    fn demo_job(name: &str) -> SweepJob {
+        let mut b = RegionBuilder::new(name);
+        let g = b.global("g", 64, 0);
+        let m = MemRef::affine(g, AffineExpr::zero());
+        let x = b.input();
+        b.store(m.clone(), &[x]);
+        b.load(m, &[]);
+        SweepJob {
+            name: name.into(),
+            region: b.finish(),
+            binding: Binding {
+                base_addrs: vec![0x1_0000],
+                ..Binding::default()
+            },
+        }
+    }
+
+    #[test]
+    fn sweep_runs_and_matches_reference() {
+        let jobs = [demo_job("a"), demo_job("b")];
+        let cfg = SweepConfig::default().with_invocations(4);
+        let sweep = run_sweep(&jobs, &cfg).expect("sweep succeeds");
+        assert_eq!(sweep.jobs.len(), 2);
+        assert_eq!(sweep.variants, ["opt-lsq", "nachos-sw", "nachos"]);
+        assert!(sweep.all_match());
+        assert!(sweep.mismatches().is_empty());
+    }
+
+    #[test]
+    fn report_is_thread_count_independent() {
+        let jobs: Vec<SweepJob> = (0..5).map(|i| demo_job(&format!("j{i}"))).collect();
+        let base = SweepConfig::default().with_invocations(3);
+        let serial = run_sweep(&jobs, &base.clone().with_threads(1)).unwrap();
+        let wide = run_sweep(&jobs, &base.with_threads(4)).unwrap();
+        assert_eq!(serial.to_json(), wide.to_json());
+    }
+
+    #[test]
+    fn json_report_has_schema_and_balanced_structure() {
+        let jobs = [demo_job("a")];
+        let cfg = SweepConfig::default()
+            .with_invocations(2)
+            .with_variants(SweepVariant::bench_matrix());
+        let sweep = run_sweep(&jobs, &cfg).unwrap();
+        let json = sweep.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.contains("\"schema\": \"nachos-sweep-v1\""));
+        assert!(json.contains("\"nachos-sw-baseline\""));
+        assert!(json.contains("\"matches_reference\": true"));
+        assert!(json.contains("\"stalls\""));
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn json_escape_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

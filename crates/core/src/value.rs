@@ -21,7 +21,10 @@ pub fn fold(acc: u64, operand: u64) -> u64 {
 /// The value an [`OpKind::Input`] node produces at a given invocation.
 #[must_use]
 pub fn input_value(index: u32, invocation: u64) -> u64 {
-    fold(fold(0xcbf2_9ce4_8422_2325, u64::from(index) + 1), invocation)
+    fold(
+        fold(0xcbf2_9ce4_8422_2325, u64::from(index) + 1),
+        invocation,
+    )
 }
 
 /// Evaluates a non-memory node from its operand values (in operand order).
@@ -155,8 +158,7 @@ mod tests {
         let ld = b.load(m, &[]);
         let r = b.finish();
         let order = sequential_order(&r).unwrap();
-        let pos =
-            |n: nachos_ir::NodeId| order.iter().position(|&x| x == n).unwrap();
+        let pos = |n: nachos_ir::NodeId| order.iter().position(|&x| x == n).unwrap();
         assert!(pos(st) < pos(ld), "mem ops follow program order");
     }
 

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment for this repository cannot reach a crate
+//! registry, so the workspace vendors the API subset its benches use:
+//! [`Criterion::benchmark_group`], `bench_function`, `Bencher::iter` /
+//! `iter_with_setup`, and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Instead of upstream's statistical analysis it times a fixed
+//! batch after a short warm-up and prints mean wall-clock time per
+//! iteration — adequate for eyeballing relative cost, not for rigorous
+//! statistics.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Runs one benchmark's measured routine.
+pub struct Bencher {
+    iters: u64,
+    /// Mean nanoseconds per iteration of the last measurement.
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Self {
+            iters,
+            last_ns_per_iter: 0.0,
+        }
+    }
+
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        for _ in 0..self.iters.min(8) {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.record(start.elapsed());
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time excluded.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.record(total);
+    }
+
+    fn record(&mut self, total: Duration) {
+        self.last_ns_per_iter = total.as_nanos() as f64 / self.iters.max(1) as f64;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.criterion.iters);
+        f(&mut bencher);
+        println!(
+            "{}/{:<32} {:>12.1} ns/iter",
+            self.name, id, bencher.last_ns_per_iter
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the stand-in prints
+    /// eagerly, so this only marks the group's end).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark-runner entry point.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { iters: 64 }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI filters/options here; the stand-in accepts and
+    /// ignores them so `criterion_main!`-generated code keeps compiling.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+        }
+    }
+
+    /// Registers and immediately runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs_routines() {
+        let mut c = Criterion { iters: 4 };
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("t");
+            g.bench_function("count", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert!(runs >= 4);
+
+        let mut setup_calls = 0u32;
+        c.benchmark_group("t2").bench_function("setup", |b| {
+            b.iter_with_setup(
+                || {
+                    setup_calls += 1;
+                    7u64
+                },
+                |x| x * 2,
+            )
+        });
+        assert_eq!(setup_calls, 4);
+    }
+}

@@ -45,7 +45,12 @@ impl UnknownPattern {
         match *self {
             UnknownPattern::Fixed(a) => a,
             UnknownPattern::Stride { base, step } => base.wrapping_add(invocation * step),
-            UnknownPattern::Scatter { seed, lo, hi, align } => {
+            UnknownPattern::Scatter {
+                seed,
+                lo,
+                hi,
+                align,
+            } => {
                 debug_assert!(align.is_power_of_two() && hi > lo);
                 let mut x = seed ^ invocation.wrapping_mul(0x9e37_79b9_7f4a_7c15);
                 // SplitMix64 finalizer.
@@ -111,7 +116,10 @@ mod tests {
     #[test]
     fn fixed_and_stride() {
         assert_eq!(UnknownPattern::Fixed(0x100).resolve(7), 0x100);
-        let s = UnknownPattern::Stride { base: 0x1000, step: 64 };
+        let s = UnknownPattern::Stride {
+            base: 0x1000,
+            step: 64,
+        };
         assert_eq!(s.resolve(0), 0x1000);
         assert_eq!(s.resolve(3), 0x10c0);
     }
@@ -127,7 +135,7 @@ mod tests {
         for inv in 0..1000 {
             let a = p.resolve(inv);
             assert_eq!(a, p.resolve(inv), "deterministic");
-            assert!(a >= 0x1_0000 && a < 0x2_0000);
+            assert!((0x1_0000..0x2_0000).contains(&a));
             assert_eq!(a % 8, 0);
         }
         // Not trivially constant.

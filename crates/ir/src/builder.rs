@@ -45,7 +45,8 @@ impl RegionBuilder {
 
     /// Declares a global base object with a caller-namespace identity.
     pub fn global(&mut self, name: &str, size: u64, caller_object: u32) -> BaseId {
-        self.region.add_base(BaseObject::global(name, size, caller_object))
+        self.region
+            .add_base(BaseObject::global(name, size, caller_object))
     }
 
     /// Declares a region-local stack object.

@@ -17,10 +17,7 @@ pub fn to_dot(region: &Region) -> String {
     for n in region.dfg.node_ids() {
         let node = region.dfg.node(n);
         let (shape, label) = match node.mem_slot {
-            Some(slot) => (
-                "box",
-                format!("{} {}", node.kind.mnemonic(), slot),
-            ),
+            Some(slot) => ("box", format!("{} {}", node.kind.mnemonic(), slot)),
             None => ("ellipse", node.kind.mnemonic().to_owned()),
         };
         let _ = writeln!(out, "  {n} [shape={shape}, label=\"{label}\"];");
@@ -37,7 +34,11 @@ pub fn to_dot(region: &Region) -> String {
             "  {} -> {} [style={style}, label=\"{}\"];",
             e.src,
             e.dst,
-            if e.kind == EdgeKind::Data { "" } else { e.kind.into_label() }
+            if e.kind == EdgeKind::Data {
+                ""
+            } else {
+                e.kind.into_label()
+            }
         );
     }
     out.push_str("}\n");

@@ -114,7 +114,12 @@ impl Dfg {
     /// # Errors
     ///
     /// See [`GraphError`] variants for each rejected shape.
-    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, kind: EdgeKind) -> Result<EdgeId, GraphError> {
+    pub fn add_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        kind: EdgeKind,
+    ) -> Result<EdgeId, GraphError> {
         let edge = Edge::new(src, dst, kind);
         if src.index() >= self.nodes.len() {
             return Err(GraphError::UnknownNode(src));
@@ -122,8 +127,7 @@ impl Dfg {
         if dst.index() >= self.nodes.len() {
             return Err(GraphError::UnknownNode(dst));
         }
-        if self
-            .succs[src.index()]
+        if self.succs[src.index()]
             .iter()
             .any(|&e| self.edges[e.index()] == edge)
         {
@@ -219,12 +223,16 @@ impl Dfg {
 
     /// Outgoing edges of a node.
     pub fn out_edges(&self, id: NodeId) -> impl Iterator<Item = &Edge> {
-        self.succs[id.index()].iter().map(|&e| &self.edges[e.index()])
+        self.succs[id.index()]
+            .iter()
+            .map(|&e| &self.edges[e.index()])
     }
 
     /// Incoming edges of a node.
     pub fn in_edges(&self, id: NodeId) -> impl Iterator<Item = &Edge> {
-        self.preds[id.index()].iter().map(|&e| &self.edges[e.index()])
+        self.preds[id.index()]
+            .iter()
+            .map(|&e| &self.edges[e.index()])
     }
 
     /// The memory operations of the region, oldest first.

@@ -165,7 +165,10 @@ mod tests {
         for k in 0..64 {
             b.insert(k);
         }
-        assert!(b.contains(1_000_003), "tiny saturated filter false-positives");
+        assert!(
+            b.contains(1_000_003),
+            "tiny saturated filter false-positives"
+        );
     }
 
     #[test]

@@ -277,9 +277,7 @@ impl Lsq {
     ///
     /// Panics if `age` is not a bound load.
     pub fn search_load(&mut self, age: u32) -> LoadSearch {
-        let my = self.entries[age as usize]
-            .addr
-            .expect("search before bind");
+        let my = self.entries[age as usize].addr.expect("search before bind");
         assert!(!self.entries[age as usize].is_store, "load search on store");
         let first = self.count_first_search(age);
         if first {
@@ -329,9 +327,7 @@ impl Lsq {
     ///
     /// Panics if `age` is not a bound store.
     pub fn search_store(&mut self, age: u32) -> StoreSearch {
-        let my = self.entries[age as usize]
-            .addr
-            .expect("search before bind");
+        let my = self.entries[age as usize].addr.expect("search before bind");
         assert!(self.entries[age as usize].is_store, "store search on load");
         let first = self.count_first_search(age);
         if first {

@@ -114,8 +114,7 @@ impl Cache {
     /// [`CacheConfig::num_sets`]).
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
-        let sets =
-            vec![vec![Line::default(); config.ways as usize]; config.num_sets() as usize];
+        let sets = vec![vec![Line::default(); config.ways as usize]; config.num_sets() as usize];
         Self {
             config,
             sets,

@@ -51,10 +51,8 @@ impl DataMemory {
     pub fn write(&mut self, addr: u64, size: u8, value: u64) {
         assert!((1..=8).contains(&size), "size must be 1..=8");
         for i in 0..size {
-            self.bytes.insert(
-                addr.wrapping_add(u64::from(i)),
-                (value >> (8 * i)) as u8,
-            );
+            self.bytes
+                .insert(addr.wrapping_add(u64::from(i)), (value >> (8 * i)) as u8);
         }
     }
 

@@ -391,8 +391,8 @@ impl<'s> Generator<'s> {
         let conflict_pct = u32::from(spec.mix.conflict_pct);
         let mut patched = Vec::with_capacity(self.unknowns.len());
         for (k, _) in self.unknowns.iter().enumerate() {
-            let collide = !self.store_ranges.is_empty()
-                && self.rng.gen_range(0..100) < conflict_pct;
+            let collide =
+                !self.store_ranges.is_empty() && self.rng.gen_range(0..100) < conflict_pct;
             let pat = if collide {
                 let victim = self.store_ranges[k % self.store_ranges.len()];
                 UnknownPattern::Scatter {
@@ -418,11 +418,7 @@ impl<'s> Generator<'s> {
 
         let region = self.b.finish();
         debug_assert_eq!(region.bases.len(), self.base_addrs.len());
-        let params = region
-            .params
-            .iter()
-            .map(|p| p.min.max(64))
-            .collect();
+        let params = region.params.iter().map(|p| p.min.max(64)).collect();
         let binding = Binding {
             base_addrs: self.base_addrs,
             params,
@@ -441,9 +437,7 @@ impl<'s> Generator<'s> {
                 let len = (self.trip as u64) * 64 + u64::from(ops) * 8 + 64;
                 let base = match kind {
                     LaneKind::Static => self.b.global(&format!("g{lane}"), len, lane),
-                    LaneKind::InterProc => {
-                        self.b.arg(lane, Provenance::Object(10_000 + lane))
-                    }
+                    LaneKind::InterProc => self.b.arg(lane, Provenance::Object(10_000 + lane)),
                     _ => self.b.heap(lane, Some(len)),
                 };
                 let addr = self.alloc_range(len);
@@ -545,8 +539,9 @@ impl<'s> Generator<'s> {
                     lane_has_store |= is_store;
                 }
                 if lane_has_store {
-                    if let Some(&addr) =
-                        self.multidim_base.and_then(|b| self.base_addrs.get(b.index()))
+                    if let Some(&addr) = self
+                        .multidim_base
+                        .and_then(|b| self.base_addrs.get(b.index()))
                     {
                         self.store_ranges.push((addr, 64 * 512));
                     }

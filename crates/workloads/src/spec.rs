@@ -171,13 +171,31 @@ pub fn all() -> Vec<BenchSpec> {
     vec![
         // ---------------- SPEC2K ----------------
         BenchSpec {
-            name: "gzip", suite: Spec2k, ops: 64, mem_ops: 4, mlp: 4,
-            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 21, fp_pct: 0,
-            store_pct: 0, mix: static_only(4), miss: Resident,
+            name: "gzip",
+            suite: Spec2k,
+            ops: 64,
+            mem_ops: 4,
+            mlp: 4,
+            st_st: 0,
+            st_ld: 0,
+            ld_st: 0,
+            pct_local: 21,
+            fp_pct: 0,
+            store_pct: 0,
+            mix: static_only(4),
+            miss: Resident,
         },
         BenchSpec {
-            name: "art", suite: Spec2k, ops: 100, mem_ops: 36, mlp: 4,
-            st_st: 6, st_ld: 6, ld_st: 10, pct_local: 0, fp_pct: 60,
+            name: "art",
+            suite: Spec2k,
+            ops: 100,
+            mem_ops: 36,
+            mlp: 4,
+            st_st: 6,
+            st_ld: 6,
+            ld_st: 10,
+            pct_local: 0,
+            fp_pct: 60,
             store_pct: 30,
             mix: AliasMix {
                 static_lanes: 1,
@@ -190,29 +208,77 @@ pub fn all() -> Vec<BenchSpec> {
             miss: Strided,
         },
         BenchSpec {
-            name: "181.mcf", suite: Spec2k, ops: 29, mem_ops: 2, mlp: 2,
-            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 5, fp_pct: 0,
-            store_pct: 0, mix: static_only(2), miss: Streaming,
+            name: "181.mcf",
+            suite: Spec2k,
+            ops: 29,
+            mem_ops: 2,
+            mlp: 2,
+            st_st: 0,
+            st_ld: 0,
+            ld_st: 0,
+            pct_local: 5,
+            fp_pct: 0,
+            store_pct: 0,
+            mix: static_only(2),
+            miss: Streaming,
         },
         BenchSpec {
-            name: "183.equake", suite: Spec2k, ops: 559, mem_ops: 215, mlp: 16,
-            st_st: 0, st_ld: 0, ld_st: 12, pct_local: 2, fp_pct: 60,
-            store_pct: 25, mix: multidim(16), miss: Strided,
+            name: "183.equake",
+            suite: Spec2k,
+            ops: 559,
+            mem_ops: 215,
+            mlp: 16,
+            st_st: 0,
+            st_ld: 0,
+            ld_st: 12,
+            pct_local: 2,
+            fp_pct: 60,
+            store_pct: 25,
+            mix: multidim(16),
+            miss: Strided,
         },
         BenchSpec {
-            name: "crafty", suite: Spec2k, ops: 72, mem_ops: 7, mlp: 8,
-            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 40, fp_pct: 0,
-            store_pct: 0, mix: static_only(7), miss: Resident,
+            name: "crafty",
+            suite: Spec2k,
+            ops: 72,
+            mem_ops: 7,
+            mlp: 8,
+            st_st: 0,
+            st_ld: 0,
+            ld_st: 0,
+            pct_local: 40,
+            fp_pct: 0,
+            store_pct: 0,
+            mix: static_only(7),
+            miss: Resident,
         },
         BenchSpec {
-            name: "parser", suite: Spec2k, ops: 81, mem_ops: 12, mlp: 4,
-            st_st: 0, st_ld: 0, ld_st: 2, pct_local: 34, fp_pct: 0,
-            store_pct: 25, mix: interproc(4, 0), miss: Strided,
+            name: "parser",
+            suite: Spec2k,
+            ops: 81,
+            mem_ops: 12,
+            mlp: 4,
+            st_st: 0,
+            st_ld: 0,
+            ld_st: 2,
+            pct_local: 34,
+            fp_pct: 0,
+            store_pct: 25,
+            mix: interproc(4, 0),
+            miss: Strided,
         },
         // ---------------- SPEC2K6 ----------------
         BenchSpec {
-            name: "401.bzip2", suite: Spec2k6, ops: 501, mem_ops: 110, mlp: 128,
-            st_st: 3, st_ld: 0, ld_st: 3, pct_local: 27, fp_pct: 0,
+            name: "401.bzip2",
+            suite: Spec2k6,
+            ops: 501,
+            mem_ops: 110,
+            mlp: 128,
+            st_st: 3,
+            st_ld: 0,
+            ld_st: 3,
+            pct_local: 27,
+            fp_pct: 0,
             store_pct: 45,
             mix: AliasMix {
                 static_lanes: 8,
@@ -224,23 +290,61 @@ pub fn all() -> Vec<BenchSpec> {
             miss: Strided,
         },
         BenchSpec {
-            name: "gcc", suite: Spec2k6, ops: 47, mem_ops: 2, mlp: 2,
-            st_st: 1, st_ld: 0, ld_st: 0, pct_local: 26, fp_pct: 0,
-            store_pct: 50, mix: interproc(2, 0), miss: Resident,
+            name: "gcc",
+            suite: Spec2k6,
+            ops: 47,
+            mem_ops: 2,
+            mlp: 2,
+            st_st: 1,
+            st_ld: 0,
+            ld_st: 0,
+            pct_local: 26,
+            fp_pct: 0,
+            store_pct: 50,
+            mix: interproc(2, 0),
+            miss: Resident,
         },
         BenchSpec {
-            name: "429.mcf", suite: Spec2k6, ops: 30, mem_ops: 3, mlp: 4,
-            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 24, fp_pct: 0,
-            store_pct: 0, mix: static_only(3), miss: Streaming,
+            name: "429.mcf",
+            suite: Spec2k6,
+            ops: 30,
+            mem_ops: 3,
+            mlp: 4,
+            st_st: 0,
+            st_ld: 0,
+            ld_st: 0,
+            pct_local: 24,
+            fp_pct: 0,
+            store_pct: 0,
+            mix: static_only(3),
+            miss: Streaming,
         },
         BenchSpec {
-            name: "namd", suite: Spec2k6, ops: 527, mem_ops: 100, mlp: 16,
-            st_st: 6, st_ld: 6, ld_st: 30, pct_local: 41, fp_pct: 70,
-            store_pct: 30, mix: multidim(16), miss: Strided,
+            name: "namd",
+            suite: Spec2k6,
+            ops: 527,
+            mem_ops: 100,
+            mlp: 16,
+            st_st: 6,
+            st_ld: 6,
+            ld_st: 30,
+            pct_local: 41,
+            fp_pct: 70,
+            store_pct: 30,
+            mix: multidim(16),
+            miss: Strided,
         },
         BenchSpec {
-            name: "soplex", suite: Spec2k6, ops: 140, mem_ops: 32, mlp: 4,
-            st_st: 0, st_ld: 0, ld_st: 8, pct_local: 19, fp_pct: 40,
+            name: "soplex",
+            suite: Spec2k6,
+            ops: 140,
+            mem_ops: 32,
+            mlp: 4,
+            st_st: 0,
+            st_ld: 0,
+            ld_st: 8,
+            pct_local: 19,
+            fp_pct: 40,
             store_pct: 30,
             mix: AliasMix {
                 static_lanes: 1,
@@ -253,8 +357,16 @@ pub fn all() -> Vec<BenchSpec> {
             miss: Strided,
         },
         BenchSpec {
-            name: "453.povray", suite: Spec2k6, ops: 223, mem_ops: 74, mlp: 32,
-            st_st: 4, st_ld: 21, ld_st: 24, pct_local: 9, fp_pct: 42,
+            name: "453.povray",
+            suite: Spec2k6,
+            ops: 223,
+            mem_ops: 74,
+            mlp: 32,
+            st_st: 4,
+            st_ld: 21,
+            ld_st: 24,
+            pct_local: 9,
+            fp_pct: 42,
             store_pct: 35,
             mix: AliasMix {
                 static_lanes: 4,
@@ -267,13 +379,31 @@ pub fn all() -> Vec<BenchSpec> {
             miss: Strided,
         },
         BenchSpec {
-            name: "sjeng", suite: Spec2k6, ops: 99, mem_ops: 11, mlp: 8,
-            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 33, fp_pct: 0,
-            store_pct: 9, mix: static_only(8), miss: Resident,
+            name: "sjeng",
+            suite: Spec2k6,
+            ops: 99,
+            mem_ops: 11,
+            mlp: 8,
+            st_st: 0,
+            st_ld: 0,
+            ld_st: 0,
+            pct_local: 33,
+            fp_pct: 0,
+            store_pct: 9,
+            mix: static_only(8),
+            miss: Resident,
         },
         BenchSpec {
-            name: "464.h264ref", suite: Spec2k6, ops: 224, mem_ops: 42, mlp: 8,
-            st_st: 0, st_ld: 5, ld_st: 0, pct_local: 27, fp_pct: 10,
+            name: "464.h264ref",
+            suite: Spec2k6,
+            ops: 224,
+            mem_ops: 42,
+            mlp: 8,
+            st_st: 0,
+            st_ld: 5,
+            ld_st: 0,
+            pct_local: 27,
+            fp_pct: 10,
             store_pct: 20,
             mix: AliasMix {
                 interproc_lanes: 7,
@@ -284,13 +414,31 @@ pub fn all() -> Vec<BenchSpec> {
             miss: Resident,
         },
         BenchSpec {
-            name: "lbm", suite: Spec2k6, ops: 147, mem_ops: 57, mlp: 32,
-            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 12, fp_pct: 65,
-            store_pct: 40, mix: multidim(32), miss: Streaming,
+            name: "lbm",
+            suite: Spec2k6,
+            ops: 147,
+            mem_ops: 57,
+            mlp: 32,
+            st_st: 0,
+            st_ld: 0,
+            ld_st: 0,
+            pct_local: 12,
+            fp_pct: 65,
+            store_pct: 40,
+            mix: multidim(32),
+            miss: Streaming,
         },
         BenchSpec {
-            name: "sphinx3", suite: Spec2k6, ops: 133, mem_ops: 20, mlp: 32,
-            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 0, fp_pct: 50,
+            name: "sphinx3",
+            suite: Spec2k6,
+            ops: 133,
+            mem_ops: 20,
+            mlp: 32,
+            st_st: 0,
+            st_ld: 0,
+            ld_st: 0,
+            pct_local: 0,
+            fp_pct: 50,
             store_pct: 10,
             mix: AliasMix {
                 static_lanes: 18,
@@ -302,28 +450,76 @@ pub fn all() -> Vec<BenchSpec> {
         },
         // ---------------- PARSEC / PERFECT ----------------
         BenchSpec {
-            name: "blacks.", suite: Parsec, ops: 297, mem_ops: 0, mlp: 0,
-            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 4, fp_pct: 80,
-            store_pct: 0, mix: AliasMix::default(), miss: Resident,
+            name: "blacks.",
+            suite: Parsec,
+            ops: 297,
+            mem_ops: 0,
+            mlp: 0,
+            st_st: 0,
+            st_ld: 0,
+            ld_st: 0,
+            pct_local: 4,
+            fp_pct: 80,
+            store_pct: 0,
+            mix: AliasMix::default(),
+            miss: Resident,
         },
         BenchSpec {
-            name: "bodytrack", suite: Parsec, ops: 285, mem_ops: 42, mlp: 4,
-            st_st: 30, st_ld: 30, ld_st: 42, pct_local: 10, fp_pct: 30,
-            store_pct: 40, mix: multidim(4), miss: Resident,
+            name: "bodytrack",
+            suite: Parsec,
+            ops: 285,
+            mem_ops: 42,
+            mlp: 4,
+            st_st: 30,
+            st_ld: 30,
+            ld_st: 42,
+            pct_local: 10,
+            fp_pct: 30,
+            store_pct: 40,
+            mix: multidim(4),
+            miss: Resident,
         },
         BenchSpec {
-            name: "dwt53", suite: Parsec, ops: 106, mem_ops: 16, mlp: 16,
-            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 11, fp_pct: 0,
-            store_pct: 50, mix: multidim(16), miss: Strided,
+            name: "dwt53",
+            suite: Parsec,
+            ops: 106,
+            mem_ops: 16,
+            mlp: 16,
+            st_st: 0,
+            st_ld: 0,
+            ld_st: 0,
+            pct_local: 11,
+            fp_pct: 0,
+            store_pct: 50,
+            mix: multidim(16),
+            miss: Strided,
         },
         BenchSpec {
-            name: "ferret", suite: Parsec, ops: 185, mem_ops: 0, mlp: 2,
-            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 29, fp_pct: 40,
-            store_pct: 0, mix: AliasMix::default(), miss: Resident,
+            name: "ferret",
+            suite: Parsec,
+            ops: 185,
+            mem_ops: 0,
+            mlp: 2,
+            st_st: 0,
+            st_ld: 0,
+            ld_st: 0,
+            pct_local: 29,
+            fp_pct: 40,
+            store_pct: 0,
+            mix: AliasMix::default(),
+            miss: Resident,
         },
         BenchSpec {
-            name: "fft-2d", suite: Parsec, ops: 314, mem_ops: 80, mlp: 4,
-            st_st: 0, st_ld: 24, ld_st: 24, pct_local: 18, fp_pct: 55,
+            name: "fft-2d",
+            suite: Parsec,
+            ops: 314,
+            mem_ops: 80,
+            mlp: 4,
+            st_st: 0,
+            st_ld: 24,
+            ld_st: 24,
+            pct_local: 18,
+            fp_pct: 55,
             store_pct: 45,
             mix: AliasMix {
                 static_lanes: 1,
@@ -336,13 +532,31 @@ pub fn all() -> Vec<BenchSpec> {
             miss: Streaming,
         },
         BenchSpec {
-            name: "fluida.", suite: Parsec, ops: 229, mem_ops: 28, mlp: 8,
-            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 14, fp_pct: 50,
-            store_pct: 25, mix: interproc(8, 0), miss: Resident,
+            name: "fluida.",
+            suite: Parsec,
+            ops: 229,
+            mem_ops: 28,
+            mlp: 8,
+            st_st: 0,
+            st_ld: 0,
+            ld_st: 0,
+            pct_local: 14,
+            fp_pct: 50,
+            store_pct: 25,
+            mix: interproc(8, 0),
+            miss: Resident,
         },
         BenchSpec {
-            name: "freqmi.", suite: Parsec, ops: 109, mem_ops: 32, mlp: 4,
-            st_st: 0, st_ld: 8, ld_st: 0, pct_local: 17, fp_pct: 0,
+            name: "freqmi.",
+            suite: Parsec,
+            ops: 109,
+            mem_ops: 32,
+            mlp: 4,
+            st_st: 0,
+            st_ld: 8,
+            ld_st: 0,
+            pct_local: 17,
+            fp_pct: 0,
             store_pct: 35,
             mix: AliasMix {
                 interproc_lanes: 2,
@@ -354,8 +568,16 @@ pub fn all() -> Vec<BenchSpec> {
             miss: Strided,
         },
         BenchSpec {
-            name: "sar-back", suite: Parsec, ops: 151, mem_ops: 7, mlp: 8,
-            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 64, fp_pct: 55,
+            name: "sar-back",
+            suite: Parsec,
+            ops: 151,
+            mem_ops: 7,
+            mlp: 8,
+            st_st: 0,
+            st_ld: 0,
+            ld_st: 0,
+            pct_local: 64,
+            fp_pct: 55,
             store_pct: 30,
             mix: AliasMix {
                 interproc_lanes: 4,
@@ -366,8 +588,16 @@ pub fn all() -> Vec<BenchSpec> {
             miss: Strided,
         },
         BenchSpec {
-            name: "sar-pfa.", suite: Parsec, ops: 500, mem_ops: 32, mlp: 16,
-            st_st: 12, st_ld: 0, ld_st: 12, pct_local: 19, fp_pct: 60,
+            name: "sar-pfa.",
+            suite: Parsec,
+            ops: 500,
+            mem_ops: 32,
+            mlp: 16,
+            st_st: 12,
+            st_ld: 0,
+            ld_st: 12,
+            pct_local: 19,
+            fp_pct: 60,
             store_pct: 40,
             mix: AliasMix {
                 interproc_lanes: 6,
@@ -381,8 +611,16 @@ pub fn all() -> Vec<BenchSpec> {
             miss: Strided,
         },
         BenchSpec {
-            name: "stream.", suite: Parsec, ops: 210, mem_ops: 32, mlp: 16,
-            st_st: 0, st_ld: 0, ld_st: 0, pct_local: 0, fp_pct: 50,
+            name: "stream.",
+            suite: Parsec,
+            ops: 210,
+            mem_ops: 32,
+            mlp: 16,
+            st_st: 0,
+            st_ld: 0,
+            ld_st: 0,
+            pct_local: 0,
+            fp_pct: 50,
             store_pct: 15,
             mix: AliasMix {
                 static_lanes: 14,
@@ -393,8 +631,16 @@ pub fn all() -> Vec<BenchSpec> {
             miss: Streaming,
         },
         BenchSpec {
-            name: "histog.", suite: Parsec, ops: 522, mem_ops: 48, mlp: 16,
-            st_st: 0, st_ld: 0, ld_st: 6, pct_local: 0, fp_pct: 0,
+            name: "histog.",
+            suite: Parsec,
+            ops: 522,
+            mem_ops: 48,
+            mlp: 16,
+            st_st: 0,
+            st_ld: 0,
+            ld_st: 6,
+            pct_local: 0,
+            fp_pct: 0,
             store_pct: 40,
             mix: AliasMix {
                 interproc_lanes: 10,
@@ -448,10 +694,7 @@ mod tests {
     fn fifteen_regions_have_no_ambiguity() {
         // The paper reports 15 of 27 workloads with zero MAY MDEs
         // (no NACHOS energy overhead).
-        let clean = all()
-            .iter()
-            .filter(|s| s.mix.ambiguous_ops() == 0)
-            .count();
+        let clean = all().iter().filter(|s| s.mix.ambiguous_ops() == 0).count();
         assert_eq!(clean, 15);
     }
 

@@ -12,13 +12,19 @@ fn main() {
     let w = generate(&spec);
     let energy = EnergyModel::default();
 
-    println!("benchmark: {} ({} memory operations)", spec.name, spec.mem_ops);
+    println!(
+        "benchmark: {} ({} memory operations)",
+        spec.name, spec.mem_ops
+    );
     println!();
 
     // 1. Sweep comparators per `==?` site: the arbiter serializes checks,
     //    so fan-in-heavy sites benefit from extra comparators.
     println!("comparators/site sweep (NACHOS):");
-    println!("{:>18} {:>12} {:>14}", "comparators", "cycles", "MAY checks");
+    println!(
+        "{:>18} {:>12} {:>14}",
+        "comparators", "cycles", "MAY checks"
+    );
     for comparators in [1u32, 2, 4, 8] {
         let config = SimConfig {
             comparators_per_site: comparators,
@@ -37,7 +43,10 @@ fn main() {
     //    baseline's scaling limit (§VIII-C Challenge 2).
     println!();
     println!("LSQ allocation-bandwidth sweep (OPT-LSQ):");
-    println!("{:>18} {:>12} {:>14}", "allocs/cycle", "cycles", "CAM searches");
+    println!(
+        "{:>18} {:>12} {:>14}",
+        "allocs/cycle", "cycles", "CAM searches"
+    );
     for apc in [1u32, 2, 4, 8] {
         let mut config = SimConfig::default().with_invocations(32);
         config.lsq.alloc_per_cycle = apc;

@@ -6,9 +6,7 @@
 //! Run with `cargo run --release --example irregular_pointers`.
 
 use nachos::{pct_slowdown, run_all_backends, EnergyModel, SimConfig};
-use nachos_ir::{
-    AffineExpr, Binding, IntOp, LoopInfo, MemRef, RegionBuilder, UnknownPattern,
-};
+use nachos_ir::{AffineExpr, Binding, IntOp, LoopInfo, MemRef, RegionBuilder, UnknownPattern};
 
 fn main() {
     // One store through an untraceable pointer, then eight independent
@@ -21,10 +19,7 @@ fn main() {
     b.store(MemRef::unknown(p, 0), &[x]);
     for lane in 0..8u32 {
         let g = b.global(&format!("a{lane}"), 1 << 16, lane);
-        let ld = b.load(
-            MemRef::affine(g, AffineExpr::var(i).scaled(64)),
-            &[],
-        );
+        let ld = b.load(MemRef::affine(g, AffineExpr::var(i).scaled(64)), &[]);
         b.int_op(IntOp::Mul, &[ld]);
     }
     let region = b.finish();
@@ -42,12 +37,15 @@ fn main() {
         }],
     };
     let config = SimConfig::default().with_invocations(64);
-    let runs = run_all_backends(&region, &binding, &config, &EnergyModel::default())
-        .expect("simulate");
+    let runs =
+        run_all_backends(&region, &binding, &config, &EnergyModel::default()).expect("simulate");
     let [lsq, sw, hw] = runs;
 
     println!("one MAY store above eight independent loads:");
-    println!("  OPT-LSQ   : {:>7} cycles (dynamic checks in the CAM)", lsq.sim.cycles);
+    println!(
+        "  OPT-LSQ   : {:>7} cycles (dynamic checks in the CAM)",
+        lsq.sim.cycles
+    );
     println!(
         "  NACHOS-SW : {:>7} cycles ({:+.0}% vs OPT-LSQ — every load waits)",
         sw.sim.cycles,
@@ -64,5 +62,8 @@ fn main() {
         "NACHOS-SW must serialize on compiler uncertainty; NACHOS checks the \
          addresses in hardware and lets the independent loads proceed."
     );
-    assert!(sw.sim.cycles > hw.sim.cycles, "the checks must pay off here");
+    assert!(
+        sw.sim.cycles > hw.sim.cycles,
+        "the checks must pay off here"
+    );
 }

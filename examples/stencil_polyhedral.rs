@@ -10,8 +10,7 @@
 use nachos::{pct_slowdown, run_backend, Backend, EnergyModel, SimConfig};
 use nachos_alias::{analyze, StageConfig};
 use nachos_ir::{
-    AffineExpr, Binding, FpOp, LoopInfo, MemRef, ParamInfo, RegionBuilder, ScaledParam,
-    Subscript,
+    AffineExpr, Binding, FpOp, LoopInfo, MemRef, ParamInfo, RegionBuilder, ScaledParam, Subscript,
 };
 
 fn main() {
@@ -91,8 +90,8 @@ fn main() {
         },
     )
     .expect("simulate");
-    let sw_with = run_backend(&region, &binding, Backend::NachosSw, &config, &energy)
-        .expect("simulate");
+    let sw_with =
+        run_backend(&region, &binding, Backend::NachosSw, &config, &energy).expect("simulate");
     println!();
     println!(
         "  NACHOS-SW cycles without stage 4: {}",

@@ -1,6 +1,7 @@
 //! Shape invariants from the paper's evaluation, enforced as tests: the
 //! qualitative results (who wins, and where) must hold on every build.
 
+use nachos::sweep::{run_sweep, SweepConfig, SweepJob};
 use nachos::{run_backend, Backend, EnergyModel, SimConfig};
 use nachos_alias::{analyze, StageConfig};
 use nachos_workloads::{by_name, generate, generate_all};
@@ -9,13 +10,60 @@ fn cfg() -> SimConfig {
     SimConfig::default().with_invocations(24)
 }
 
+fn suite_jobs() -> Vec<SweepJob> {
+    generate_all()
+        .into_iter()
+        .map(|w| SweepJob {
+            name: w.spec.name.to_owned(),
+            region: w.region,
+            binding: w.binding,
+        })
+        .collect()
+}
+
+#[test]
+fn all_workloads_all_backends_match_reference() {
+    // The central invariant (DESIGN §5): every backend reproduces the
+    // in-order reference executor's memory state and load observations on
+    // all 27 Table II workloads. The parallel sweep harness differential-
+    // checks each of the 27 x 3 runs.
+    let jobs = suite_jobs();
+    assert_eq!(jobs.len(), 27, "Table II has 27 workloads");
+    let sweep = run_sweep(&jobs, &SweepConfig::default().with_invocations(16))
+        .expect("every workload simulates");
+    assert_eq!(sweep.variants.len(), 3, "OPT-LSQ, NACHOS-SW, NACHOS");
+    assert!(
+        sweep.all_match(),
+        "backend-vs-reference divergence: {:?}",
+        sweep.mismatches()
+    );
+}
+
+#[test]
+fn sweep_report_is_thread_count_independent() {
+    // Determinism contract of the harness: the JSON report is
+    // byte-identical no matter how many workers ran the sweep.
+    let jobs: Vec<SweepJob> = suite_jobs().into_iter().take(6).collect();
+    let base = SweepConfig::default().with_invocations(8);
+    let serial = run_sweep(&jobs, &base.clone().with_threads(1)).unwrap();
+    let wide = run_sweep(&jobs, &base.with_threads(8)).unwrap();
+    assert_eq!(serial.to_json(), wide.to_json());
+}
+
 #[test]
 fn nachos_recovers_every_sw_slowdown() {
     // §VIII-A: wherever NACHOS-SW serializes on MAY edges, the hardware
     // checks recover most of the loss. Require NACHOS to stay within 15%
     // of OPT-LSQ on every MAY-heavy workload where NACHOS-SW is >15% slower.
     let energy = EnergyModel::default();
-    for name in ["art", "soplex", "453.povray", "fft-2d", "freqmi.", "histog."] {
+    for name in [
+        "art",
+        "soplex",
+        "453.povray",
+        "fft-2d",
+        "freqmi.",
+        "histog.",
+    ] {
         let w = generate(&by_name(name).unwrap());
         let lsq = run_backend(&w.region, &w.binding, Backend::OptLsq, &cfg(), &energy).unwrap();
         let sw = run_backend(&w.region, &w.binding, Backend::NachosSw, &cfg(), &energy).unwrap();
@@ -101,11 +149,21 @@ fn baseline_compiler_hurts_stage_beneficiaries() {
     for name in ["parser", "183.equake", "lbm", "bodytrack"] {
         let w = generate(&by_name(name).unwrap());
         let full = nachos::run_backend_with_stages(
-            &w.region, &w.binding, Backend::NachosSw, &cfg(), &energy, StageConfig::full(),
+            &w.region,
+            &w.binding,
+            Backend::NachosSw,
+            &cfg(),
+            &energy,
+            StageConfig::full(),
         )
         .unwrap();
         let base = nachos::run_backend_with_stages(
-            &w.region, &w.binding, Backend::NachosSw, &cfg(), &energy, StageConfig::baseline(),
+            &w.region,
+            &w.binding,
+            Backend::NachosSw,
+            &cfg(),
+            &energy,
+            StageConfig::baseline(),
         )
         .unwrap();
         let slow = nachos::pct_slowdown(base.sim.cycles, full.sim.cycles);

@@ -16,11 +16,9 @@ fn all_workloads_all_backends_match_reference() {
             .unwrap_or_else(|e| panic!("{}: {e}", w.spec.name));
         for run in &runs {
             assert_eq!(
-                run.sim.mem,
-                expected.mem,
+                run.sim.mem, expected.mem,
                 "{} under {}: final memory state diverged",
-                w.spec.name,
-                run.sim.backend
+                w.spec.name, run.sim.backend
             );
             assert_eq!(
                 run.sim.loads.digest(),

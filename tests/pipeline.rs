@@ -7,7 +7,9 @@ use nachos_workloads::{by_name, generate, generate_all};
 #[test]
 fn stage1_perfect_workloads_need_no_further_analysis() {
     // §V-B: seven workloads are fully handled by Stage 1 alone.
-    for name in ["gzip", "181.mcf", "429.mcf", "crafty", "sjeng", "blacks.", "ferret"] {
+    for name in [
+        "gzip", "181.mcf", "429.mcf", "crafty", "sjeng", "blacks.", "ferret",
+    ] {
         let w = generate(&by_name(name).unwrap());
         let a = analyze(&w.region, StageConfig::stage1_only());
         assert_eq!(
@@ -29,7 +31,10 @@ fn stage2_resolves_interprocedural_workloads() {
             without.report.after_stage1.may > 0,
             "{name}: Stage 1 alone must leave MAY pairs"
         );
-        assert!(with.report.stage2_refined > 0, "{name}: Stage 2 must refine");
+        assert!(
+            with.report.stage2_refined > 0,
+            "{name}: Stage 2 must refine"
+        );
         assert_eq!(
             with.report.final_labels.may, 0,
             "{name}: fully resolved with Stage 2"
@@ -55,7 +60,10 @@ fn stage4_resolves_multidim_workloads() {
             without.report.final_labels.may > 0,
             "{name}: stages 1-3 must be insufficient"
         );
-        assert!(with.report.stage4_refined > 0, "{name}: Stage 4 must refine");
+        assert!(
+            with.report.stage4_refined > 0,
+            "{name}: Stage 4 must refine"
+        );
         assert_eq!(
             with.report.final_labels.may, 0,
             "{name}: Stage 4 resolves everything"
@@ -91,7 +99,10 @@ fn stage3_prunes_redundant_relations() {
         );
         any_pruned |= pruned.report.pruned > 0;
     }
-    assert!(any_pruned, "stage 3 should prune something across the suite");
+    assert!(
+        any_pruned,
+        "stage 3 should prune something across the suite"
+    );
 }
 
 #[test]
@@ -151,7 +162,10 @@ fn labels_are_dynamically_sound() {
                         !overlap,
                         "{}: NO-labeled pair {:?} overlaps at invocation {inv}",
                         w.spec.name,
-                        Pair { older: pair.older, younger: pair.younger }
+                        Pair {
+                            older: pair.older,
+                            younger: pair.younger
+                        }
                     );
                 }
             }

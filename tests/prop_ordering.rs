@@ -4,7 +4,7 @@
 
 use nachos::{reference, run_all_backends, EnergyModel, SimConfig};
 use nachos_ir::{
-    AffineExpr, Binding, IntOp, LoopInfo, MemRef, Provenance, Region, RegionBuilder,
+    AffineExpr, Binding, IntOp, LoopInfo, MemRef, MemSpace, Provenance, Region, RegionBuilder,
     UnknownPattern,
 };
 use proptest::prelude::*;
@@ -90,6 +90,102 @@ fn build(ops: &[OpPlan]) -> (Region, Binding) {
     (region, binding)
 }
 
+/// Like [`build`], but target 5 is a scratchpad object (bypasses the LSQ
+/// and the cache in every scheme) and the unknown windows scatter across
+/// the global footprint, so LSQ-tracked, MAY-checked and local traffic
+/// interleave in one region.
+fn build_with_scratchpad(ops: &[OpPlan]) -> (Region, Binding) {
+    let mut b = RegionBuilder::new("prop-sp");
+    let i = b.enclosing_loop(LoopInfo::range("i", 0, 4));
+    let g0 = b.global("g0", 4096, 0);
+    let g1 = b.global("g1", 4096, 1);
+    let a0 = b.arg(0, Provenance::Object(7));
+    let sp = b.global("sp", 256, 3);
+    let u0 = b.unknown_ptr();
+    let u1 = b.unknown_ptr();
+    let bases = [g0, g1, a0];
+    let x = b.input();
+    let mut carried = x;
+    for plan in ops {
+        let node = if plan.target < 3 {
+            let mut off = AffineExpr::constant_expr(plan.slot * 8);
+            if plan.strided {
+                off = off.add(&AffineExpr::var(i).scaled(8));
+            }
+            let mref = MemRef::affine(bases[plan.target], off);
+            if plan.is_store {
+                b.store(mref, &[carried])
+            } else {
+                b.load(mref, &[])
+            }
+        } else if plan.target < 5 {
+            let u = if plan.target == 3 { u0 } else { u1 };
+            let mref = MemRef::unknown(u, plan.slot * 8);
+            if plan.is_store {
+                b.store(mref, &[carried])
+            } else {
+                b.load(mref, &[])
+            }
+        } else {
+            let mut off = AffineExpr::constant_expr(plan.slot * 8);
+            if plan.strided {
+                off = off.add(&AffineExpr::var(i).scaled(8));
+            }
+            let mref = MemRef::affine(sp, off).with_space(MemSpace::Scratchpad);
+            if plan.is_store {
+                b.store(mref, &[carried])
+            } else {
+                b.load(mref, &[])
+            }
+        };
+        if !plan.is_store {
+            carried = b.int_op(IntOp::Add, &[node, carried]);
+        }
+    }
+    b.output(carried);
+    let region = b.finish();
+    let binding = Binding {
+        base_addrs: vec![0x1000, 0x2000, 0x3000, 0x2_0000],
+        params: Vec::new(),
+        unknowns: vec![
+            UnknownPattern::Scatter {
+                seed: 21,
+                lo: 0x1000,
+                hi: 0x1040,
+                align: 8,
+            },
+            UnknownPattern::Scatter {
+                seed: 22,
+                lo: 0x2000,
+                hi: 0x2040,
+                align: 8,
+            },
+        ],
+    };
+    (region, binding)
+}
+
+fn assert_all_backends_match(region: &Region, binding: &Binding, ops: &[OpPlan]) {
+    let config = SimConfig::default().with_invocations(6);
+    let expected = reference::execute(region, binding, config.invocations);
+    let runs = run_all_backends(region, binding, &config, &EnergyModel::default())
+        .expect("simulation succeeds");
+    for run in &runs {
+        assert_eq!(
+            &run.sim.mem, &expected.mem,
+            "{} diverged from the in-order reference (ops: {:?})",
+            run.sim.backend, ops
+        );
+        assert_eq!(
+            run.sim.loads.digest(),
+            expected.loads.digest(),
+            "{} load values diverged (ops: {:?})",
+            run.sim.backend,
+            ops
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -114,5 +210,21 @@ proptest! {
                 run.sim.backend, ops
             );
         }
+    }
+
+    /// Same invariant with scratchpad operations in the mix and both
+    /// unknown pointers scattering: local (LSQ-free, cache-free) traffic
+    /// must interleave correctly with checked global traffic.
+    #[test]
+    fn scratchpad_and_scatter_regions_preserve_sequential_semantics(
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0usize..6, 0i64..4, any::<bool>()).prop_map(
+                |(is_store, target, slot, strided)| OpPlan { is_store, target, slot, strided }
+            ),
+            1..14
+        )
+    ) {
+        let (region, binding) = build_with_scratchpad(&ops);
+        assert_all_backends_match(&region, &binding, &ops);
     }
 }

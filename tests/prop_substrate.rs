@@ -2,9 +2,9 @@
 //! counting bloom filter and the incremental reachability closure.
 
 use nachos_alias::Reachability;
+use nachos_ir::NodeId;
 use nachos_lsq::CountingBloom;
 use nachos_mem::{Cache, CacheConfig, DataMemory};
-use nachos_ir::NodeId;
 use proptest::prelude::*;
 use std::collections::{HashSet, VecDeque};
 
