@@ -42,7 +42,7 @@ fn main() {
                 }],
                 ..SweepConfig::default()
             };
-            run_sweep(&jobs, &cfg).expect("simulate")
+            run_sweep(&jobs, &cfg)
         })
         .collect();
 
@@ -54,8 +54,8 @@ fn main() {
         print!("{name:<14} {:>6}", fanins[i]);
         for sweep in &sweeps {
             let run = &sweep.jobs[i].runs[0];
-            assert!(run.matches_reference, "{name} diverged from reference");
-            print!(" {:>10}", run.run.sim.cycles);
+            assert!(run.matches_reference(), "{name} diverged from reference");
+            print!(" {:>10}", run.expect_run().sim.cycles);
         }
         println!();
     }

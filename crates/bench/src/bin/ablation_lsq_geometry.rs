@@ -38,7 +38,7 @@ fn main() {
                 }],
                 ..SweepConfig::default()
             };
-            run_sweep(&jobs, &cfg).expect("simulate")
+            run_sweep(&jobs, &cfg)
         })
         .collect();
 
@@ -50,10 +50,14 @@ fn main() {
         print!("{name:<14} {:>6} |", mem_ops[i]);
         for sweep in &sweeps {
             let run = &sweep.jobs[i].runs[0];
-            assert!(run.matches_reference, "{name} diverged from reference");
-            print!(" {:>10}", run.run.sim.cycles);
+            assert!(run.matches_reference(), "{name} diverged from reference");
+            print!(" {:>10}", run.expect_run().sim.cycles);
         }
-        let overflow_small = sweeps[0].jobs[i].runs[0].run.sim.events.lsq_bank_overflows;
+        let overflow_small = sweeps[0].jobs[i].runs[0]
+            .expect_run()
+            .sim
+            .events
+            .lsq_bank_overflows;
         println!(" | {overflow_small:>12}");
     }
     println!();

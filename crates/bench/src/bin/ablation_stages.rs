@@ -91,7 +91,7 @@ fn main() {
             .collect(),
         ..SweepConfig::default()
     };
-    let sweep = run_sweep(&jobs, &cfg).expect("simulate");
+    let sweep = run_sweep(&jobs, &cfg);
     assert!(sweep.all_match(), "divergence: {:?}", sweep.mismatches());
     let full_idx = configs.len() - 1;
 
@@ -109,8 +109,8 @@ fn main() {
     for (ci, (label, _)) in configs.iter().enumerate() {
         print!("{label:<10}");
         for job in &sweep.jobs {
-            let run = &job.runs[ci].run;
-            let full_cycles = job.runs[full_idx].run.sim.cycles;
+            let run = job.runs[ci].expect_run();
+            let full_cycles = job.runs[full_idx].expect_run().sim.cycles;
             let mdes = run
                 .analysis
                 .as_ref()

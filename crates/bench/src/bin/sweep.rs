@@ -1,13 +1,19 @@
 //! The machine-readable sweep: runs the full 27-workload × 4-variant
 //! differential matrix on the parallel harness and emits the JSON report
-//! (schema `nachos-sweep-v1`).
+//! (schema `nachos-sweep-v2`).
 //!
-//! Usage: `sweep [--threads N] [--invocations N] [--out FILE]`
-//! (defaults: auto threads, 64 invocations, stdout).
+//! With `--inject smoke`, runs the fault-injection smoke suite instead:
+//! one crafted scenario per fault class, each with a hard per-backend
+//! status expectation (unsafe faults detected, benign faults result-
+//! neutral, dropped tokens diagnosed as deadlocks). Exits non-zero on any
+//! deviation.
+//!
+//! Usage: `sweep [--threads N] [--invocations N] [--out FILE]
+//! [--inject smoke]` (defaults: auto threads, 64 invocations, stdout).
 
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: sweep [--threads N] [--invocations N] [--out FILE]";
+const USAGE: &str = "usage: sweep [--threads N] [--invocations N] [--out FILE] [--inject smoke]";
 
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("{msg}");
@@ -19,10 +25,11 @@ fn main() -> ExitCode {
     let mut threads = 0usize;
     let mut invocations = nachos_bench::DEFAULT_INVOCATIONS;
     let mut out: Option<String> = None;
+    let mut inject: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let Some(value) = (match a.as_str() {
-            "--threads" | "--invocations" | "--out" => args.next(),
+            "--threads" | "--invocations" | "--out" | "--inject" => args.next(),
             other => return usage_error(&format!("unknown argument: {other}")),
         }) else {
             return usage_error(&format!("{a} requires a value"));
@@ -38,29 +45,62 @@ fn main() -> ExitCode {
                     return usage_error(&format!("--invocations takes a count, got {value:?}"))
                 }
             },
+            "--inject" => inject = Some(value),
             _ => out = Some(value),
         }
     }
 
-    let suite = nachos_bench::run_suite_threads(invocations, threads);
-    let json = suite.sweep.to_json();
-    match out {
-        Some(path) => {
-            std::fs::write(&path, &json).expect("writing the report file");
-            eprintln!(
-                "wrote {} jobs x {} variants to {path}",
+    let (json, summary, ok) = match inject.as_deref() {
+        Some("smoke") => {
+            let (sweep, failures) = nachos_bench::run_fault_smoke(threads);
+            for f in &failures {
+                eprintln!("SMOKE DEVIATION: {f}");
+            }
+            let statuses: Vec<String> = sweep
+                .statuses()
+                .iter()
+                .map(|(job, variant, status)| format!("{job} [{variant}] {status}"))
+                .collect();
+            (
+                sweep.to_json(),
+                format!(
+                    "fault-injection smoke: {} runs, {} deviations\n{}",
+                    statuses.len(),
+                    failures.len(),
+                    statuses.join("\n"),
+                ),
+                failures.is_empty(),
+            )
+        }
+        Some(other) => return usage_error(&format!("--inject knows 'smoke', got {other:?}")),
+        None => {
+            let suite = nachos_bench::run_suite_threads(invocations, threads);
+            let ok = suite.sweep.all_match();
+            if !ok {
+                eprintln!("DIVERGENCE: {:?}", suite.sweep.mismatches());
+            }
+            let summary = format!(
+                "{} jobs x {} variants",
                 suite.sweep.jobs.len(),
                 suite.sweep.variants.len()
             );
+            (suite.sweep.to_json(), summary, ok)
         }
-        None => print!("{json}"),
+    };
+
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("writing the report file");
+            eprintln!("wrote {summary} to {path}");
+        }
+        None => {
+            print!("{json}");
+            eprintln!("{summary}");
+        }
     }
-    if suite.sweep.all_match() {
+    if ok {
         ExitCode::SUCCESS
     } else {
-        // Unreachable today (run_suite_threads panics on divergence), but
-        // keeps the bin honest if that policy ever loosens.
-        eprintln!("DIVERGENCE: {:?}", suite.sweep.mismatches());
         ExitCode::FAILURE
     }
 }

@@ -1,5 +1,6 @@
 //! Simulator configuration: backend selection and structural parameters.
 
+use crate::fault::FaultPlan;
 use nachos_cgra::{GridConfig, LatencyModel};
 use nachos_lsq::LsqConfig;
 use nachos_mem::HierarchyConfig;
@@ -58,6 +59,10 @@ pub struct SimConfig {
     pub comparators_per_site: u32,
     /// Region invocations to simulate.
     pub invocations: u64,
+    /// Engine watchdog parameters (cycle budget, liveness checks).
+    pub watchdog: WatchdogConfig,
+    /// Deterministic fault-injection plan (empty by default).
+    pub fault: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -70,6 +75,8 @@ impl Default for SimConfig {
             mem_ports: 4,
             comparators_per_site: 1,
             invocations: 64,
+            watchdog: WatchdogConfig::default(),
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -80,6 +87,44 @@ impl SimConfig {
     pub fn with_invocations(mut self, invocations: u64) -> Self {
         self.invocations = invocations;
         self
+    }
+
+    /// Sets the fault-injection plan, builder-style.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
+}
+
+/// Engine watchdog parameters. The per-invocation cycle budget scales
+/// with region size: `base_cycles + cycles_per_node * num_nodes`. The
+/// defaults are generous — hundreds of times any legitimate
+/// per-invocation latency observed in the sweep — so the watchdog only
+/// fires on genuine zero-progress hangs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Flat per-invocation budget component, in cycles.
+    pub base_cycles: u64,
+    /// Per-node budget component, in cycles.
+    pub cycles_per_node: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            base_cycles: 10_000,
+            cycles_per_node: 1_000,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// The per-invocation cycle budget for a region of `nodes` nodes.
+    #[must_use]
+    pub fn budget(&self, nodes: usize) -> u64 {
+        self.base_cycles
+            .saturating_add(self.cycles_per_node.saturating_mul(nodes as u64))
     }
 }
 
@@ -104,6 +149,20 @@ mod tests {
         assert_eq!(c.hierarchy.mem_latency, 200);
         assert_eq!(c.lsq.entries_per_bank, 48);
         assert_eq!(c.comparators_per_site, 1);
+        assert!(c.fault.is_empty());
         assert_eq!(c.with_invocations(10).invocations, 10);
+    }
+
+    #[test]
+    fn watchdog_budget_scales_with_region_size() {
+        let w = WatchdogConfig::default();
+        assert_eq!(w.budget(0), 10_000);
+        assert_eq!(w.budget(12), 10_000 + 12_000);
+        // Saturates instead of overflowing on absurd inputs.
+        let huge = WatchdogConfig {
+            base_cycles: u64::MAX,
+            cycles_per_node: u64::MAX,
+        };
+        assert_eq!(huge.budget(usize::MAX), u64::MAX);
     }
 }

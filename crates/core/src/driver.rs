@@ -2,7 +2,8 @@
 
 use crate::config::{Backend, SimConfig};
 use crate::energy::EnergyModel;
-use crate::engine::{simulate, SimError, SimResult};
+use crate::engine::{simulate, SimResult};
+use crate::error::SimError;
 use nachos_alias::{compile, Analysis, StageConfig};
 use nachos_ir::{Binding, Region};
 
@@ -52,6 +53,9 @@ pub fn run_backend_with_stages(
     energy: &EnergyModel,
     stages: StageConfig,
 ) -> Result<ExperimentRun, SimError> {
+    // Fail fast on malformed input graphs before spending compile and
+    // placement work; `simulate` re-validates the compiled region.
+    nachos_ir::validate_region(region).map_err(SimError::Validation)?;
     let mut compiled = region.clone();
     let analysis = if backend.uses_mdes() {
         Some(compile(&mut compiled, stages))

@@ -17,43 +17,15 @@
 
 use crate::config::{Backend, SimConfig};
 use crate::energy::{EnergyBreakdown, EnergyModel, EventCounts};
+use crate::error::{DeadlockCause, DeadlockInfo, SimError, StalledNode, WaitForEdge};
+use crate::fault::{FaultClass, FaultKind, FaultState};
 use crate::value::{apply, LoadObserver};
-use nachos_cgra::{PlaceError, Placement};
+use nachos_cgra::Placement;
 use nachos_ir::{Binding, EdgeKind, MemSpace, NodeId, OpKind, Region};
 use nachos_lsq::{BloomStats, LoadSearch, Lsq, StoreSearch};
 use nachos_mem::{CacheStats, DataMemory, MemoryHierarchy};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-use std::fmt;
-
-/// Simulation failure.
-#[derive(Clone, Debug)]
-pub enum SimError {
-    /// The region failed validation.
-    InvalidRegion(String),
-    /// The DFG does not fit on the grid.
-    Placement(PlaceError),
-    /// The binding lacks entries the region references.
-    IncompleteBinding(String),
-}
-
-impl fmt::Display for SimError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SimError::InvalidRegion(m) => write!(f, "invalid region: {m}"),
-            SimError::Placement(e) => write!(f, "placement failed: {e}"),
-            SimError::IncompleteBinding(m) => write!(f, "incomplete binding: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for SimError {}
-
-impl From<PlaceError> for SimError {
-    fn from(e: PlaceError) -> Self {
-        SimError::Placement(e)
-    }
-}
 
 /// Cycle-weighted stall attribution: how long memory operations sat ready
 /// but unable to proceed, bucketed by the resource or ordering mechanism
@@ -126,6 +98,9 @@ pub struct SimResult {
     pub llc: CacheStats,
     /// LSQ bloom statistics (OPT-LSQ backend only; zero otherwise).
     pub bloom: BloomStats,
+    /// Deterministic descriptions of every injected fault that fired
+    /// during the run (empty outside fault-injection runs).
+    pub injected: Vec<String>,
 }
 
 impl SimResult {
@@ -150,7 +125,9 @@ struct Calendar {
 
 impl Calendar {
     fn new(width: u32) -> Self {
-        assert!(width > 0, "calendar width must be positive");
+        // Invariant: widths come from SimConfig fields that `simulate`
+        // rejects (BadConfig) when zero.
+        assert!(width > 0, "calendar width validated before construction");
         Self {
             width,
             used: HashMap::new(),
@@ -231,7 +208,9 @@ struct MayEdge {
 /// # Errors
 ///
 /// Returns [`SimError`] when the region is invalid, does not fit the grid,
-/// or the binding is incomplete.
+/// the binding is incomplete, the configuration is structurally unusable,
+/// or the run deadlocks / violates the token protocol (reachable only
+/// under fault injection or on graphs that bypassed validation).
 pub fn simulate(
     region: &Region,
     binding: &Binding,
@@ -239,7 +218,20 @@ pub fn simulate(
     config: &SimConfig,
     energy: &EnergyModel,
 ) -> Result<SimResult, SimError> {
-    region.validate().map_err(SimError::InvalidRegion)?;
+    nachos_ir::validate_region(region).map_err(SimError::Validation)?;
+    if config.mem_ports == 0 {
+        return Err(SimError::BadConfig("mem_ports must be positive".into()));
+    }
+    if config.comparators_per_site == 0 {
+        return Err(SimError::BadConfig(
+            "comparators_per_site must be positive".into(),
+        ));
+    }
+    if config.lsq.alloc_per_cycle == 0 {
+        return Err(SimError::BadConfig(
+            "lsq.alloc_per_cycle must be positive".into(),
+        ));
+    }
     if binding.base_addrs.len() < region.bases.len() {
         return Err(SimError::IncompleteBinding(format!(
             "{} base addresses for {} bases",
@@ -260,7 +252,7 @@ pub fn simulate(
     let placement = Placement::compute(&region.dfg, config.grid)?;
     let mut engine = Engine::new(region, binding, backend, config, placement);
     for inv in 0..config.invocations {
-        engine.run_invocation(inv);
+        engine.run_invocation(inv)?;
     }
     Ok(engine.finish(energy))
 }
@@ -297,6 +289,8 @@ struct Engine<'a> {
     age_nodes: Vec<NodeId>,
     /// Cycle-weighted stall attribution for the whole run.
     stalls: StallCounts,
+    /// Fault-injection opportunity counters and fired-fault log.
+    fault: FaultState,
     heap: BinaryHeap<Reverse<(u64, u64, Ev)>>,
     seq: u64,
     lsq_alloc_t0: u64,
@@ -336,6 +330,7 @@ impl<'a> Engine<'a> {
             age_of: HashMap::new(),
             age_nodes: Vec::new(),
             stalls: StallCounts::default(),
+            fault: FaultState::default(),
             heap: BinaryHeap::new(),
             seq: 0,
             lsq_alloc_t0: 0,
@@ -374,7 +369,7 @@ impl<'a> Engine<'a> {
             .collect()
     }
 
-    fn run_invocation(&mut self, inv: u64) {
+    fn run_invocation(&mut self, inv: u64) -> Result<(), SimError> {
         self.inv = inv;
         let t0 = self.clock;
         let nest_total = self.region.loops.total_invocations().max(1);
@@ -504,16 +499,39 @@ impl<'a> Engine<'a> {
             }
         }
 
-        // Event loop.
+        // Event loop, under the watchdog's cycle budget. A healthy
+        // invocation finishes orders of magnitude below the budget; only
+        // a zero-progress hang (e.g. a livelocked retry chain) can reach
+        // the deadline.
+        let budget = self.config.watchdog.budget(self.region.dfg.num_nodes());
+        let deadline = t0.saturating_add(budget);
         while let Some(Reverse((t, _, ev))) = self.heap.pop() {
             debug_assert!(t >= t0);
-            self.handle(t, ev);
+            if t > deadline {
+                return Err(self.deadlock(DeadlockCause::BudgetExhausted, t, budget));
+            }
+            self.handle(t, ev)?;
         }
 
-        // Drain the LSQ so the next invocation can begin.
+        // The heap drained: every node must have completed. A node left
+        // incomplete means some gate never opened — a dropped token, a
+        // never-released MAY gate — and the run would silently produce
+        // partial results. Convert the starvation into a diagnosed
+        // deadlock instead.
+        if self.state.iter().any(|st| st.completed.is_none()) {
+            let at = self.clock;
+            return Err(self.deadlock(DeadlockCause::Starved, at, budget));
+        }
+
+        // Drain the LSQ so the next invocation can begin (bounded by the
+        // same budget: with all nodes complete the drain terminates, but
+        // the watchdog guards the loop all the same).
         if self.backend == Backend::OptLsq {
             let mut t = self.clock;
             while !self.lsq.is_drained() {
+                if t > deadline {
+                    return Err(self.deadlock(DeadlockCause::BudgetExhausted, t, budget));
+                }
                 self.lsq.retire_ready(t);
                 t += 1;
             }
@@ -522,15 +540,103 @@ impl<'a> Engine<'a> {
         // Count this invocation's span; leave one idle cycle between
         // block-atomic invocations.
         self.clock += 1;
+        Ok(())
     }
 
-    fn handle(&mut self, t: u64, ev: Ev) {
+    /// Polls the fault injector at one opportunity of `class`.
+    fn poll_fault(&mut self, class: FaultClass) -> Option<FaultKind> {
+        self.fault.poll(&self.config.fault, self.backend, class)
+    }
+
+    /// Delivers an ordering token to `dst` at `at`, counting the delivery
+    /// as a token fault-injection opportunity (drop / duplicate).
+    fn push_token(&mut self, at: u64, dst: NodeId) {
+        match self.poll_fault(FaultClass::TokenDelivery) {
+            Some(FaultKind::DropToken) => {
+                self.fault.record(
+                    FaultKind::DropToken,
+                    at,
+                    &format!("token to node {}", dst.index()),
+                );
+            }
+            Some(FaultKind::DuplicateToken) => {
+                self.fault.record(
+                    FaultKind::DuplicateToken,
+                    at,
+                    &format!("token to node {}", dst.index()),
+                );
+                self.push(at, Ev::Token(dst));
+                self.push(at, Ev::Token(dst));
+            }
+            _ => self.push(at, Ev::Token(dst)),
+        }
+    }
+
+    /// Builds the deadlock diagnostic: every incomplete node with its
+    /// outstanding gate counts, plus the wait-for edges among them.
+    fn deadlock(&mut self, cause: DeadlockCause, cycle: u64, budget: u64) -> SimError {
+        let mut incomplete = vec![false; self.state.len()];
+        let mut stalled = Vec::new();
+        for n in self.region.dfg.node_ids() {
+            let st = &self.state[n.index()];
+            if st.completed.is_none() {
+                incomplete[n.index()] = true;
+                stalled.push(StalledNode {
+                    node: n.index(),
+                    data_pending: st.data_pending,
+                    token_pending: st.token_pending,
+                    may_pending: st.may_pending,
+                    fired: st.fired.is_some(),
+                    issued: st.issued,
+                });
+            }
+        }
+        let mut wait_for = Vec::new();
+        for n in self.region.dfg.node_ids() {
+            if !incomplete[n.index()] {
+                continue;
+            }
+            for e in self.region.dfg.in_edges(n) {
+                if incomplete[e.src.index()] {
+                    let kind = match e.kind {
+                        EdgeKind::Data => "data",
+                        EdgeKind::Order => "order",
+                        EdgeKind::Forward => "forward",
+                        EdgeKind::May => "may",
+                    };
+                    wait_for.push(WaitForEdge {
+                        from: e.src.index(),
+                        to: n.index(),
+                        kind: kind.into(),
+                    });
+                }
+            }
+        }
+        SimError::Deadlock(Box::new(DeadlockInfo {
+            backend: self.backend,
+            invocation: self.inv,
+            cycle,
+            budget,
+            cause,
+            stalled,
+            wait_for,
+            stalls: self.stalls,
+            injected: self.fault.fired.clone(),
+        }))
+    }
+
+    fn handle(&mut self, t: u64, ev: Ev) -> Result<(), SimError> {
         self.clock = self.clock.max(t);
+        if let Some(FaultKind::PanicOnEvent) = self.poll_fault(FaultClass::Event) {
+            // Deliberate: exercises the sweep harness's per-run panic
+            // isolation (`catch_unwind` at the worker boundary).
+            panic!("injected fault: panic-on-event at cycle {t} handling {ev:?}");
+        }
         match ev {
             Ev::Data(n) => {
                 let st = &mut self.state[n.index()];
                 if st.fired.is_some() {
-                    return;
+                    return Ok(());
                 }
                 st.data_pending = st.data_pending.saturating_sub(1);
                 if st.data_pending == 0 {
@@ -540,30 +646,41 @@ impl<'a> Engine<'a> {
             Ev::Token(n) => {
                 let backend = self.backend;
                 let st = &mut self.state[n.index()];
-                st.token_pending = st.token_pending.checked_sub(1).unwrap_or_else(|| {
-                    panic!(
-                        "ordering-token underflow at node {} under {backend}: \
-                         an extra completion token arrived",
-                        n.index()
-                    )
-                });
+                match st.token_pending.checked_sub(1) {
+                    Some(left) => st.token_pending = left,
+                    None => {
+                        return Err(SimError::ProtocolViolation {
+                            backend,
+                            node: n.index(),
+                            message: "ordering-token underflow: an extra completion \
+                                      token arrived"
+                                .into(),
+                        });
+                    }
+                }
                 self.push(t, Ev::TryMem(n));
             }
             Ev::Release(n) => {
                 let backend = self.backend;
                 let st = &mut self.state[n.index()];
-                st.may_pending = st.may_pending.checked_sub(1).unwrap_or_else(|| {
-                    panic!(
-                        "MAY-gate release underflow at node {} under {backend}: \
-                         an extra comparator release arrived",
-                        n.index()
-                    )
-                });
+                match st.may_pending.checked_sub(1) {
+                    Some(left) => st.may_pending = left,
+                    None => {
+                        return Err(SimError::ProtocolViolation {
+                            backend,
+                            node: n.index(),
+                            message: "MAY-gate release underflow: an extra comparator \
+                                      release arrived"
+                                .into(),
+                        });
+                    }
+                }
                 self.push(t, Ev::TryMem(n));
             }
             Ev::TryMem(n) => self.try_mem(t, n),
             Ev::Complete(n) => self.complete(t, n),
         }
+        Ok(())
     }
 
     /// All data (and forward) operands have arrived: start execution.
@@ -713,7 +830,26 @@ impl<'a> Engine<'a> {
             self.state[younger.index()].addr,
             self.state[younger.index()].size,
         );
-        let conflict = a.0 < b.0 + u64::from(b.1) && b.0 < a.0 + u64::from(a.1);
+        let mut conflict = a.0 < b.0 + u64::from(b.1) && b.0 < a.0 + u64::from(a.1);
+        match self.poll_fault(FaultClass::MayCheck) {
+            Some(kind @ FaultKind::ForceNoConflict) => {
+                self.fault.record(
+                    kind,
+                    check_t,
+                    &format!("check n{} vs n{}", older.index(), younger.index()),
+                );
+                conflict = false;
+            }
+            Some(kind @ FaultKind::ForceConflict) => {
+                self.fault.record(
+                    kind,
+                    check_t,
+                    &format!("check n{} vs n{}", older.index(), younger.index()),
+                );
+                conflict = true;
+            }
+            _ => {}
+        }
         if !conflict {
             self.push(check_t + 1, Ev::Release(younger));
         } else if let Some(done) = self.state[older.index()].completed {
@@ -804,7 +940,17 @@ impl<'a> Engine<'a> {
         if is_load && self.has_forward_in(n) {
             // Memory dependence became a data dependence: no cache access.
             self.state[n.index()].issued = true;
-            let v = self.forward_value(n);
+            let mut v = self.forward_value(n);
+            if let Some(FaultKind::CorruptForward { mask }) =
+                self.poll_fault(FaultClass::ForwardConsume)
+            {
+                self.fault.record(
+                    FaultKind::CorruptForward { mask },
+                    t,
+                    &format!("forward into node {}", n.index()),
+                );
+                v ^= mask;
+            }
             self.state[n.index()].value = v;
             self.counts.forwards += 1;
             self.record_load(n, v);
@@ -890,7 +1036,17 @@ impl<'a> Engine<'a> {
                     self.charge_block_stall(t, n);
                     self.state[n.index()].issued = true;
                     let older = self.node_of_age(older_age);
-                    let v = self.state[older.index()].value;
+                    let mut v = self.state[older.index()].value;
+                    if let Some(FaultKind::CorruptForward { mask }) =
+                        self.poll_fault(FaultClass::ForwardConsume)
+                    {
+                        self.fault.record(
+                            FaultKind::CorruptForward { mask },
+                            t,
+                            &format!("LSQ forward into node {}", n.index()),
+                        );
+                        v ^= mask;
+                    }
                     self.state[n.index()].value = v;
                     self.counts.forwards += 1;
                     self.record_load(n, v);
@@ -948,7 +1104,15 @@ impl<'a> Engine<'a> {
 
     /// Issues a cache access through the edge ports; performs the
     /// functional read/write at the issue cycle.
-    fn cache_access(&mut self, t: u64, n: NodeId, extra_latency: u64) {
+    fn cache_access(&mut self, t: u64, n: NodeId, mut extra_latency: u64) {
+        if let Some(FaultKind::DelayMem { cycles }) = self.poll_fault(FaultClass::MemResponse) {
+            self.fault.record(
+                FaultKind::DelayMem { cycles },
+                t,
+                &format!("response to node {}", n.index()),
+            );
+            extra_latency += cycles;
+        }
         let issue = self.mem_ports.claim(t);
         // Cycles spent queued for an edge memory port.
         self.stalls.mem_port += issue - t;
@@ -1009,16 +1173,16 @@ impl<'a> Engine<'a> {
                 // Local (scratchpad) dependencies are register dataflow:
                 // honoured everywhere, no MDE energy.
                 EdgeKind::Order | EdgeKind::May if local => {
-                    self.push(t + route, Ev::Token(dst));
+                    self.push_token(t + route, dst);
                 }
                 EdgeKind::Order if uses_mdes => {
                     self.counts.must_tokens += 1;
-                    self.push(t + route, Ev::Token(dst));
+                    self.push_token(t + route, dst);
                 }
                 EdgeKind::May if self.backend == Backend::NachosSw => {
                     // Serialized like MUST: 1-bit completion token.
                     self.counts.must_tokens += 1;
-                    self.push(t + route, Ev::Token(dst));
+                    self.push_token(t + route, dst);
                 }
                 _ => {}
             }
@@ -1051,6 +1215,7 @@ impl<'a> Engine<'a> {
         counts.lsq_cam_stores = lsq_stats.cam_store_searches;
         counts.lsq_bank_overflows = lsq_stats.bank_overflows;
         let breakdown = EnergyBreakdown::from_events(&counts, energy);
+        let injected = self.fault.fired;
         SimResult {
             backend: self.backend,
             cycles: self.clock,
@@ -1063,6 +1228,7 @@ impl<'a> Engine<'a> {
             llc: self.hierarchy.llc_stats(),
             bloom,
             stalls: self.stalls,
+            injected,
         }
     }
 }

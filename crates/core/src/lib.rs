@@ -41,14 +41,18 @@ mod config;
 mod driver;
 mod energy;
 mod engine;
+mod error;
+mod fault;
 pub mod reference;
 pub mod sweep;
 pub mod value;
 
 pub use analytic::DecentralizedModel;
-pub use config::{Backend, SimConfig};
+pub use config::{Backend, SimConfig, WatchdogConfig};
 pub use driver::{
     pct_slowdown, run_all_backends, run_backend, run_backend_with_stages, ExperimentRun,
 };
 pub use energy::{EnergyBreakdown, EnergyModel, EventCounts};
-pub use engine::{simulate, SimError, SimResult, StallCounts};
+pub use engine::{simulate, SimResult, StallCounts};
+pub use error::{DeadlockCause, DeadlockInfo, SimError, StalledNode, WaitForEdge};
+pub use fault::{FaultClass, FaultKind, FaultPlan, FaultSpec};

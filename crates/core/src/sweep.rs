@@ -11,7 +11,14 @@
 //! matrix and the [`SimConfig`], **never** on the worker-thread count or
 //! on scheduling. Workers claim job indices from a shared counter and the
 //! results are re-assembled in job order; no wall-clock quantity enters
-//! the report.
+//! the report. The contract holds for degraded runs too: a run that
+//! deadlocks, errors or panics yields a deterministic [`RunStatus`] and
+//! detail string, byte-identical for any thread count.
+//!
+//! Degradation contract: every run is isolated. A failing run — a
+//! structured [`SimError`], a detected injected fault, even a panic —
+//! records its [`RunStatus`] in its slot of the report and the remaining
+//! runs proceed untouched; the sweep itself never fails.
 //!
 //! ```
 //! use nachos::sweep::{run_sweep, SweepConfig, SweepJob, SweepVariant};
@@ -23,25 +30,26 @@
 //! let x = b.input();
 //! b.store(m.clone(), &[x]);
 //! b.load(m, &[]);
-//! let job = SweepJob {
-//!     name: "demo".into(),
-//!     region: b.finish(),
-//!     binding: Binding { base_addrs: vec![0x1_0000], ..Binding::default() },
-//! };
+//! let job = SweepJob::new(
+//!     "demo",
+//!     b.finish(),
+//!     Binding { base_addrs: vec![0x1_0000], ..Binding::default() },
+//! );
 //! let cfg = SweepConfig::default().with_invocations(4);
-//! let sweep = run_sweep(&[job], &cfg)?;
+//! let sweep = run_sweep(&[job], &cfg);
 //! assert!(sweep.all_match());
-//! # Ok::<(), nachos::sweep::SweepError>(())
 //! ```
 
 use crate::config::{Backend, SimConfig};
 use crate::driver::{run_backend_with_stages, ExperimentRun};
 use crate::energy::EnergyModel;
-use crate::engine::SimError;
+use crate::error::SimError;
+use crate::fault::FaultPlan;
 use crate::reference::{self, ReferenceResult};
 use nachos_alias::StageConfig;
 use nachos_ir::{Binding, Region};
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::{fmt, thread};
 
@@ -54,6 +62,29 @@ pub struct SweepJob {
     pub region: Region,
     /// Address binding for the region's symbols.
     pub binding: Binding,
+    /// Per-job fault-injection plan, appended to the sweep-wide plan in
+    /// [`SweepConfig`]'s base [`SimConfig`] (empty by default).
+    pub fault: FaultPlan,
+}
+
+impl SweepJob {
+    /// A job with no fault injection.
+    #[must_use]
+    pub fn new(name: impl Into<String>, region: Region, binding: Binding) -> Self {
+        Self {
+            name: name.into(),
+            region,
+            binding,
+            fault: FaultPlan::default(),
+        }
+    }
+
+    /// Sets the job's fault plan, builder-style.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
 }
 
 /// One column of the sweep matrix: a backend plus its compiler staging.
@@ -151,16 +182,104 @@ impl SweepConfig {
     }
 }
 
+/// Per-run verdict of the sweep harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Completed and matched the reference executor.
+    Ok,
+    /// Completed but diverged from the reference with no fault injected —
+    /// a genuine correctness bug in the simulated backend.
+    Mismatch,
+    /// The engine watchdog diagnosed a deadlock ([`SimError::Deadlock`]).
+    Deadlock,
+    /// A fault-injection run in which the harness caught the injected
+    /// perturbation: either a structured engine error under an active
+    /// plan, or a divergence after an injected fault fired.
+    FaultDetected,
+    /// The run panicked; the panic was contained to this run.
+    Panic,
+    /// Any other structured [`SimError`] outside fault injection.
+    Error,
+}
+
+impl RunStatus {
+    /// Stable lowercase label used in the JSON report.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunStatus::Ok => "ok",
+            RunStatus::Mismatch => "mismatch",
+            RunStatus::Deadlock => "deadlock",
+            RunStatus::FaultDetected => "fault_detected",
+            RunStatus::Panic => "panic",
+            RunStatus::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for RunStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One variant's run within a job, with its differential verdict.
 #[derive(Clone, Debug)]
 pub struct VariantOutcome {
     /// The variant's label.
     pub variant: String,
-    /// The compiled-and-simulated run.
-    pub run: ExperimentRun,
-    /// `true` iff final memory and the load digest both equal the
-    /// reference executor's.
-    pub matches_reference: bool,
+    /// The simulated backend.
+    pub backend: Backend,
+    /// The harness verdict for this run.
+    pub status: RunStatus,
+    /// The compiled-and-simulated run (absent when the run errored or
+    /// panicked).
+    pub run: Option<ExperimentRun>,
+    /// The structured engine error, when the run returned one.
+    pub error: Option<SimError>,
+    /// Deterministic human-readable failure detail (error display or
+    /// panic message); absent for [`RunStatus::Ok`].
+    pub detail: Option<String>,
+}
+
+impl VariantOutcome {
+    /// `true` iff the run completed and matched the reference executor.
+    #[must_use]
+    pub fn matches_reference(&self) -> bool {
+        self.status == RunStatus::Ok
+    }
+
+    /// The completed run, for callers that require a clean sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the run's recorded detail when the run did not
+    /// complete.
+    #[must_use]
+    pub fn expect_run(&self) -> &ExperimentRun {
+        match &self.run {
+            Some(run) => run,
+            None => panic!(
+                "sweep run [{}] did not complete: {} ({})",
+                self.variant,
+                self.status,
+                self.detail.as_deref().unwrap_or("no detail"),
+            ),
+        }
+    }
+
+    /// Deterministic descriptions of injected faults that fired in this
+    /// run (from the completed result or the deadlock dump).
+    #[must_use]
+    pub fn injected(&self) -> &[String] {
+        if let Some(run) = &self.run {
+            return &run.sim.injected;
+        }
+        if let Some(SimError::Deadlock(info)) = &self.error {
+            return &info.injected;
+        }
+        &[]
+    }
 }
 
 /// All of one job's runs plus the shared reference execution.
@@ -185,50 +304,21 @@ pub struct SweepResult {
     pub jobs: Vec<JobOutcome>,
 }
 
-/// A simulation failure, attributed to its job and variant.
-#[derive(Clone, Debug)]
-pub struct SweepError {
-    /// The failing job's name.
-    pub job: String,
-    /// The failing variant's label.
-    pub variant: String,
-    /// The underlying simulator error.
-    pub source: SimError,
-}
-
-impl fmt::Display for SweepError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "sweep job {} [{}]: {}",
-            self.job, self.variant, self.source
-        )
-    }
-}
-
-impl std::error::Error for SweepError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        Some(&self.source)
-    }
-}
-
 /// Runs every job through every variant on a scoped worker pool.
 ///
 /// Results are identical for any worker-thread count; see the module
-/// documentation for the determinism contract.
-///
-/// # Errors
-///
-/// Returns the first failing run in deterministic (job, variant) order.
+/// documentation for the determinism contract. Runs degrade gracefully:
+/// a run that errors, deadlocks or panics records its [`RunStatus`] and
+/// the sweep continues — this function never fails.
 ///
 /// # Panics
 ///
-/// Re-raises panics from worker threads (e.g. an engine invariant
-/// violation such as a token-accounting underflow).
-pub fn run_sweep(jobs: &[SweepJob], cfg: &SweepConfig) -> Result<SweepResult, SweepError> {
+/// Re-raises panics that escape the per-run isolation boundary (job
+/// setup, the reference executor) — never a backend run's own panic.
+pub fn run_sweep(jobs: &[SweepJob], cfg: &SweepConfig) -> SweepResult {
     let threads = effective_threads(cfg.threads, jobs.len());
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<(usize, Result<JobOutcome, SweepError>)> = Vec::with_capacity(jobs.len());
+    let mut slots: Vec<(usize, JobOutcome)> = Vec::with_capacity(jobs.len());
     thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -254,15 +344,11 @@ pub fn run_sweep(jobs: &[SweepJob], cfg: &SweepConfig) -> Result<SweepResult, Sw
         }
     });
     slots.sort_by_key(|(i, _)| *i);
-    let mut out = Vec::with_capacity(slots.len());
-    for (_, r) in slots {
-        out.push(r?);
-    }
-    Ok(SweepResult {
+    SweepResult {
         invocations: cfg.sim.invocations,
         variants: cfg.variants.iter().map(|v| v.label.clone()).collect(),
-        jobs: out,
-    })
+        jobs: slots.into_iter().map(|(_, j)| j).collect(),
+    }
 }
 
 fn effective_threads(requested: usize, jobs: usize) -> usize {
@@ -271,55 +357,124 @@ fn effective_threads(requested: usize, jobs: usize) -> usize {
     n.clamp(1, jobs.max(1))
 }
 
-/// Runs one job through the whole variant matrix, sequentially.
-fn run_job(job: &SweepJob, cfg: &SweepConfig) -> Result<JobOutcome, SweepError> {
+/// Runs one job through the whole variant matrix, sequentially, isolating
+/// each run behind a panic boundary.
+fn run_job(job: &SweepJob, cfg: &SweepConfig) -> JobOutcome {
     let reference = reference::execute(&job.region, &job.binding, cfg.sim.invocations);
-    let mut runs = Vec::with_capacity(cfg.variants.len());
-    for v in &cfg.variants {
-        let run = run_backend_with_stages(
-            &job.region,
-            &job.binding,
-            v.backend,
-            &cfg.sim,
-            &cfg.energy,
-            v.stages,
-        )
-        .map_err(|source| SweepError {
-            job: job.name.clone(),
-            variant: v.label.clone(),
-            source,
-        })?;
-        let matches_reference =
-            run.sim.mem == reference.mem && run.sim.loads.digest() == reference.loads.digest();
-        runs.push(VariantOutcome {
-            variant: v.label.clone(),
-            run,
-            matches_reference,
-        });
-    }
-    Ok(JobOutcome {
+    let mut sim_cfg = cfg.sim.clone();
+    sim_cfg
+        .fault
+        .faults
+        .extend(job.fault.faults.iter().copied());
+    let runs = cfg
+        .variants
+        .iter()
+        .map(|v| run_variant(job, v, &sim_cfg, &cfg.energy, &reference))
+        .collect();
+    JobOutcome {
         name: job.name.clone(),
         reference,
         runs,
-    })
+    }
+}
+
+/// Runs one (job, variant) cell and classifies the outcome. This is the
+/// per-run isolation boundary: a panic inside the engine is caught here
+/// and recorded as [`RunStatus::Panic`] instead of poisoning the sweep.
+fn run_variant(
+    job: &SweepJob,
+    v: &SweepVariant,
+    sim_cfg: &SimConfig,
+    energy: &EnergyModel,
+    reference: &ReferenceResult,
+) -> VariantOutcome {
+    let fault_active = sim_cfg.fault.applies_to(v.backend);
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        run_backend_with_stages(
+            &job.region,
+            &job.binding,
+            v.backend,
+            sim_cfg,
+            energy,
+            v.stages,
+        )
+    }));
+    let (status, run, error, detail) = match caught {
+        Err(payload) => (
+            RunStatus::Panic,
+            None,
+            None,
+            Some(panic_message(payload.as_ref())),
+        ),
+        Ok(Err(e)) => {
+            let status = match &e {
+                SimError::Deadlock(_) => RunStatus::Deadlock,
+                _ if fault_active => RunStatus::FaultDetected,
+                _ => RunStatus::Error,
+            };
+            let detail = e.to_string();
+            (status, None, Some(e), Some(detail))
+        }
+        Ok(Ok(run)) => {
+            let diverged =
+                run.sim.mem != reference.mem || run.sim.loads.digest() != reference.loads.digest();
+            if !diverged {
+                (RunStatus::Ok, Some(run), None, None)
+            } else if run.sim.injected.is_empty() {
+                (
+                    RunStatus::Mismatch,
+                    Some(run),
+                    None,
+                    Some("diverged from the in-order reference executor".into()),
+                )
+            } else {
+                let detail = format!(
+                    "diverged from the reference after injected faults: {}",
+                    run.sim.injected.join(", ")
+                );
+                (RunStatus::FaultDetected, Some(run), None, Some(detail))
+            }
+        }
+    };
+    VariantOutcome {
+        variant: v.label.clone(),
+        backend: v.backend,
+        status,
+        run,
+        error,
+        detail,
+    }
+}
+
+/// Extracts the deterministic message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".into()
+    }
 }
 
 impl SweepResult {
-    /// `true` iff every run of every job matched the reference executor.
+    /// `true` iff every run of every job completed and matched the
+    /// reference executor.
     #[must_use]
     pub fn all_match(&self) -> bool {
         self.jobs
             .iter()
-            .all(|j| j.runs.iter().all(|r| r.matches_reference))
+            .all(|j| j.runs.iter().all(|r| r.status == RunStatus::Ok))
     }
 
-    /// `(job, variant)` labels of every diverging run, in sweep order.
+    /// `(job, variant)` labels of every non-[`RunStatus::Ok`] run, in
+    /// sweep order.
     #[must_use]
     pub fn mismatches(&self) -> Vec<(String, String)> {
         let mut out = Vec::new();
         for j in &self.jobs {
             for r in &j.runs {
-                if !r.matches_reference {
+                if r.status != RunStatus::Ok {
                     out.push((j.name.clone(), r.variant.clone()));
                 }
             }
@@ -327,16 +482,30 @@ impl SweepResult {
         out
     }
 
-    /// Serializes the sweep to JSON (schema `nachos-sweep-v1`).
+    /// Every run's `(job, variant, status)` triple, in sweep order.
+    #[must_use]
+    pub fn statuses(&self) -> Vec<(String, String, RunStatus)> {
+        let mut out = Vec::new();
+        for j in &self.jobs {
+            for r in &j.runs {
+                out.push((j.name.clone(), r.variant.clone(), r.status));
+            }
+        }
+        out
+    }
+
+    /// Serializes the sweep to JSON (schema `nachos-sweep-v2`).
     ///
     /// The writer is hand-rolled (the workspace takes no serialization
     /// dependency) and emits keys in a fixed order; the output is
-    /// byte-identical across runs and worker-thread counts.
+    /// byte-identical across runs and worker-thread counts — including
+    /// for degraded runs, whose `status` and `detail` fields are
+    /// deterministic.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.open_obj();
-        w.str_field("schema", "nachos-sweep-v1");
+        w.str_field("schema", "nachos-sweep-v2");
         w.u64_field("invocations", self.invocations);
         w.key("variants");
         w.open_arr();
@@ -380,11 +549,29 @@ impl JobOutcome {
 
 impl VariantOutcome {
     fn write_json(&self, w: &mut JsonWriter) {
-        let sim = &self.run.sim;
         w.open_obj();
         w.str_field("variant", &self.variant);
-        w.str_field("backend", &sim.backend.to_string());
-        w.bool_field("matches_reference", self.matches_reference);
+        w.str_field("backend", &self.backend.to_string());
+        w.str_field("status", self.status.as_str());
+        w.bool_field("matches_reference", self.status == RunStatus::Ok);
+        if let Some(detail) = &self.detail {
+            w.str_field("detail", detail);
+        }
+        let injected = self.injected();
+        if !injected.is_empty() {
+            w.key("injected");
+            w.open_arr();
+            for f in injected {
+                w.str_item(f);
+            }
+            w.close_arr();
+        }
+        let Some(run) = &self.run else {
+            // Degraded run: no simulation result to report.
+            w.close_obj();
+            return;
+        };
+        let sim = &run.sim;
         w.u64_field("cycles", sim.cycles);
         w.key("stalls");
         {
@@ -600,33 +787,36 @@ mod tests {
         let x = b.input();
         b.store(m.clone(), &[x]);
         b.load(m, &[]);
-        SweepJob {
-            name: name.into(),
-            region: b.finish(),
-            binding: Binding {
+        SweepJob::new(
+            name,
+            b.finish(),
+            Binding {
                 base_addrs: vec![0x1_0000],
                 ..Binding::default()
             },
-        }
+        )
     }
 
     #[test]
     fn sweep_runs_and_matches_reference() {
         let jobs = [demo_job("a"), demo_job("b")];
         let cfg = SweepConfig::default().with_invocations(4);
-        let sweep = run_sweep(&jobs, &cfg).expect("sweep succeeds");
+        let sweep = run_sweep(&jobs, &cfg);
         assert_eq!(sweep.jobs.len(), 2);
         assert_eq!(sweep.variants, ["opt-lsq", "nachos-sw", "nachos"]);
         assert!(sweep.all_match());
         assert!(sweep.mismatches().is_empty());
+        for (_, _, status) in sweep.statuses() {
+            assert_eq!(status, RunStatus::Ok);
+        }
     }
 
     #[test]
     fn report_is_thread_count_independent() {
         let jobs: Vec<SweepJob> = (0..5).map(|i| demo_job(&format!("j{i}"))).collect();
         let base = SweepConfig::default().with_invocations(3);
-        let serial = run_sweep(&jobs, &base.clone().with_threads(1)).unwrap();
-        let wide = run_sweep(&jobs, &base.with_threads(4)).unwrap();
+        let serial = run_sweep(&jobs, &base.clone().with_threads(1));
+        let wide = run_sweep(&jobs, &base.with_threads(4));
         assert_eq!(serial.to_json(), wide.to_json());
     }
 
@@ -636,11 +826,12 @@ mod tests {
         let cfg = SweepConfig::default()
             .with_invocations(2)
             .with_variants(SweepVariant::bench_matrix());
-        let sweep = run_sweep(&jobs, &cfg).unwrap();
+        let sweep = run_sweep(&jobs, &cfg);
         let json = sweep.to_json();
         assert!(json.starts_with("{\n"));
-        assert!(json.contains("\"schema\": \"nachos-sweep-v1\""));
+        assert!(json.contains("\"schema\": \"nachos-sweep-v2\""));
         assert!(json.contains("\"nachos-sw-baseline\""));
+        assert!(json.contains("\"status\": \"ok\""));
         assert!(json.contains("\"matches_reference\": true"));
         assert!(json.contains("\"stalls\""));
         let opens = json.matches(['{', '[']).count();
@@ -652,5 +843,68 @@ mod tests {
     fn json_escape_covers_specials() {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn degraded_runs_are_isolated_and_reported() {
+        use crate::fault::{FaultKind, FaultSpec};
+        // Job "b" panics while handling its very first engine event under
+        // the NACHOS variant only; every other run must stay ok.
+        let jobs = [
+            demo_job("a"),
+            demo_job("b").with_fault(FaultPlan::single(
+                FaultSpec::new(FaultKind::PanicOnEvent, 0).on_backend(Backend::Nachos),
+            )),
+            demo_job("c"),
+        ];
+        let cfg = SweepConfig::default().with_invocations(2);
+        let sweep = run_sweep(&jobs, &cfg);
+        assert!(!sweep.all_match());
+        assert_eq!(
+            sweep.mismatches(),
+            [("b".to_string(), "nachos".to_string())]
+        );
+        let bad = &sweep.jobs[1].runs[2];
+        assert_eq!(bad.status, RunStatus::Panic);
+        assert!(bad.run.is_none());
+        assert!(
+            bad.detail
+                .as_deref()
+                .unwrap_or("")
+                .contains("injected fault"),
+            "panic detail carries the deterministic message"
+        );
+        let ok_runs = sweep
+            .statuses()
+            .iter()
+            .filter(|(_, _, s)| *s == RunStatus::Ok)
+            .count();
+        assert_eq!(ok_runs, 8, "8 of 9 runs unaffected");
+        let json = sweep.to_json();
+        assert!(json.contains("\"status\": \"panic\""));
+    }
+
+    #[test]
+    fn degraded_report_is_thread_count_independent() {
+        use crate::fault::{FaultKind, FaultSpec};
+        let mut jobs: Vec<SweepJob> = (0..6).map(|i| demo_job(&format!("j{i}"))).collect();
+        // A panic, a deadlock and a detected corruption sprinkled across
+        // the matrix must not disturb byte-determinism.
+        jobs[1].fault = FaultPlan::single(
+            FaultSpec::new(FaultKind::PanicOnEvent, 3).on_backend(Backend::OptLsq),
+        );
+        jobs[3].fault = FaultPlan::single(
+            FaultSpec::new(FaultKind::DropToken, 0).on_backend(Backend::NachosSw),
+        );
+        jobs[4].fault = FaultPlan::single(
+            FaultSpec::new(FaultKind::CorruptForward { mask: 0xff }, 0).on_backend(Backend::Nachos),
+        );
+        let base = SweepConfig::default().with_invocations(3);
+        let serial = run_sweep(&jobs, &base.clone().with_threads(1));
+        let wide = run_sweep(&jobs, &base.clone().with_threads(4));
+        let wider = run_sweep(&jobs, &base.with_threads(8));
+        assert_eq!(serial.to_json(), wide.to_json());
+        assert_eq!(serial.to_json(), wider.to_json());
+        assert!(!serial.all_match());
     }
 }

@@ -155,6 +155,55 @@ impl Dfg {
         Ok(id)
     }
 
+    /// Adds an edge **without** any invariant checking: no duplicate,
+    /// cycle, program-order or endpoint-kind enforcement, and endpoints
+    /// may even be out of range (dangling edges are recorded in the edge
+    /// table but excluded from the adjacency lists so traversals stay in
+    /// bounds).
+    ///
+    /// This is the escape hatch for building *adversarial* graphs —
+    /// fault-injection and validator tests that need regions
+    /// [`add_edge`](Self::add_edge) would rightly reject. Production code
+    /// must use [`add_edge`](Self::add_edge); anything built through this
+    /// method must pass `nachos_ir::validate_region` before it is placed
+    /// or simulated.
+    pub fn add_edge_unchecked(&mut self, src: NodeId, dst: NodeId, kind: EdgeKind) -> EdgeId {
+        let id = EdgeId::new(self.edges.len());
+        self.edges.push(Edge::new(src, dst, kind));
+        if src.index() < self.nodes.len() && dst.index() < self.nodes.len() {
+            self.succs[src.index()].push(id);
+            self.preds[dst.index()].push(id);
+        }
+        id
+    }
+
+    /// Removes the edge at `index` (in [`edges`](Self::edges) order) and
+    /// returns it, rebuilding the adjacency lists; edge ids after `index`
+    /// shift down by one.
+    ///
+    /// Like [`add_edge_unchecked`](Self::add_edge_unchecked) this is an
+    /// escape hatch for building *adversarial* graphs (e.g. a compiled
+    /// region with one ordering token withheld); anything mutated through
+    /// it must pass `nachos_ir::validate_region` before it is placed or
+    /// simulated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn remove_edge_unchecked(&mut self, index: usize) -> Edge {
+        let removed = self.edges.remove(index);
+        for list in self.succs.iter_mut().chain(self.preds.iter_mut()) {
+            list.clear();
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.src.index() < self.nodes.len() && e.dst.index() < self.nodes.len() {
+                self.succs[e.src.index()].push(EdgeId::new(i));
+                self.preds[e.dst.index()].push(EdgeId::new(i));
+            }
+        }
+        removed
+    }
+
     /// `true` if `to` is reachable from `from` along any edges.
     #[must_use]
     pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
@@ -368,6 +417,22 @@ mod tests {
         assert_eq!(g.node(a).mem_slot, Some(MemSlot::new(0)));
         assert_eq!(g.node(c).mem_slot, Some(MemSlot::new(1)));
         assert_eq!(g.mem_op(MemSlot::new(1)), c);
+    }
+
+    #[test]
+    fn remove_edge_unchecked_rebuilds_adjacency() {
+        let (mut g, a, b, c) = small_graph();
+        let removed = g.remove_edge_unchecked(0);
+        assert_eq!(removed, Edge::new(a, b, EdgeKind::Data));
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.out_edges(a).count(), 0);
+        assert_eq!(g.in_edges(b).count(), 0);
+        // The surviving edge keeps working through the rebuilt lists.
+        assert_eq!(
+            g.out_edges(b).next(),
+            Some(&Edge::new(b, c, EdgeKind::Data))
+        );
+        assert_eq!(g.in_edges(c).count(), 1);
     }
 
     #[test]

@@ -49,6 +49,7 @@ mod loops;
 mod memref;
 mod op;
 mod region;
+mod validate;
 
 pub use binding::{Binding, UnknownPattern};
 pub use builder::RegionBuilder;
@@ -64,3 +65,4 @@ pub use memref::{
 };
 pub use op::{FpOp, IntOp, OpKind};
 pub use region::Region;
+pub use validate::{validate_region, ValidateError};

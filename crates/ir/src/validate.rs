@@ -1,0 +1,380 @@
+//! Pre-simulation region validation with structured diagnostics.
+//!
+//! [`Dfg::add_edge`](crate::Dfg::add_edge) enforces the graph invariants
+//! at construction time, but regions can also arrive from adversarial
+//! sources — fault-injection tests that mutate a compiled region through
+//! [`Dfg::add_edge_unchecked`](crate::Dfg::add_edge_unchecked), or future
+//! deserialization paths. [`validate_region`] re-checks every invariant
+//! the simulator's safety argument rests on and reports *all* violations
+//! as structured [`ValidateError`] diagnostics instead of panicking deep
+//! inside the engine:
+//!
+//! * edge endpoints name existing nodes (no dangling ids);
+//! * the memory-slot table is consistent with the node table;
+//! * MDEs connect memory operations in program order, FORWARD edges go
+//!   store → load;
+//! * the graph is acyclic overall, and specifically there is no cycle
+//!   through the ordering-token edges (ORDER/MAY/FORWARD) — a token-edge
+//!   cycle is a guaranteed deadlock: every operation on the cycle waits
+//!   for a completion token that can never be produced.
+
+use crate::edge::{Edge, EdgeKind};
+use crate::ids::NodeId;
+use crate::region::Region;
+use std::fmt;
+
+/// One structural violation found by [`validate_region`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidateError {
+    /// An edge endpoint does not name an existing node.
+    DanglingEndpoint {
+        /// The offending edge.
+        edge: Edge,
+    },
+    /// The memory-slot table and the node table disagree.
+    InconsistentMemSlot {
+        /// The node whose recorded slot does not match the table.
+        node: NodeId,
+    },
+    /// An MDE connects nodes that are not both memory operations.
+    MdeBetweenNonMem {
+        /// The offending edge.
+        edge: Edge,
+    },
+    /// An MDE points from a younger to an older memory operation.
+    MdeAgainstProgramOrder {
+        /// The offending edge.
+        edge: Edge,
+    },
+    /// A FORWARD edge whose endpoints are not store → load.
+    BadForwardEndpoints {
+        /// The offending edge.
+        edge: Edge,
+    },
+    /// A cycle through ordering-token edges (ORDER/MAY/FORWARD): every
+    /// node on it waits for a token that can never be produced.
+    TokenCycle {
+        /// The nodes on the cycle, in edge order.
+        nodes: Vec<NodeId>,
+    },
+    /// A cycle in the full graph (data edges included); the DFG must be a
+    /// DAG for placement and event scheduling.
+    GraphCycle {
+        /// The nodes on the cycle, in edge order.
+        nodes: Vec<NodeId>,
+    },
+    /// A pointer-expression symbol (base/loop/param/unknown id) is out of
+    /// range for the region's tables.
+    Symbol {
+        /// Human-readable description from the symbol checker.
+        message: String,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::DanglingEndpoint { edge } => {
+                write!(f, "edge {edge} references a non-existent node")
+            }
+            ValidateError::InconsistentMemSlot { node } => {
+                write!(f, "memory-slot table inconsistent at node {node}")
+            }
+            ValidateError::MdeBetweenNonMem { edge } => {
+                write!(f, "MDE {edge} between non-memory operations")
+            }
+            ValidateError::MdeAgainstProgramOrder { edge } => {
+                write!(f, "MDE {edge} violates program order")
+            }
+            ValidateError::BadForwardEndpoints { edge } => {
+                write!(f, "forward edge {edge} must go store -> load")
+            }
+            ValidateError::TokenCycle { nodes } => {
+                write!(f, "token-edge cycle through {}", fmt_nodes(nodes))
+            }
+            ValidateError::GraphCycle { nodes } => {
+                write!(f, "graph cycle through {}", fmt_nodes(nodes))
+            }
+            ValidateError::Symbol { message } => write!(f, "symbol error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+fn fmt_nodes(nodes: &[NodeId]) -> String {
+    let mut s = String::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if i > 0 {
+            s.push_str(" -> ");
+        }
+        s.push_str(&n.to_string());
+    }
+    s
+}
+
+/// Checks every structural invariant the simulator relies on, returning
+/// all violations found (never just the first).
+///
+/// # Errors
+///
+/// Returns the non-empty list of [`ValidateError`] diagnostics when the
+/// region is not safe to place and simulate.
+pub fn validate_region(region: &Region) -> Result<(), Vec<ValidateError>> {
+    let dfg = &region.dfg;
+    let n = dfg.num_nodes();
+    let mut errors = Vec::new();
+
+    // Memory-slot table consistency.
+    for (i, &node) in dfg.mem_ops().iter().enumerate() {
+        let consistent = node.index() < n
+            && dfg
+                .node(node)
+                .mem_slot
+                .is_some_and(|slot| slot.index() == i);
+        if !consistent {
+            errors.push(ValidateError::InconsistentMemSlot { node });
+        }
+    }
+
+    // Per-edge checks. Dangling edges are excluded from adjacency by
+    // `add_edge_unchecked`, so the cycle checks below stay in bounds.
+    for &edge in dfg.edges() {
+        if edge.src.index() >= n || edge.dst.index() >= n {
+            errors.push(ValidateError::DanglingEndpoint { edge });
+            continue;
+        }
+        if edge.kind.is_mde() {
+            let (sn, dn) = (dfg.node(edge.src), dfg.node(edge.dst));
+            let (Some(s_slot), Some(d_slot)) = (sn.mem_slot, dn.mem_slot) else {
+                errors.push(ValidateError::MdeBetweenNonMem { edge });
+                continue;
+            };
+            if s_slot >= d_slot {
+                errors.push(ValidateError::MdeAgainstProgramOrder { edge });
+            }
+            if edge.kind == EdgeKind::Forward && !(sn.kind.is_store() && dn.kind.is_load()) {
+                errors.push(ValidateError::BadForwardEndpoints { edge });
+            }
+        }
+    }
+
+    // Cycle checks: token-edge subgraph first (the sharper diagnostic),
+    // then the full graph.
+    let token_kinds = [EdgeKind::Order, EdgeKind::May, EdgeKind::Forward];
+    if let Some(nodes) = find_cycle(region, &token_kinds) {
+        errors.push(ValidateError::TokenCycle { nodes });
+    } else if let Some(nodes) = find_cycle(
+        region,
+        &[
+            EdgeKind::Data,
+            EdgeKind::Order,
+            EdgeKind::May,
+            EdgeKind::Forward,
+        ],
+    ) {
+        // A token cycle is also a graph cycle; only report the general
+        // form when the token subgraph is clean.
+        errors.push(ValidateError::GraphCycle { nodes });
+    }
+
+    // Symbol-table checks (base/loop/param/unknown ids in range).
+    if let Err(message) = region.validate() {
+        errors.push(ValidateError::Symbol { message });
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Finds one cycle restricted to the given edge kinds, returning its
+/// nodes in edge order, or `None` when that subgraph is acyclic.
+fn find_cycle(region: &Region, kinds: &[EdgeKind]) -> Option<Vec<NodeId>> {
+    let dfg = &region.dfg;
+    let n = dfg.num_nodes();
+    // 0 = unvisited, 1 = on the current DFS path, 2 = done.
+    let mut color = vec![0u8; n];
+    let mut parent = vec![usize::MAX; n];
+    for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        // Iterative DFS; each frame is (node, next successor index).
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = 1;
+        while let Some(&(node, next)) = stack.last() {
+            let succs: Vec<usize> = dfg
+                .out_edges(NodeId::new(node))
+                .filter(|e| kinds.contains(&e.kind) && e.dst.index() < n)
+                .map(|e| e.dst.index())
+                .collect();
+            if next < succs.len() {
+                stack.last_mut().expect("frame just read").1 += 1;
+                let d = succs[next];
+                match color[d] {
+                    0 => {
+                        color[d] = 1;
+                        parent[d] = node;
+                        stack.push((d, 0));
+                    }
+                    1 => {
+                        // Back edge node -> d with d an ancestor on the DFS
+                        // path: unwind the parent chain node -> ... -> d and
+                        // reverse it into edge order d -> ... -> node.
+                        let mut cycle = Vec::new();
+                        let mut cur = node;
+                        loop {
+                            cycle.push(NodeId::new(cur));
+                            if cur == d {
+                                break;
+                            }
+                            cur = parent[cur];
+                        }
+                        cycle.reverse();
+                        return Some(cycle);
+                    }
+                    _ => {}
+                }
+            } else {
+                color[node] = 2;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::RegionBuilder;
+    use crate::expr::AffineExpr;
+    use crate::memref::MemRef;
+
+    fn two_store_region() -> Region {
+        let mut b = RegionBuilder::new("v");
+        let g = b.global("g", 64, 0);
+        let m = MemRef::affine(g, AffineExpr::zero());
+        let x = b.input();
+        b.store(m.clone(), &[x]);
+        b.store(m.clone(), &[x]);
+        b.load(m, &[]);
+        b.finish()
+    }
+
+    #[test]
+    fn clean_region_validates() {
+        let region = two_store_region();
+        assert_eq!(validate_region(&region), Ok(()));
+    }
+
+    #[test]
+    fn dangling_endpoint_is_reported() {
+        let mut region = two_store_region();
+        let a = NodeId::new(0);
+        region
+            .dfg
+            .add_edge_unchecked(a, NodeId::new(99), EdgeKind::Data);
+        let errs = validate_region(&region).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::DanglingEndpoint { .. })));
+    }
+
+    #[test]
+    fn token_cycle_is_reported_with_its_nodes() {
+        let mut region = two_store_region();
+        // Stores are nodes 1 and 2 (input is 0); wire order tokens both ways.
+        let (s1, s2) = (NodeId::new(1), NodeId::new(2));
+        region.dfg.add_edge(s1, s2, EdgeKind::Order).unwrap();
+        region.dfg.add_edge_unchecked(s2, s1, EdgeKind::Order);
+        let errs = validate_region(&region).unwrap_err();
+        let cycle = errs
+            .iter()
+            .find_map(|e| match e {
+                ValidateError::TokenCycle { nodes } => Some(nodes.clone()),
+                _ => None,
+            })
+            .expect("token cycle reported");
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle.contains(&s1) && cycle.contains(&s2));
+    }
+
+    #[test]
+    fn data_cycle_reports_graph_cycle() {
+        let mut region = two_store_region();
+        // input (0) -> store (1) exists as data; close a data cycle.
+        region
+            .dfg
+            .add_edge_unchecked(NodeId::new(1), NodeId::new(0), EdgeKind::Data);
+        let errs = validate_region(&region).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::GraphCycle { .. })));
+        assert!(
+            !errs
+                .iter()
+                .any(|e| matches!(e, ValidateError::TokenCycle { .. })),
+            "a pure data cycle is not a token cycle"
+        );
+    }
+
+    #[test]
+    fn backwards_mde_and_bad_forward_are_reported() {
+        let mut region = two_store_region();
+        let (s2, ld) = (NodeId::new(2), NodeId::new(3));
+        // Load (slot 2) -> store (slot 1): against program order.
+        region.dfg.add_edge_unchecked(ld, s2, EdgeKind::Order);
+        // Forward ending at a store: bad endpoints (and in program order,
+        // store slot 0 -> store slot 1, so only the endpoint check fires).
+        region
+            .dfg
+            .add_edge_unchecked(NodeId::new(1), s2, EdgeKind::Forward);
+        let errs = validate_region(&region).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::MdeAgainstProgramOrder { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::BadForwardEndpoints { .. })));
+    }
+
+    #[test]
+    fn mde_between_non_mem_is_reported() {
+        let mut region = two_store_region();
+        // Input node 0 is not a memory op.
+        region
+            .dfg
+            .add_edge_unchecked(NodeId::new(0), NodeId::new(1), EdgeKind::Order);
+        let errs = validate_region(&region).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::MdeBetweenNonMem { .. })));
+    }
+
+    #[test]
+    fn symbol_errors_surface_through_validate_region() {
+        let mut region = Region::new("sym");
+        let m = MemRef::affine(crate::ids::BaseId::new(7), AffineExpr::zero());
+        region.dfg.add_node(crate::op::OpKind::Load(m)).unwrap();
+        let errs = validate_region(&region).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::Symbol { .. })));
+    }
+
+    #[test]
+    fn diagnostics_have_readable_display() {
+        let mut region = two_store_region();
+        region
+            .dfg
+            .add_edge_unchecked(NodeId::new(2), NodeId::new(1), EdgeKind::Order);
+        let errs = validate_region(&region).unwrap_err();
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -568,6 +568,12 @@ mod tests {
     fn all_regions_validate() {
         for w in generate_all() {
             assert_eq!(w.region.validate(), Ok(()), "{}", w.spec.name);
+            assert_eq!(
+                nachos_ir::validate_region(&w.region),
+                Ok(()),
+                "{}: structured validator rejected a generated region",
+                w.spec.name
+            );
             assert!(
                 w.binding.base_addrs.len() >= w.region.bases.len(),
                 "{}: binding missing bases",

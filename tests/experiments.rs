@@ -13,11 +13,7 @@ fn cfg() -> SimConfig {
 fn suite_jobs() -> Vec<SweepJob> {
     generate_all()
         .into_iter()
-        .map(|w| SweepJob {
-            name: w.spec.name.to_owned(),
-            region: w.region,
-            binding: w.binding,
-        })
+        .map(|w| SweepJob::new(w.spec.name, w.region, w.binding))
         .collect()
 }
 
@@ -29,8 +25,7 @@ fn all_workloads_all_backends_match_reference() {
     // checks each of the 27 x 3 runs.
     let jobs = suite_jobs();
     assert_eq!(jobs.len(), 27, "Table II has 27 workloads");
-    let sweep = run_sweep(&jobs, &SweepConfig::default().with_invocations(16))
-        .expect("every workload simulates");
+    let sweep = run_sweep(&jobs, &SweepConfig::default().with_invocations(16));
     assert_eq!(sweep.variants.len(), 3, "OPT-LSQ, NACHOS-SW, NACHOS");
     assert!(
         sweep.all_match(),
@@ -45,8 +40,8 @@ fn sweep_report_is_thread_count_independent() {
     // byte-identical no matter how many workers ran the sweep.
     let jobs: Vec<SweepJob> = suite_jobs().into_iter().take(6).collect();
     let base = SweepConfig::default().with_invocations(8);
-    let serial = run_sweep(&jobs, &base.clone().with_threads(1)).unwrap();
-    let wide = run_sweep(&jobs, &base.with_threads(8)).unwrap();
+    let serial = run_sweep(&jobs, &base.clone().with_threads(1));
+    let wide = run_sweep(&jobs, &base.with_threads(8));
     assert_eq!(serial.to_json(), wide.to_json());
 }
 
