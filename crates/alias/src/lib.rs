@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod afftest;
+pub mod audit;
 mod classify;
 pub mod exact;
 mod local;
@@ -54,6 +55,10 @@ pub mod stage2;
 pub mod stage3;
 pub mod stage4;
 
+pub use audit::{
+    audit, audit_with, differential_no_collisions, AuditConfig, Code, Diagnostic, Lint, Severity,
+    Site,
+};
 pub use classify::{classify_same_object, linearize, overlap_to_label};
 pub use local::wire_local_deps;
 pub use matrix::{AliasLabel, AliasMatrix, LabelCounts, Pair, PairKind};

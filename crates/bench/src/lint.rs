@@ -1,0 +1,311 @@
+//! The `nachos-lint` suite runner: audits every Table II workload under
+//! every compiler ablation and aggregates the findings into the
+//! byte-deterministic `nachos-lint-v1` JSON report.
+//!
+//! The heavy lifting — re-deriving ground-truth alias verdicts, proving
+//! ordering chains, recounting the bookkeeping — lives in
+//! [`nachos_alias::audit`]; this module is the workload × [`StageConfig`]
+//! product, the report schema, and the optional differential replay of
+//! every NO-labelled pair against the reference executor's address walk.
+
+use nachos::json::JsonWriter;
+use nachos_alias::{audit_with, compile, AuditConfig, Diagnostic, Severity, StageConfig};
+use nachos_workloads::{generate_all, Workload};
+
+/// One named compiler ablation the suite audits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LintConfig {
+    /// Stable name used in reports and `--config` filters.
+    pub name: &'static str,
+    /// The stage selection it denotes.
+    pub stages: StageConfig,
+}
+
+/// The standard ablation matrix: every `StageConfig` the experiment
+/// harness exercises, plus the pruning-off corner (stages 2 and 4 on,
+/// stage 3 off) that stresses the race detector with the densest MDE set.
+#[must_use]
+pub fn standard_configs() -> Vec<LintConfig> {
+    vec![
+        LintConfig {
+            name: "full",
+            stages: StageConfig::full(),
+        },
+        LintConfig {
+            name: "baseline",
+            stages: StageConfig::baseline(),
+        },
+        LintConfig {
+            name: "stage1-only",
+            stages: StageConfig::stage1_only(),
+        },
+        LintConfig {
+            name: "no-prune",
+            stages: StageConfig {
+                stage2: true,
+                stage3: false,
+                stage4: true,
+            },
+        },
+    ]
+}
+
+/// What to audit and how hard.
+#[derive(Clone, Debug)]
+pub struct LintOptions {
+    /// Restrict to one workload by Table II name (`None` = all 27).
+    pub workload: Option<String>,
+    /// Restrict to one named config (`None` = the full matrix).
+    pub config: Option<String>,
+    /// Also replay every NO pair through the reference address walk.
+    pub differential: bool,
+    /// Invocations for the differential replay.
+    pub invocations: u64,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        Self {
+            workload: None,
+            config: None,
+            differential: false,
+            invocations: 64,
+        }
+    }
+}
+
+/// The audit outcome of one workload under one config.
+#[derive(Clone, Debug)]
+pub struct LintRun {
+    /// Workload name (Table II).
+    pub workload: String,
+    /// Ablation name.
+    pub config: String,
+    /// Tracked memory operations.
+    pub mem_ops: usize,
+    /// Ordering-relevant pairs.
+    pub pairs: usize,
+    /// Final (no, may, must) label counts.
+    pub labels: (usize, usize, usize),
+    /// Committed (order, forward, may) MDE counts.
+    pub mdes: (usize, usize, usize),
+    /// Every diagnostic the audit produced, in report order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Dynamic NO-pair collisions (differential mode; `None` when the
+    /// replay was not requested).
+    pub collisions: Option<usize>,
+}
+
+impl LintRun {
+    fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+}
+
+/// The whole suite's findings.
+#[derive(Clone, Debug, Default)]
+pub struct LintSuiteReport {
+    /// One entry per workload × config, in deterministic order.
+    pub runs: Vec<LintRun>,
+}
+
+impl LintSuiteReport {
+    /// Total Error-severity diagnostics plus dynamic collisions — the
+    /// quantity CI gates on.
+    #[must_use]
+    pub fn num_errors(&self) -> usize {
+        self.runs
+            .iter()
+            .map(|r| r.count(Severity::Error) + r.collisions.unwrap_or(0))
+            .sum()
+    }
+
+    /// Renders the `nachos-lint-v1` report. Byte-deterministic: depends
+    /// only on the audited regions and the options.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open_obj();
+        w.str_field("schema", "nachos-lint-v1");
+        w.key("runs");
+        w.open_arr();
+        for run in &self.runs {
+            w.open_obj();
+            w.str_field("workload", &run.workload);
+            w.str_field("config", &run.config);
+            w.u64_field("mem_ops", run.mem_ops as u64);
+            w.u64_field("pairs", run.pairs as u64);
+            w.key("labels");
+            w.open_obj();
+            w.u64_field("no", run.labels.0 as u64);
+            w.u64_field("may", run.labels.1 as u64);
+            w.u64_field("must", run.labels.2 as u64);
+            w.close_obj();
+            w.key("mdes");
+            w.open_obj();
+            w.u64_field("order", run.mdes.0 as u64);
+            w.u64_field("forward", run.mdes.1 as u64);
+            w.u64_field("may", run.mdes.2 as u64);
+            w.close_obj();
+            w.key("diagnostics");
+            w.open_obj();
+            w.u64_field("errors", run.count(Severity::Error) as u64);
+            w.u64_field("warnings", run.count(Severity::Warning) as u64);
+            w.u64_field("infos", run.count(Severity::Info) as u64);
+            w.close_obj();
+            w.key("by_code");
+            w.open_arr();
+            for (code, count) in count_by_code(&run.diagnostics) {
+                w.open_obj();
+                w.str_field("code", code);
+                w.u64_field("count", count as u64);
+                w.close_obj();
+            }
+            w.close_arr();
+            w.key("errors");
+            w.open_arr();
+            for d in run.diagnostics.iter().filter(|d| d.is_error()) {
+                w.open_obj();
+                w.str_field("code", d.code.id());
+                w.str_field("site", &d.site.to_string());
+                w.str_field("message", &d.message);
+                w.close_obj();
+            }
+            w.close_arr();
+            if let Some(collisions) = run.collisions {
+                w.u64_field("collisions", collisions as u64);
+            }
+            w.close_obj();
+        }
+        w.close_arr();
+        w.key("totals");
+        w.open_obj();
+        w.u64_field("runs", self.runs.len() as u64);
+        let total = |s: Severity| self.runs.iter().map(|r| r.count(s)).sum::<usize>() as u64;
+        w.u64_field("errors", total(Severity::Error));
+        w.u64_field("warnings", total(Severity::Warning));
+        w.u64_field("infos", total(Severity::Info));
+        w.u64_field(
+            "collisions",
+            self.runs
+                .iter()
+                .map(|r| r.collisions.unwrap_or(0))
+                .sum::<usize>() as u64,
+        );
+        w.close_obj();
+        w.close_obj();
+        w.finish()
+    }
+}
+
+fn count_by_code(diags: &[Diagnostic]) -> Vec<(&'static str, usize)> {
+    let mut counts: Vec<(&'static str, usize)> = Vec::new();
+    for d in diags {
+        let id = d.code.id();
+        match counts.iter_mut().find(|(c, _)| *c == id) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((id, 1)),
+        }
+    }
+    counts.sort_unstable();
+    counts
+}
+
+/// Audits one workload under one ablation.
+#[must_use]
+pub fn lint_workload(w: &Workload, config: LintConfig, options: &LintOptions) -> LintRun {
+    let mut region = w.region.clone();
+    let analysis = compile(&mut region, config.stages);
+    let diagnostics = audit_with(&region, &analysis, config.stages, &AuditConfig::default());
+    let collisions = options.differential.then(|| {
+        nachos_alias::differential_no_collisions(
+            &region,
+            &analysis.matrix,
+            &w.binding,
+            options.invocations,
+        )
+        .len()
+    });
+    let counts = analysis.matrix.label_counts();
+    LintRun {
+        workload: w.spec.name.to_owned(),
+        config: config.name.to_owned(),
+        mem_ops: analysis.matrix.num_ops(),
+        pairs: analysis.matrix.num_tracked_pairs(),
+        labels: (counts.no, counts.may, counts.must),
+        mdes: (
+            analysis.plan.order.len(),
+            analysis.plan.forward.len(),
+            analysis.plan.may.len(),
+        ),
+        diagnostics,
+        collisions,
+    }
+}
+
+/// Runs the audit matrix and returns the suite report.
+///
+/// # Panics
+///
+/// Panics if `options` names a workload or config that does not exist —
+/// the CLI validates names before calling.
+#[must_use]
+pub fn run_lint_suite(options: &LintOptions) -> LintSuiteReport {
+    let configs: Vec<LintConfig> = standard_configs()
+        .into_iter()
+        .filter(|c| options.config.as_deref().is_none_or(|name| name == c.name))
+        .collect();
+    assert!(!configs.is_empty(), "unknown config filter");
+    let workloads: Vec<Workload> = generate_all()
+        .into_iter()
+        .filter(|w| {
+            options
+                .workload
+                .as_deref()
+                .is_none_or(|name| name == w.spec.name)
+        })
+        .collect();
+    assert!(!workloads.is_empty(), "unknown workload filter");
+    let mut runs = Vec::with_capacity(workloads.len() * configs.len());
+    for w in &workloads {
+        for &config in &configs {
+            runs.push(lint_workload(w, config, options));
+        }
+    }
+    LintSuiteReport { runs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_workload_options(name: &str) -> LintOptions {
+        LintOptions {
+            workload: Some(name.to_owned()),
+            ..LintOptions::default()
+        }
+    }
+
+    #[test]
+    fn audited_workload_has_zero_errors_under_every_config() {
+        let report = run_lint_suite(&LintOptions {
+            differential: true,
+            invocations: 8,
+            ..one_workload_options("183.equake")
+        });
+        assert_eq!(report.runs.len(), standard_configs().len());
+        assert_eq!(report.num_errors(), 0, "{}", report.to_json());
+    }
+
+    #[test]
+    fn report_is_byte_deterministic() {
+        let options = one_workload_options("art");
+        let a = run_lint_suite(&options).to_json();
+        let b = run_lint_suite(&options).to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"nachos-lint-v1\""));
+    }
+}

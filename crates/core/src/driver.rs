@@ -58,7 +58,24 @@ pub fn run_backend_with_stages(
     nachos_ir::validate_region(region).map_err(SimError::Validation)?;
     let mut compiled = region.clone();
     let analysis = if backend.uses_mdes() {
-        Some(compile(&mut compiled, stages))
+        let analysis = compile(&mut compiled, stages);
+        // Post-compile audit: independently re-verify every alias verdict
+        // and ordering chain before trusting the MDEs with correctness.
+        // The quick configuration skips the enumeration oracle, so this
+        // costs a small fraction of the compile itself.
+        let errors: Vec<_> = nachos_alias::audit_with(
+            &compiled,
+            &analysis,
+            stages,
+            &nachos_alias::AuditConfig::quick(),
+        )
+        .into_iter()
+        .filter(nachos_alias::Diagnostic::is_error)
+        .collect();
+        if !errors.is_empty() {
+            return Err(SimError::Audit(errors));
+        }
+        Some(analysis)
     } else {
         // OPT-LSQ needs no MDEs for main memory, but scratchpad data
         // bypasses the LSQ in every scheme, so its compiler-known

@@ -31,6 +31,12 @@ pub enum SimError {
     /// The watchdog stopped a run that made no forward progress; the
     /// boxed dump names the stalled nodes and what they wait for.
     Deadlock(Box<DeadlockInfo>),
+    /// The post-compile audit found Error-severity diagnostics: the
+    /// compiled region carries an unsound alias verdict, a missing
+    /// ordering chain, or drifted bookkeeping (see
+    /// [`nachos_alias::audit`]). Running it would risk silently wrong
+    /// results, so the driver refuses.
+    Audit(Vec<nachos_alias::audit::Diagnostic>),
     /// The token protocol was violated at run time (e.g. a completion
     /// token arrived at a node with no outstanding token count). Only
     /// reachable under fault injection or a genuine engine bug.
@@ -63,6 +69,17 @@ impl fmt::Display for SimError {
             SimError::IncompleteBinding(m) => write!(f, "incomplete binding: {m}"),
             SimError::BadConfig(m) => write!(f, "bad configuration: {m}"),
             SimError::Deadlock(info) => write!(f, "{info}"),
+            SimError::Audit(diags) => {
+                write!(f, "compile audit failed ({} error", diags.len())?;
+                if diags.len() != 1 {
+                    write!(f, "s")?;
+                }
+                write!(f, ")")?;
+                for d in diags {
+                    write!(f, "; {d}")?;
+                }
+                Ok(())
+            }
             SimError::ProtocolViolation {
                 backend,
                 node,

@@ -1,0 +1,220 @@
+//! Minimal deterministic JSON emission shared by the report writers.
+//!
+//! The harness deliberately avoids a serialization dependency: its
+//! reports ([`crate::sweep::SweepResult::to_json`], the `nachos-lint`
+//! CLI) promise byte-identical output for identical inputs, which is
+//! easiest to audit when the writer is ~100 lines of code with a fixed
+//! key order and deterministic number formatting.
+
+use std::fmt::Write as _;
+
+/// Pretty-printing JSON writer with a fixed key order (the caller emits
+/// keys in schema order) and deterministic number formatting.
+///
+/// The writer is a push-down emitter: `open_obj`/`open_arr` nest,
+/// `key` names the next value inside an object, and the `*_field`
+/// helpers combine both. The caller is responsible for balanced
+/// open/close calls; the writer asserts balance at `finish`.
+#[derive(Debug)]
+pub struct JsonWriter {
+    out: String,
+    indent: usize,
+    /// `true` when the next emission at this nesting level needs a comma.
+    need_comma: Vec<bool>,
+    /// `true` immediately after `key()` — the value belongs to that key.
+    pending_value: bool,
+}
+
+impl Default for JsonWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonWriter {
+    /// An empty writer at nesting depth zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            out: String::new(),
+            indent: 0,
+            need_comma: vec![false],
+            pending_value: false,
+        }
+    }
+
+    /// Terminates the document with a trailing newline and returns it.
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.out.push('\n');
+        self.out
+    }
+
+    /// Starts a new value: handles comma, newline and indentation unless
+    /// the value directly follows its key.
+    fn begin_value(&mut self) {
+        if self.pending_value {
+            self.pending_value = false;
+            return;
+        }
+        let top = self.need_comma.last_mut().expect("writer has a level");
+        if *top {
+            self.out.push(',');
+        }
+        *top = true;
+        if self.indent > 0 {
+            self.out.push('\n');
+            for _ in 0..self.indent {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    /// Emits an object key; the next value emitted belongs to it.
+    pub fn key(&mut self, k: &str) {
+        self.begin_value();
+        let _ = write!(self.out, "\"{}\": ", escape(k));
+        self.pending_value = true;
+    }
+
+    /// Opens a `{ ... }` object.
+    pub fn open_obj(&mut self) {
+        self.begin_value();
+        self.out.push('{');
+        self.indent += 1;
+        self.need_comma.push(false);
+    }
+
+    /// Closes the innermost object.
+    pub fn close_obj(&mut self) {
+        self.close_with('}');
+    }
+
+    /// Opens a `[ ... ]` array.
+    pub fn open_arr(&mut self) {
+        self.begin_value();
+        self.out.push('[');
+        self.indent += 1;
+        self.need_comma.push(false);
+    }
+
+    /// Closes the innermost array.
+    pub fn close_arr(&mut self) {
+        self.close_with(']');
+    }
+
+    fn close_with(&mut self, ch: char) {
+        let had_items = self.need_comma.pop().expect("balanced writer");
+        self.indent -= 1;
+        if had_items {
+            self.out.push('\n');
+            for _ in 0..self.indent {
+                self.out.push_str("  ");
+            }
+        }
+        self.out.push(ch);
+    }
+
+    /// Emits a string value (array element, or the value after `key`).
+    pub fn str_item(&mut self, v: &str) {
+        self.begin_value();
+        let _ = write!(self.out, "\"{}\"", escape(v));
+    }
+
+    /// Emits `"k": "v"`.
+    pub fn str_field(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.str_item(v);
+    }
+
+    /// Emits an unsigned integer value.
+    pub fn u64_item(&mut self, v: u64) {
+        self.begin_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Emits `"k": v` for an unsigned integer.
+    pub fn u64_field(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.u64_item(v);
+    }
+
+    /// Emits `"k": v` for a boolean.
+    pub fn bool_field(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.begin_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Writes a finite float with Rust's shortest-roundtrip formatting
+    /// (deterministic for identical bit patterns), forcing a decimal
+    /// point so the value parses as a JSON number of float kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite values — JSON has no encoding for them.
+    pub fn f64_field(&mut self, k: &str, v: f64) {
+        assert!(v.is_finite(), "JSON numbers must be finite");
+        self.key(k);
+        self.begin_value();
+        let s = format!("{v}");
+        self.out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            self.out.push_str(".0");
+        }
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_document_is_stable() {
+        let mut w = JsonWriter::new();
+        w.open_obj();
+        w.str_field("name", "x\"y");
+        w.key("items");
+        w.open_arr();
+        w.u64_item(1);
+        w.u64_item(2);
+        w.close_arr();
+        w.key("empty");
+        w.open_arr();
+        w.close_arr();
+        w.bool_field("ok", true);
+        w.f64_field("ratio", 2.0);
+        w.close_obj();
+        let json = w.finish();
+        assert_eq!(
+            json,
+            "{\n  \"name\": \"x\\\"y\",\n  \"items\": [\n    1,\n    2\n  ],\n  \
+             \"empty\": [],\n  \"ok\": true,\n  \"ratio\": 2.0\n}\n"
+        );
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!(escape("a\nb\u{1}"), "a\\nb\\u0001");
+    }
+}

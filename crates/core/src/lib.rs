@@ -43,6 +43,7 @@ mod energy;
 mod engine;
 mod error;
 mod fault;
+pub mod json;
 pub mod reference;
 pub mod sweep;
 pub mod value;

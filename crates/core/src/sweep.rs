@@ -45,10 +45,10 @@ use crate::driver::{run_backend_with_stages, ExperimentRun};
 use crate::energy::EnergyModel;
 use crate::error::SimError;
 use crate::fault::FaultPlan;
+use crate::json::JsonWriter;
 use crate::reference::{self, ReferenceResult};
 use nachos_alias::StageConfig;
 use nachos_ir::{Binding, Region};
-use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::{fmt, thread};
@@ -634,147 +634,6 @@ fn cache_json(w: &mut JsonWriter, hits: u64, misses: u64, writebacks: u64) {
     w.close_obj();
 }
 
-/// Minimal pretty-printing JSON writer with a fixed key order (the caller
-/// emits keys in schema order) and deterministic number formatting.
-struct JsonWriter {
-    out: String,
-    indent: usize,
-    /// `true` when the next emission at this nesting level needs a comma.
-    need_comma: Vec<bool>,
-    /// `true` immediately after `key()` — the value belongs to that key.
-    pending_value: bool,
-}
-
-impl JsonWriter {
-    fn new() -> Self {
-        Self {
-            out: String::new(),
-            indent: 0,
-            need_comma: vec![false],
-            pending_value: false,
-        }
-    }
-
-    fn finish(mut self) -> String {
-        self.out.push('\n');
-        self.out
-    }
-
-    /// Starts a new value: handles comma, newline and indentation unless
-    /// the value directly follows its key.
-    fn begin_value(&mut self) {
-        if self.pending_value {
-            self.pending_value = false;
-            return;
-        }
-        let top = self.need_comma.last_mut().expect("writer has a level");
-        if *top {
-            self.out.push(',');
-        }
-        *top = true;
-        if self.indent > 0 {
-            self.out.push('\n');
-            for _ in 0..self.indent {
-                self.out.push_str("  ");
-            }
-        }
-    }
-
-    fn key(&mut self, k: &str) {
-        self.begin_value();
-        let _ = write!(self.out, "\"{}\": ", escape(k));
-        self.pending_value = true;
-    }
-
-    fn open_obj(&mut self) {
-        self.begin_value();
-        self.out.push('{');
-        self.indent += 1;
-        self.need_comma.push(false);
-    }
-
-    fn close_obj(&mut self) {
-        self.close_with('}');
-    }
-
-    fn open_arr(&mut self) {
-        self.begin_value();
-        self.out.push('[');
-        self.indent += 1;
-        self.need_comma.push(false);
-    }
-
-    fn close_arr(&mut self) {
-        self.close_with(']');
-    }
-
-    fn close_with(&mut self, ch: char) {
-        let had_items = self.need_comma.pop().expect("balanced writer");
-        self.indent -= 1;
-        if had_items {
-            self.out.push('\n');
-            for _ in 0..self.indent {
-                self.out.push_str("  ");
-            }
-        }
-        self.out.push(ch);
-    }
-
-    fn str_item(&mut self, v: &str) {
-        self.begin_value();
-        let _ = write!(self.out, "\"{}\"", escape(v));
-    }
-
-    fn str_field(&mut self, k: &str, v: &str) {
-        self.key(k);
-        self.str_item(v);
-    }
-
-    fn u64_field(&mut self, k: &str, v: u64) {
-        self.key(k);
-        self.begin_value();
-        let _ = write!(self.out, "{v}");
-    }
-
-    fn bool_field(&mut self, k: &str, v: bool) {
-        self.key(k);
-        self.begin_value();
-        let _ = write!(self.out, "{v}");
-    }
-
-    /// Writes a finite float with Rust's shortest-roundtrip formatting
-    /// (deterministic for identical bit patterns), forcing a decimal
-    /// point so the value parses as a JSON number of float kind.
-    fn f64_field(&mut self, k: &str, v: f64) {
-        assert!(v.is_finite(), "JSON numbers must be finite");
-        self.key(k);
-        self.begin_value();
-        let s = format!("{v}");
-        self.out.push_str(&s);
-        if !s.contains(['.', 'e', 'E']) {
-            self.out.push_str(".0");
-        }
-    }
-}
-
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -837,12 +696,6 @@ mod tests {
         let opens = json.matches(['{', '[']).count();
         let closes = json.matches(['}', ']']).count();
         assert_eq!(opens, closes);
-    }
-
-    #[test]
-    fn json_escape_covers_specials() {
-        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-        assert_eq!(escape("\u{1}"), "\\u0001");
     }
 
     #[test]

@@ -169,11 +169,17 @@ impl RegionBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if the constructed region fails [`Region::validate`].
+    /// Panics if the constructed region fails
+    /// [`validate_region`](crate::validate::validate_region).
     #[must_use]
     pub fn finish(self) -> Region {
-        if let Err(e) = self.region.validate() {
-            panic!("builder produced invalid region: {e}");
+        if let Err(errors) = crate::validate::validate_region(&self.region) {
+            let joined = errors
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ");
+            panic!("builder produced invalid region: {joined}");
         }
         self.region
     }

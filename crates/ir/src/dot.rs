@@ -1,6 +1,7 @@
 //! Graphviz DOT export of regions, for debugging and documentation.
 
 use crate::edge::EdgeKind;
+use crate::ids::NodeId;
 use crate::region::Region;
 use std::fmt::Write as _;
 
@@ -8,19 +9,46 @@ use std::fmt::Write as _;
 ///
 /// Memory operations are drawn as boxes annotated with their program-order
 /// slot; MDEs are drawn dashed (`order`), bold (`forward`) or dotted
-/// (`may`), matching the figures in the paper.
+/// (`may`), matching the figures in the paper. The younger endpoint of
+/// every MAY edge — the operation that hosts the hardware comparator
+/// site — gets a `cmp` annotation and a diamond peripheral, so the
+/// comparator population of Figure 14 is readable straight off the graph.
 #[must_use]
 pub fn to_dot(region: &Region) -> String {
+    to_dot_highlighted(region, &[])
+}
+
+/// Like [`to_dot`], additionally coloring `flagged` nodes red — the
+/// rendering hook for audit findings (`nachos-lint` diagnostics carry the
+/// [`NodeId`]s to pass here), making a flagged verdict or race visually
+/// debuggable in context.
+#[must_use]
+pub fn to_dot_highlighted(region: &Region, flagged: &[NodeId]) -> String {
+    // Comparator sites: the younger (destination) op of each MAY edge.
+    let mut comparator = vec![false; region.dfg.num_nodes()];
+    for e in region.dfg.edges() {
+        if e.kind == EdgeKind::May && e.dst.index() < comparator.len() {
+            comparator[e.dst.index()] = true;
+        }
+    }
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", region.name);
     let _ = writeln!(out, "  rankdir=TB;");
     for n in region.dfg.node_ids() {
         let node = region.dfg.node(n);
-        let (shape, label) = match node.mem_slot {
+        let (shape, mut label) = match node.mem_slot {
             Some(slot) => ("box", format!("{} {}", node.kind.mnemonic(), slot)),
             None => ("ellipse", node.kind.mnemonic().to_owned()),
         };
-        let _ = writeln!(out, "  {n} [shape={shape}, label=\"{label}\"];");
+        let mut attrs = String::new();
+        if comparator[n.index()] {
+            label.push_str("\\ncmp");
+            attrs.push_str(", peripheries=2");
+        }
+        if flagged.contains(&n) {
+            attrs.push_str(", color=red, fontcolor=red");
+        }
+        let _ = writeln!(out, "  {n} [shape={shape}, label=\"{label}\"{attrs}];");
     }
     for e in region.dfg.edges() {
         let style = match e.kind {
@@ -77,5 +105,32 @@ mod tests {
         assert!(dot.contains("style=dashed"));
         assert!(dot.contains("label=\"O\""));
         assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn may_comparator_sites_are_annotated() {
+        let mut b = RegionBuilder::new("cmp");
+        let g = b.global("g", 64, 0);
+        let st = b.store(MemRef::affine(g, AffineExpr::zero()), &[]);
+        let ld = b.load(MemRef::affine(g, AffineExpr::zero()), &[]);
+        let mut r = b.finish();
+        r.dfg.add_edge(st, ld, EdgeKind::May).unwrap();
+        let dot = to_dot(&r);
+        // Only the younger endpoint (the load) hosts the comparator.
+        assert!(dot.contains(&format!(
+            "{ld} [shape=box, label=\"ld m1\\ncmp\", peripheries=2]"
+        )));
+        assert!(!dot.contains("st m0\\ncmp"));
+    }
+
+    #[test]
+    fn flagged_nodes_are_colored() {
+        let mut b = RegionBuilder::new("flag");
+        let g = b.global("g", 64, 0);
+        let ld = b.load(MemRef::affine(g, AffineExpr::zero()), &[]);
+        let r = b.finish();
+        let dot = to_dot_highlighted(&r, &[ld]);
+        assert!(dot.contains("color=red, fontcolor=red"));
+        assert!(!to_dot(&r).contains("color=red"));
     }
 }

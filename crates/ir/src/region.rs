@@ -3,7 +3,7 @@
 use crate::graph::Dfg;
 use crate::ids::{BaseId, ParamId, UnknownId};
 use crate::loops::LoopNest;
-use crate::memref::{BaseObject, CallContext, MemSpace, ParamInfo, PtrExpr};
+use crate::memref::{BaseObject, CallContext, MemSpace, ParamInfo};
 
 /// A complete acceleration region: the offloaded dataflow graph together
 /// with its base-object table, enclosing loop nest, symbolic parameters and
@@ -102,70 +102,12 @@ impl Region {
     pub fn num_scratchpad_ops(&self) -> usize {
         self.dfg.num_mem_ops() - self.num_global_mem_ops()
     }
-
-    /// Checks internal consistency: every pointer expression references
-    /// valid base/param/unknown ids and every affine term references a loop
-    /// in the nest.
-    ///
-    /// # Errors
-    ///
-    /// Returns a description of the first inconsistency found.
-    pub fn validate(&self) -> Result<(), String> {
-        for n in self.dfg.node_ids() {
-            let Some(mem) = self.dfg.node(n).kind.mem_ref() else {
-                continue;
-            };
-            match &mem.ptr {
-                PtrExpr::Affine { base, offset } => {
-                    if base.index() >= self.bases.len() {
-                        return Err(format!("{n}: base {base} out of range"));
-                    }
-                    for (l, _) in offset.terms() {
-                        if self.loops.get(l).is_none() {
-                            return Err(format!("{n}: loop {l} out of range"));
-                        }
-                    }
-                }
-                PtrExpr::MultiDim { base, subs, .. } => {
-                    if base.index() >= self.bases.len() {
-                        return Err(format!("{n}: base {base} out of range"));
-                    }
-                    if subs.is_empty() {
-                        return Err(format!("{n}: multidim access with no subscripts"));
-                    }
-                    for sub in subs {
-                        for (l, _) in sub.index.terms() {
-                            if self.loops.get(l).is_none() {
-                                return Err(format!("{n}: loop {l} out of range"));
-                            }
-                        }
-                        for p in [sub.stride.param, sub.extent.and_then(|e| e.param)]
-                            .into_iter()
-                            .flatten()
-                        {
-                            if p.index() >= self.params.len() {
-                                return Err(format!("{n}: param {p} out of range"));
-                            }
-                        }
-                    }
-                }
-                PtrExpr::Unknown { source, .. } => {
-                    if source.index() >= self.num_unknowns {
-                        return Err(format!("{n}: unknown source {source} out of range"));
-                    }
-                }
-            }
-        }
-        Ok(())
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::expr::AffineExpr;
-    use crate::ids::LoopId;
-    use crate::loops::LoopInfo;
     use crate::memref::MemRef;
     use crate::op::OpKind;
 
@@ -194,34 +136,5 @@ mod tests {
         assert_eq!(r.dfg.num_mem_ops(), 3);
         assert_eq!(r.num_global_mem_ops(), 1);
         assert_eq!(r.num_scratchpad_ops(), 2);
-    }
-
-    #[test]
-    fn validate_catches_bad_base() {
-        let mut r = Region::new("bad");
-        let m = MemRef::affine(BaseId::new(7), AffineExpr::zero());
-        r.dfg.add_node(OpKind::Load(m)).unwrap();
-        assert!(r.validate().is_err());
-    }
-
-    #[test]
-    fn validate_catches_bad_loop() {
-        let mut r = Region::new("bad");
-        let b = r.add_base(BaseObject::global("g", 64, 0));
-        let m = MemRef::affine(b, AffineExpr::var(LoopId::new(3)));
-        r.dfg.add_node(OpKind::Load(m)).unwrap();
-        assert!(r.validate().is_err());
-        r.loops.push(LoopInfo::range("i", 0, 4));
-        assert!(r.validate().is_err(), "loop 3 still missing");
-    }
-
-    #[test]
-    fn validate_accepts_consistent_region() {
-        let mut r = Region::new("ok");
-        let b = r.add_base(BaseObject::global("g", 64, 0));
-        let i = r.loops.push(LoopInfo::range("i", 0, 4));
-        let m = MemRef::affine(b, AffineExpr::var(i).scaled(8));
-        r.dfg.add_node(OpKind::Load(m)).unwrap();
-        assert_eq!(r.validate(), Ok(()));
     }
 }

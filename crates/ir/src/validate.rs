@@ -63,11 +63,41 @@ pub enum ValidateError {
         /// The nodes on the cycle, in edge order.
         nodes: Vec<NodeId>,
     },
-    /// A pointer-expression symbol (base/loop/param/unknown id) is out of
-    /// range for the region's tables.
-    Symbol {
-        /// Human-readable description from the symbol checker.
-        message: String,
+    /// A pointer expression names a base object outside the region's
+    /// base table.
+    BaseOutOfRange {
+        /// The memory operation with the bad reference.
+        node: NodeId,
+        /// The out-of-range base id.
+        base: crate::ids::BaseId,
+    },
+    /// An affine term references a loop outside the region's nest.
+    LoopOutOfRange {
+        /// The memory operation with the bad reference.
+        node: NodeId,
+        /// The out-of-range loop id.
+        loop_id: crate::ids::LoopId,
+    },
+    /// A stride or extent references a parameter outside the region's
+    /// parameter table.
+    ParamOutOfRange {
+        /// The memory operation with the bad reference.
+        node: NodeId,
+        /// The out-of-range parameter id.
+        param: crate::ids::ParamId,
+    },
+    /// An unknown-pointer access names a source outside the region's
+    /// unknown table.
+    UnknownOutOfRange {
+        /// The memory operation with the bad reference.
+        node: NodeId,
+        /// The out-of-range unknown-source id.
+        source: crate::ids::UnknownId,
+    },
+    /// A multidimensional access with an empty subscript list.
+    EmptySubscripts {
+        /// The memory operation with the malformed access.
+        node: NodeId,
     },
 }
 
@@ -95,7 +125,27 @@ impl fmt::Display for ValidateError {
             ValidateError::GraphCycle { nodes } => {
                 write!(f, "graph cycle through {}", fmt_nodes(nodes))
             }
-            ValidateError::Symbol { message } => write!(f, "symbol error: {message}"),
+            ValidateError::BaseOutOfRange { node, base } => {
+                write!(f, "symbol error: {node}: base {base} out of range")
+            }
+            ValidateError::LoopOutOfRange { node, loop_id } => {
+                write!(f, "symbol error: {node}: loop {loop_id} out of range")
+            }
+            ValidateError::ParamOutOfRange { node, param } => {
+                write!(f, "symbol error: {node}: param {param} out of range")
+            }
+            ValidateError::UnknownOutOfRange { node, source } => {
+                write!(
+                    f,
+                    "symbol error: {node}: unknown source {source} out of range"
+                )
+            }
+            ValidateError::EmptySubscripts { node } => {
+                write!(
+                    f,
+                    "symbol error: {node}: multidim access with no subscripts"
+                )
+            }
         }
     }
 }
@@ -179,14 +229,67 @@ pub fn validate_region(region: &Region) -> Result<(), Vec<ValidateError>> {
     }
 
     // Symbol-table checks (base/loop/param/unknown ids in range).
-    if let Err(message) = region.validate() {
-        errors.push(ValidateError::Symbol { message });
-    }
+    check_symbols(region, &mut errors);
 
     if errors.is_empty() {
         Ok(())
     } else {
         Err(errors)
+    }
+}
+
+/// Checks that every pointer expression references valid base, loop,
+/// param and unknown ids, collecting *all* violations.
+fn check_symbols(region: &Region, errors: &mut Vec<ValidateError>) {
+    use crate::memref::PtrExpr;
+    let dfg = &region.dfg;
+    for node in dfg.node_ids() {
+        let Some(mem) = dfg.node(node).kind.mem_ref() else {
+            continue;
+        };
+        let check_base = |base: crate::ids::BaseId, errors: &mut Vec<ValidateError>| {
+            if base.index() >= region.bases.len() {
+                errors.push(ValidateError::BaseOutOfRange { node, base });
+            }
+        };
+        let check_loops = |expr: &crate::expr::AffineExpr, errors: &mut Vec<ValidateError>| {
+            for (loop_id, _) in expr.terms() {
+                if region.loops.get(loop_id).is_none() {
+                    errors.push(ValidateError::LoopOutOfRange { node, loop_id });
+                }
+            }
+        };
+        match &mem.ptr {
+            PtrExpr::Affine { base, offset } => {
+                check_base(*base, errors);
+                check_loops(offset, errors);
+            }
+            PtrExpr::MultiDim { base, subs, .. } => {
+                check_base(*base, errors);
+                if subs.is_empty() {
+                    errors.push(ValidateError::EmptySubscripts { node });
+                }
+                for sub in subs {
+                    check_loops(&sub.index, errors);
+                    for param in [sub.stride.param, sub.extent.and_then(|e| e.param)]
+                        .into_iter()
+                        .flatten()
+                    {
+                        if param.index() >= region.params.len() {
+                            errors.push(ValidateError::ParamOutOfRange { node, param });
+                        }
+                    }
+                }
+            }
+            PtrExpr::Unknown { source, .. } => {
+                if source.index() >= region.num_unknowns {
+                    errors.push(ValidateError::UnknownOutOfRange {
+                        node,
+                        source: *source,
+                    });
+                }
+            }
+        }
     }
 }
 
@@ -363,7 +466,55 @@ mod tests {
         let errs = validate_region(&region).unwrap_err();
         assert!(errs
             .iter()
-            .any(|e| matches!(e, ValidateError::Symbol { .. })));
+            .any(|e| matches!(e, ValidateError::BaseOutOfRange { .. })));
+        assert!(errs[0].to_string().starts_with("symbol error: "));
+    }
+
+    #[test]
+    fn bad_loop_reference_is_reported() {
+        let mut region = Region::new("badloop");
+        let b = region.add_base(crate::memref::BaseObject::global("g", 64, 0));
+        let m = MemRef::affine(b, AffineExpr::var(crate::ids::LoopId::new(3)));
+        region.dfg.add_node(crate::op::OpKind::Load(m)).unwrap();
+        let errs = validate_region(&region).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::LoopOutOfRange { .. })));
+        // Pushing one loop is not enough: loop 3 is still out of range.
+        region.loops.push(crate::loops::LoopInfo::range("i", 0, 4));
+        assert!(validate_region(&region).is_err(), "loop 3 still missing");
+    }
+
+    #[test]
+    fn consistent_symbols_validate() {
+        let mut region = Region::new("ok");
+        let b = region.add_base(crate::memref::BaseObject::global("g", 64, 0));
+        let i = region.loops.push(crate::loops::LoopInfo::range("i", 0, 4));
+        let m = MemRef::affine(b, AffineExpr::var(i).scaled(8));
+        region.dfg.add_node(crate::op::OpKind::Load(m)).unwrap();
+        assert_eq!(validate_region(&region), Ok(()));
+    }
+
+    #[test]
+    fn all_symbol_violations_are_collected() {
+        let mut region = Region::new("multi");
+        let bad_base = MemRef::affine(crate::ids::BaseId::new(7), AffineExpr::zero());
+        let bad_unknown = MemRef::unknown(crate::ids::UnknownId::new(2), 0);
+        region
+            .dfg
+            .add_node(crate::op::OpKind::Load(bad_base))
+            .unwrap();
+        region
+            .dfg
+            .add_node(crate::op::OpKind::Load(bad_unknown))
+            .unwrap();
+        let errs = validate_region(&region).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::BaseOutOfRange { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::UnknownOutOfRange { .. })));
     }
 
     #[test]

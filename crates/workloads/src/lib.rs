@@ -13,7 +13,7 @@
 //!
 //! let spec = by_name("183.equake").expect("Table II row");
 //! let w = generate(&spec);
-//! assert_eq!(w.region.validate(), Ok(()));
+//! assert_eq!(nachos_ir::validate_region(&w.region), Ok(()));
 //! assert!(w.region.num_global_mem_ops() > 150);
 //! ```
 
