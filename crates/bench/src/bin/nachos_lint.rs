@@ -25,6 +25,8 @@ OPTIONS:
                          address walk and count dynamic collisions
     --invocations N      Invocations for the differential replay
                          (default: 64)
+    --ideal              Also cross-check that the IDEAL oracle
+                         lower-bounds NACHOS cycle counts per config
     --out FILE           Write the JSON report to FILE instead of stdout
     -h, --help           Show this help
 ";
@@ -60,6 +62,7 @@ fn main() -> ExitCode {
                 options.config = Some(v);
             }
             "--differential" => options.differential = true,
+            "--ideal" => options.ideal = true,
             "--invocations" => {
                 let Some(v) = args.next() else {
                     return usage_error("--invocations requires a count");

@@ -8,12 +8,17 @@
 //! neutral, dropped tokens diagnosed as deadlocks). Exits non-zero on any
 //! deviation.
 //!
-//! Usage: `sweep [--threads N] [--invocations N] [--out FILE]
+//! With `--ideal`, the IDEAL oracle (perfect disambiguation, the paper's
+//! Figure 9 upper bound) is appended as a fifth variant column; without
+//! it the report is byte-identical to the default four-variant matrix.
+//!
+//! Usage: `sweep [--threads N] [--invocations N] [--out FILE] [--ideal]
 //! [--inject smoke]` (defaults: auto threads, 64 invocations, stdout).
 
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: sweep [--threads N] [--invocations N] [--out FILE] [--inject smoke]";
+const USAGE: &str =
+    "usage: sweep [--threads N] [--invocations N] [--out FILE] [--ideal] [--inject smoke]";
 
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("{msg}");
@@ -26,8 +31,13 @@ fn main() -> ExitCode {
     let mut invocations = nachos_bench::DEFAULT_INVOCATIONS;
     let mut out: Option<String> = None;
     let mut inject: Option<String> = None;
+    let mut ideal = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
+        if a == "--ideal" {
+            ideal = true;
+            continue;
+        }
         let Some(value) = (match a.as_str() {
             "--threads" | "--invocations" | "--out" | "--inject" => args.next(),
             other => return usage_error(&format!("unknown argument: {other}")),
@@ -51,6 +61,9 @@ fn main() -> ExitCode {
     }
 
     let (json, summary, ok) = match inject.as_deref() {
+        Some("smoke") if ideal => {
+            return usage_error("--ideal applies to the standard sweep, not --inject smoke")
+        }
         Some("smoke") => {
             let (sweep, failures) = nachos_bench::run_fault_smoke(threads);
             for f in &failures {
@@ -74,7 +87,7 @@ fn main() -> ExitCode {
         }
         Some(other) => return usage_error(&format!("--inject knows 'smoke', got {other:?}")),
         None => {
-            let suite = nachos_bench::run_suite_threads(invocations, threads);
+            let suite = nachos_bench::run_suite_opts(invocations, threads, ideal);
             let ok = suite.sweep.all_match();
             if !ok {
                 eprintln!("DIVERGENCE: {:?}", suite.sweep.mismatches());

@@ -52,6 +52,9 @@ pub struct BenchResult {
     pub hw: ExperimentRun,
     /// NACHOS-SW with the baseline compiler (Figure 12).
     pub sw_baseline: ExperimentRun,
+    /// IDEAL oracle run (perfect disambiguation, Figure 9 upper bound);
+    /// present only when the suite ran with the `--ideal` column.
+    pub ideal: Option<ExperimentRun>,
 }
 
 impl BenchResult {
@@ -72,6 +75,14 @@ impl BenchResult {
     pub fn baseline_slowdown_pct(&self) -> f64 {
         pct_slowdown(self.sw_baseline.sim.cycles, self.lsq.sim.cycles)
     }
+
+    /// % slowdown of NACHOS vs the IDEAL oracle (how far hardware MAY
+    /// checks sit from perfect disambiguation); `None` without `--ideal`.
+    #[must_use]
+    pub fn hw_vs_ideal_pct(&self) -> Option<f64> {
+        let ideal = self.ideal.as_ref()?;
+        Some(pct_slowdown(self.hw.sim.cycles, ideal.sim.cycles))
+    }
 }
 
 /// A suite run: per-workload figure data plus the raw sweep (for the
@@ -85,13 +96,20 @@ pub struct SuiteRun {
 }
 
 /// The sweep configuration the experiment matrix uses: the paper's three
-/// backends plus NACHOS-SW under the baseline compiler.
+/// backends plus NACHOS-SW under the baseline compiler. With `ideal`,
+/// the IDEAL oracle column is appended last (the `--ideal` flag), leaving
+/// the default columns — and the default report — untouched.
 #[must_use]
-pub fn suite_config(invocations: u64, threads: usize) -> SweepConfig {
-    SweepConfig::default()
+pub fn suite_config(invocations: u64, threads: usize, ideal: bool) -> SweepConfig {
+    let cfg = SweepConfig::default()
         .with_invocations(invocations)
         .with_threads(threads)
-        .with_variants(SweepVariant::bench_matrix())
+        .with_variants(SweepVariant::bench_matrix());
+    if ideal {
+        cfg.with_ideal()
+    } else {
+        cfg
+    }
 }
 
 /// Converts one generated workload into a sweep job.
@@ -118,10 +136,12 @@ fn from_outcome(spec: BenchSpec, workload: Workload, outcome: JobOutcome) -> Ben
             r.detail.as_deref().unwrap_or("diverged from the reference"),
         );
     }
-    let [lsq, sw, hw, sw_baseline]: [_; 4] = outcome
-        .runs
+    let mut runs = outcome.runs;
+    // The optional IDEAL oracle column is always appended last.
+    let ideal = (runs.len() == 5).then(|| runs.pop().expect("len checked"));
+    let [lsq, sw, hw, sw_baseline]: [_; 4] = runs
         .try_into()
-        .expect("bench outcomes carry the 4-variant bench matrix");
+        .expect("bench outcomes carry the 4-variant bench matrix (plus optional ideal)");
     let analysis_full = sw
         .expect_run()
         .analysis
@@ -141,6 +161,7 @@ fn from_outcome(spec: BenchSpec, workload: Workload, outcome: JobOutcome) -> Ben
         sw: sw.expect_run().clone(),
         hw: hw.expect_run().clone(),
         sw_baseline: sw_baseline.expect_run().clone(),
+        ideal: ideal.map(|r| r.expect_run().clone()),
     }
 }
 
@@ -153,7 +174,7 @@ fn from_outcome(spec: BenchSpec, workload: Workload, outcome: JobOutcome) -> Ben
 #[must_use]
 pub fn run_bench(spec: &BenchSpec, invocations: u64) -> BenchResult {
     let workload = generate(spec);
-    let cfg = suite_config(invocations, 1);
+    let cfg = suite_config(invocations, 1, false);
     let sweep = run_sweep(&[job_for(&workload)], &cfg);
     let outcome = sweep.jobs.into_iter().next().expect("one job in, one out");
     from_outcome(*spec, workload, outcome)
@@ -167,9 +188,20 @@ pub fn run_bench(spec: &BenchSpec, invocations: u64) -> BenchResult {
 /// Panics if a simulation fails or diverges from the reference executor.
 #[must_use]
 pub fn run_suite_threads(invocations: u64, threads: usize) -> SuiteRun {
+    run_suite_opts(invocations, threads, false)
+}
+
+/// Like [`run_suite_threads`], with the IDEAL oracle column opt-in (the
+/// sweep binary's `--ideal` flag).
+///
+/// # Panics
+///
+/// Panics if a simulation fails or diverges from the reference executor.
+#[must_use]
+pub fn run_suite_opts(invocations: u64, threads: usize, ideal: bool) -> SuiteRun {
     let workloads = nachos_workloads::generate_all();
     let jobs: Vec<SweepJob> = workloads.iter().map(job_for).collect();
-    let cfg = suite_config(invocations, threads);
+    let cfg = suite_config(invocations, threads, ideal);
     let sweep = run_sweep(&jobs, &cfg);
     let results = workloads
         .into_iter()
@@ -199,20 +231,8 @@ pub struct SmokeScenario {
 /// A store forwarding into a load: every backend forwards once per
 /// invocation, so forward-class faults are guaranteed an opportunity.
 fn forward_job(name: &str) -> SweepJob {
-    let mut b = RegionBuilder::new(name);
-    let g = b.global("g", 64, 0);
-    let m = MemRef::affine(g, AffineExpr::zero());
-    let x = b.input();
-    b.store(m.clone(), &[x]);
-    b.load(m, &[]);
-    SweepJob::new(
-        name,
-        b.finish(),
-        Binding {
-            base_addrs: vec![0x1_0000],
-            ..Binding::default()
-        },
-    )
+    let (region, binding) = nachos::testutil::store_load_region(name);
+    SweepJob::new(name, region, binding)
 }
 
 /// Two stores to one address: the compiler wires a MUST (ORDER) edge, so

@@ -9,6 +9,7 @@
 //! every NO-labelled pair against the reference executor's address walk.
 
 use nachos::json::JsonWriter;
+use nachos::{run_backend_with_stages, Backend, EnergyModel, SimConfig};
 use nachos_alias::{audit_with, compile, AuditConfig, Diagnostic, Severity, StageConfig};
 use nachos_workloads::{generate_all, Workload};
 
@@ -61,6 +62,9 @@ pub struct LintOptions {
     pub differential: bool,
     /// Invocations for the differential replay.
     pub invocations: u64,
+    /// Also run the IDEAL-oracle timing cross-check (the `--ideal` flag);
+    /// off by default so the standard report stays byte-identical.
+    pub ideal: bool,
 }
 
 impl Default for LintOptions {
@@ -70,6 +74,7 @@ impl Default for LintOptions {
             config: None,
             differential: false,
             invocations: 64,
+            ideal: false,
         }
     }
 }
@@ -94,6 +99,29 @@ pub struct LintRun {
     /// Dynamic NO-pair collisions (differential mode; `None` when the
     /// replay was not requested).
     pub collisions: Option<usize>,
+    /// IDEAL-oracle timing cross-check (`--ideal` mode; `None` when not
+    /// requested).
+    pub ideal: Option<IdealCheck>,
+}
+
+/// The opt-in IDEAL-oracle cross-check: the oracle must lower-bound
+/// NACHOS under the same compiler staging, or the MAY machinery is
+/// claiming impossible speedups.
+#[derive(Clone, Copy, Debug)]
+pub struct IdealCheck {
+    /// Cycles under the IDEAL oracle (perfect disambiguation).
+    pub ideal_cycles: u64,
+    /// Cycles under NACHOS with the same stages.
+    pub nachos_cycles: u64,
+}
+
+impl IdealCheck {
+    /// `true` iff the oracle lower-bounds NACHOS. A violation is counted
+    /// as an error by [`LintSuiteReport::num_errors`].
+    #[must_use]
+    pub fn bound_holds(&self) -> bool {
+        self.ideal_cycles <= self.nachos_cycles
+    }
 }
 
 impl LintRun {
@@ -113,13 +141,17 @@ pub struct LintSuiteReport {
 }
 
 impl LintSuiteReport {
-    /// Total Error-severity diagnostics plus dynamic collisions — the
-    /// quantity CI gates on.
+    /// Total Error-severity diagnostics plus dynamic collisions plus
+    /// IDEAL-bound violations — the quantity CI gates on.
     #[must_use]
     pub fn num_errors(&self) -> usize {
         self.runs
             .iter()
-            .map(|r| r.count(Severity::Error) + r.collisions.unwrap_or(0))
+            .map(|r| {
+                r.count(Severity::Error)
+                    + r.collisions.unwrap_or(0)
+                    + usize::from(r.ideal.is_some_and(|ic| !ic.bound_holds()))
+            })
             .sum()
     }
 
@@ -178,6 +210,14 @@ impl LintSuiteReport {
             if let Some(collisions) = run.collisions {
                 w.u64_field("collisions", collisions as u64);
             }
+            if let Some(ic) = run.ideal {
+                w.key("ideal");
+                w.open_obj();
+                w.u64_field("cycles", ic.ideal_cycles);
+                w.u64_field("nachos_cycles", ic.nachos_cycles);
+                w.bool_field("bound_holds", ic.bound_holds());
+                w.close_obj();
+            }
             w.close_obj();
         }
         w.close_arr();
@@ -229,6 +269,20 @@ pub fn lint_workload(w: &Workload, config: LintConfig, options: &LintOptions) ->
         )
         .len()
     });
+    let ideal = options.ideal.then(|| {
+        let cfg = SimConfig::default().with_invocations(options.invocations);
+        let em = EnergyModel::default();
+        let cycles = |backend| {
+            run_backend_with_stages(&w.region, &w.binding, backend, &cfg, &em, config.stages)
+                .expect("lint ideal cross-check simulates cleanly")
+                .sim
+                .cycles
+        };
+        IdealCheck {
+            ideal_cycles: cycles(Backend::Ideal),
+            nachos_cycles: cycles(Backend::Nachos),
+        }
+    });
     let counts = analysis.matrix.label_counts();
     LintRun {
         workload: w.spec.name.to_owned(),
@@ -243,6 +297,7 @@ pub fn lint_workload(w: &Workload, config: LintConfig, options: &LintOptions) ->
         ),
         diagnostics,
         collisions,
+        ideal,
     }
 }
 
@@ -307,5 +362,24 @@ mod tests {
         let b = run_lint_suite(&options).to_json();
         assert_eq!(a, b);
         assert!(a.contains("\"schema\": \"nachos-lint-v1\""));
+    }
+
+    #[test]
+    fn ideal_cross_check_is_opt_in_and_holds() {
+        let base = LintOptions {
+            config: Some("full".to_owned()),
+            invocations: 4,
+            ..one_workload_options("parser")
+        };
+        let plain = run_lint_suite(&base).to_json();
+        assert!(!plain.contains("\"ideal\""), "off by default");
+        let report = run_lint_suite(&LintOptions {
+            ideal: true,
+            ..base
+        });
+        let checked = report.runs[0].ideal.expect("cross-check requested");
+        assert!(checked.bound_holds(), "IDEAL must lower-bound NACHOS");
+        assert_eq!(report.num_errors(), 0);
+        assert!(report.to_json().contains("\"bound_holds\": true"));
     }
 }

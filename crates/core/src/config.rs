@@ -17,13 +17,21 @@ pub enum Backend {
     /// NACHOS (§VII): compiler MDEs plus per-site hardware comparators
     /// that disambiguate MAY edges at run time.
     Nachos,
+    /// The perfect-disambiguation oracle (Fig. 9's upper bound): every
+    /// false MAY edge costs nothing and every true conflict releases the
+    /// moment the older op completes. Not a buildable scheme — an
+    /// analysis backend, excluded from [`Backend::ALL`] and opt-in in the
+    /// report emitters (`--ideal`).
+    Ideal,
 }
 
 impl Backend {
-    /// All three backends, in the paper's comparison order.
+    /// The three *paper* backends, in the paper's comparison order.
+    /// [`Backend::Ideal`] is an opt-in oracle, not part of the matrix.
     pub const ALL: [Backend; 3] = [Backend::OptLsq, Backend::NachosSw, Backend::Nachos];
 
-    /// `true` for the backends that rely on compiler-inserted MDEs.
+    /// `true` for the backends that rely on compiler-inserted MDEs (the
+    /// IDEAL oracle resolves the same MDE set, just perfectly).
     #[must_use]
     pub fn uses_mdes(self) -> bool {
         !matches!(self, Backend::OptLsq)
@@ -36,6 +44,7 @@ impl fmt::Display for Backend {
             Backend::OptLsq => "OPT-LSQ",
             Backend::NachosSw => "NACHOS-SW",
             Backend::Nachos => "NACHOS",
+            Backend::Ideal => "IDEAL",
         };
         f.write_str(s)
     }
@@ -136,10 +145,13 @@ mod tests {
     fn backend_display_and_mde_use() {
         assert_eq!(Backend::OptLsq.to_string(), "OPT-LSQ");
         assert_eq!(Backend::Nachos.to_string(), "NACHOS");
+        assert_eq!(Backend::Ideal.to_string(), "IDEAL");
         assert!(!Backend::OptLsq.uses_mdes());
         assert!(Backend::NachosSw.uses_mdes());
         assert!(Backend::Nachos.uses_mdes());
+        assert!(Backend::Ideal.uses_mdes());
         assert_eq!(Backend::ALL.len(), 3);
+        assert!(!Backend::ALL.contains(&Backend::Ideal));
     }
 
     #[test]

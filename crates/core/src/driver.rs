@@ -2,7 +2,7 @@
 
 use crate::config::{Backend, SimConfig};
 use crate::energy::EnergyModel;
-use crate::engine::{simulate, SimResult};
+use crate::engine::{simulate_in, SimArena, SimResult};
 use crate::error::SimError;
 use nachos_alias::{compile, Analysis, StageConfig};
 use nachos_ir::{Binding, Region};
@@ -53,6 +53,50 @@ pub fn run_backend_with_stages(
     energy: &EnergyModel,
     stages: StageConfig,
 ) -> Result<ExperimentRun, SimError> {
+    let mut arena = SimArena::new();
+    run_backend_with_stages_in(&mut arena, region, binding, backend, config, energy, stages)
+}
+
+/// Like [`run_backend`], but reuses the simulation state pooled in
+/// `arena` (see [`SimArena`]); results are identical for any arena
+/// history. The sweep harness holds one arena per worker thread.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+pub fn run_backend_in(
+    arena: &mut SimArena,
+    region: &Region,
+    binding: &Binding,
+    backend: Backend,
+    config: &SimConfig,
+    energy: &EnergyModel,
+) -> Result<ExperimentRun, SimError> {
+    run_backend_with_stages_in(
+        arena,
+        region,
+        binding,
+        backend,
+        config,
+        energy,
+        StageConfig::full(),
+    )
+}
+
+/// Arena-reusing variant of [`run_backend_with_stages`].
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+pub fn run_backend_with_stages_in(
+    arena: &mut SimArena,
+    region: &Region,
+    binding: &Binding,
+    backend: Backend,
+    config: &SimConfig,
+    energy: &EnergyModel,
+    stages: StageConfig,
+) -> Result<ExperimentRun, SimError> {
     // Fail fast on malformed input graphs before spending compile and
     // placement work; `simulate` re-validates the compiled region.
     nachos_ir::validate_region(region).map_err(SimError::Validation)?;
@@ -84,7 +128,7 @@ pub fn run_backend_with_stages(
         nachos_alias::wire_local_deps(&mut compiled);
         None
     };
-    let sim = simulate(&compiled, binding, backend, config, energy)?;
+    let sim = simulate_in(arena, &compiled, binding, backend, config, energy)?;
     Ok(ExperimentRun { analysis, sim })
 }
 

@@ -1,0 +1,89 @@
+//! [`SimArena`]: pooled engine state for zero-alloc run reuse.
+//!
+//! A simulation needs a node-state table, an event heap, a port calendar,
+//! a cache hierarchy and the policy's own structures (LSQ entries, MAY
+//! tables, age vectors). None of that state outlives a run, so the
+//! differential sweep used to reallocate all of it 27 × N × 4 times per
+//! matrix. An arena instead hands the engine its buffers, takes them back
+//! after the run (cleared, capacity intact), and keeps one lazily-built
+//! policy per backend that resets instead of reconstructing.
+//!
+//! Reuse is **behaviour-invisible**: `simulate_in` produces byte-identical
+//! results to `simulate` regardless of what ran in the arena before — the
+//! golden-snapshot suite pins this down.
+
+use crate::config::{Backend, SimConfig};
+use nachos_ir::NodeId;
+use nachos_mem::MemoryHierarchy;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use super::policy::ideal::IdealPolicy;
+use super::policy::nachos_hw::NachosPolicy;
+use super::policy::nachos_sw::NachosSwPolicy;
+use super::policy::optlsq::OptLsqPolicy;
+use super::policy::DisambiguationPolicy;
+use super::state::{Ev, NodeState};
+
+/// Scheduler-core buffers pooled across runs. `Default` is an empty (but
+/// fully valid) set, so the arena stays usable even if a run panics while
+/// holding the buffers.
+#[derive(Default)]
+pub(crate) struct CoreBufs {
+    pub(crate) state: Vec<NodeState>,
+    pub(crate) heap: BinaryHeap<Reverse<(u64, u64, Ev)>>,
+    /// The memory-port calendar's slot map.
+    pub(crate) ports: HashMap<u64, u32>,
+    /// Pooled hierarchy, reused (reset) when the config matches.
+    pub(crate) hierarchy: Option<MemoryHierarchy>,
+    pub(crate) store_nodes: Vec<NodeId>,
+    pub(crate) operands: Vec<u64>,
+}
+
+/// A reusable per-worker simulation arena.
+///
+/// Hold one per thread and pass it to
+/// [`simulate_in`](super::simulate_in) (or the driver's `_in` variants);
+/// each run resets the pooled state instead of reallocating it. Dropping
+/// the arena releases everything.
+#[derive(Default)]
+pub struct SimArena {
+    bufs: CoreBufs,
+    optlsq: Option<OptLsqPolicy>,
+    nachos_sw: Option<NachosSwPolicy>,
+    nachos_hw: Option<NachosPolicy>,
+    ideal: Option<IdealPolicy>,
+}
+
+impl SimArena {
+    /// Creates an empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Splits the arena into the core buffers and the (reset) policy for
+    /// `backend`, constructing the policy on first use.
+    pub(crate) fn split(
+        &mut self,
+        backend: Backend,
+        config: &SimConfig,
+    ) -> (&mut CoreBufs, &mut dyn DisambiguationPolicy) {
+        let Self {
+            bufs,
+            optlsq,
+            nachos_sw,
+            nachos_hw,
+            ideal,
+        } = self;
+        let policy: &mut dyn DisambiguationPolicy = match backend {
+            Backend::OptLsq => optlsq.get_or_insert_with(|| OptLsqPolicy::new(config)),
+            Backend::NachosSw => nachos_sw.get_or_insert_with(NachosSwPolicy::default),
+            Backend::Nachos => nachos_hw.get_or_insert_with(NachosPolicy::default),
+            Backend::Ideal => ideal.get_or_insert_with(IdealPolicy::default),
+        };
+        debug_assert_eq!(policy.backend(), backend, "arena pooled wrong policy");
+        policy.prepare_run(config);
+        (bufs, policy)
+    }
+}

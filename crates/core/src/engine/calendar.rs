@@ -1,0 +1,83 @@
+//! Per-cycle bandwidth calendars for structural hazards (cache ports at
+//! the grid edge, LSQ allocation slots, per-site comparators).
+
+use std::collections::HashMap;
+
+/// A per-cycle bandwidth calendar: `claim(at)` returns the earliest cycle
+/// `>= at` with a free slot and consumes it.
+#[derive(Clone, Debug)]
+pub(crate) struct Calendar {
+    width: u32,
+    pub(crate) used: HashMap<u64, u32>,
+}
+
+impl Calendar {
+    pub(crate) fn new(width: u32) -> Self {
+        Self::from_parts(width, HashMap::new())
+    }
+
+    /// Builds a calendar around a pooled (possibly dirty) slot map.
+    pub(crate) fn from_parts(width: u32, mut used: HashMap<u64, u32>) -> Self {
+        // Invariant: widths come from SimConfig fields that `simulate`
+        // rejects (BadConfig) when zero.
+        assert!(width > 0, "calendar width validated before construction");
+        used.clear();
+        Self { width, used }
+    }
+
+    /// Empties the calendar in place and adopts a (validated) new width.
+    pub(crate) fn reset(&mut self, width: u32) {
+        assert!(width > 0, "calendar width validated before construction");
+        self.width = width;
+        self.used.clear();
+    }
+
+    /// Releases the slot map for pooling.
+    pub(crate) fn into_used(self) -> HashMap<u64, u32> {
+        self.used
+    }
+
+    pub(crate) fn claim(&mut self, at: u64) -> u64 {
+        let mut t = at;
+        loop {
+            let u = self.used.entry(t).or_insert(0);
+            if *u < self.width {
+                *u += 1;
+                return t;
+            }
+            t += 1;
+        }
+    }
+
+    /// Drops bookkeeping for cycles before `t`. Invocations are
+    /// block-atomic, so entries older than the current invocation's start
+    /// can never be claimed again; without pruning, a long sweep grows one
+    /// map entry per busy cycle for the whole run.
+    pub(crate) fn prune_below(&mut self, t: u64) {
+        self.used.retain(|&cycle, _| cycle >= t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Calendar;
+
+    /// The port calendar stays bounded: pruning drops reservations below
+    /// the new invocation's start, and claims still respect the width.
+    #[test]
+    fn calendar_prunes_and_keeps_width() {
+        let mut c = Calendar::new(2);
+        for t in 0..1000 {
+            assert_eq!(c.claim(t), t);
+            assert_eq!(c.claim(t), t); // width 2: same cycle twice
+        }
+        assert_eq!(c.used.len(), 1000);
+        c.prune_below(990);
+        assert_eq!(c.used.len(), 10);
+        // Cycles 990..1000 are all full; the claim spills past them.
+        assert_eq!(c.claim(990), 1000);
+        // Pruned cycles can be claimed again, but block-atomic invocations
+        // never go back in time, so that's unreachable in the engine.
+        assert_eq!(c.claim(0), 0);
+    }
+}

@@ -1,0 +1,717 @@
+//! The backend-agnostic scheduler core.
+//!
+//! [`SchedCore`] owns everything every disambiguation scheme shares: the
+//! event calendar, operand readiness and firing, functional execution,
+//! scratchpad and cache access, memory-port arbitration, stall-window
+//! accounting, fault-injection polling and the deadlock watchdog. It
+//! contains **zero** backend-specific branches — every point where the
+//! schemes diverge is a call through the
+//! [`DisambiguationPolicy`](super::policy::DisambiguationPolicy) trait.
+
+use crate::config::{Backend, SimConfig};
+use crate::energy::EventCounts;
+use crate::error::{DeadlockCause, DeadlockInfo, SimError, StalledNode, WaitForEdge};
+use crate::fault::{FaultClass, FaultKind, FaultState};
+use crate::value::{apply, LoadObserver};
+use nachos_cgra::Placement;
+use nachos_ir::{Binding, EdgeKind, MemSpace, NodeId, OpKind, Region};
+use nachos_mem::{DataMemory, MemoryHierarchy};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use super::arena::CoreBufs;
+use super::calendar::Calendar;
+use super::policy::{DisambiguationPolicy, EdgeGate};
+use super::state::{Ev, NodeState, StallCause};
+use super::StallCounts;
+
+/// The shared execution substrate. Policies reach into the `pub(crate)`
+/// fields for state/counters and call the `pub(crate)` methods for event
+/// scheduling and memory access; the core itself never inspects which
+/// policy is driving it (the `backend` field is carried for diagnostics
+/// and fault-scoping only).
+pub(crate) struct SchedCore<'a> {
+    pub(crate) region: &'a Region,
+    pub(crate) binding: &'a Binding,
+    pub(crate) backend: Backend,
+    pub(crate) config: &'a SimConfig,
+    pub(crate) placement: Placement,
+    pub(crate) hierarchy: MemoryHierarchy,
+    pub(crate) mem: DataMemory,
+    pub(crate) loads: LoadObserver,
+    pub(crate) counts: EventCounts,
+    pub(crate) clock: u64,
+    /// Per-invocation node state (rebuilt each invocation).
+    pub(crate) state: Vec<NodeState>,
+    pub(crate) mem_ports: Calendar,
+    /// Cycle-weighted stall attribution for the whole run.
+    pub(crate) stalls: StallCounts,
+    /// Fault-injection opportunity counters and fired-fault log.
+    pub(crate) fault: FaultState,
+    heap: BinaryHeap<Reverse<(u64, u64, Ev)>>,
+    seq: u64,
+    pub(crate) inv: u64,
+    pub(crate) iv: Vec<i64>,
+    pub(crate) unknown_vals: Vec<u64>,
+    /// This invocation's store nodes, program order (reused scratch).
+    pub(crate) store_nodes: Vec<NodeId>,
+    /// Operand-gathering scratch.
+    operands: Vec<u64>,
+}
+
+/// Node kind lookup that borrows only the region (usable while `self` is
+/// otherwise mutably borrowed).
+pub(crate) fn node_kind(region: &Region, n: NodeId) -> &OpKind {
+    &region.dfg.node(n).kind
+}
+
+/// Scratchpad test that borrows only the region.
+pub(crate) fn is_scratch(region: &Region, n: NodeId) -> bool {
+    node_kind(region, n)
+        .mem_ref()
+        .is_some_and(|m| m.space == MemSpace::Scratchpad)
+}
+
+impl<'a> SchedCore<'a> {
+    pub(crate) fn new(
+        region: &'a Region,
+        binding: &'a Binding,
+        backend: Backend,
+        config: &'a SimConfig,
+        placement: Placement,
+        bufs: &mut CoreBufs,
+    ) -> Self {
+        let n = region.dfg.num_nodes();
+        let mut state = std::mem::take(&mut bufs.state);
+        state.clear();
+        state.resize(n, NodeState::default());
+        let mut heap = std::mem::take(&mut bufs.heap);
+        heap.clear();
+        let hierarchy = match bufs.hierarchy.take() {
+            Some(mut h) if *h.config() == config.hierarchy => {
+                h.reset();
+                h
+            }
+            _ => MemoryHierarchy::new(config.hierarchy),
+        };
+        let mem_ports = Calendar::from_parts(config.mem_ports, std::mem::take(&mut bufs.ports));
+        Self {
+            region,
+            binding,
+            backend,
+            config,
+            placement,
+            hierarchy,
+            mem: DataMemory::new(),
+            loads: LoadObserver::new(),
+            counts: EventCounts::default(),
+            clock: 0,
+            state,
+            mem_ports,
+            stalls: StallCounts::default(),
+            fault: FaultState::default(),
+            heap,
+            seq: 0,
+            inv: 0,
+            iv: Vec::new(),
+            unknown_vals: Vec::new(),
+            store_nodes: std::mem::take(&mut bufs.store_nodes),
+            operands: std::mem::take(&mut bufs.operands),
+        }
+    }
+
+    /// Returns the reusable buffers to the arena.
+    pub(crate) fn reclaim(self, bufs: &mut CoreBufs) {
+        let Self {
+            mut state,
+            mut heap,
+            mem_ports,
+            hierarchy,
+            mut store_nodes,
+            operands,
+            ..
+        } = self;
+        state.clear();
+        heap.clear();
+        store_nodes.clear();
+        bufs.state = state;
+        bufs.heap = heap;
+        bufs.ports = mem_ports.into_used();
+        bufs.hierarchy = Some(hierarchy);
+        bufs.store_nodes = store_nodes;
+        bufs.operands = operands;
+    }
+
+    pub(crate) fn push(&mut self, at: u64, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, ev)));
+    }
+
+    pub(crate) fn node_kind(&self, n: NodeId) -> &OpKind {
+        node_kind(self.region, n)
+    }
+
+    pub(crate) fn is_scratch(&self, n: NodeId) -> bool {
+        is_scratch(self.region, n)
+    }
+
+    pub(crate) fn run_invocation(
+        &mut self,
+        policy: &mut dyn DisambiguationPolicy,
+        inv: u64,
+    ) -> Result<(), SimError> {
+        self.inv = inv;
+        let t0 = self.clock;
+        let region = self.region;
+        let nest_total = region.loops.total_invocations().max(1);
+        self.iv = if region.loops.is_empty() {
+            Vec::new()
+        } else {
+            region.loops.iteration_vector(inv % nest_total)
+        };
+        self.unknown_vals = self.binding.unknown_values(inv);
+
+        // Rebuild per-invocation node state. The policy decides how each
+        // non-local memory-dependence edge gates its destination; data
+        // edges and scratchpad-local dependencies (register dataflow the
+        // compiler wired explicitly — the LSQ never sees local accesses)
+        // are gated identically under every backend.
+        policy.begin_invocation(self, t0);
+        for n in region.dfg.node_ids() {
+            let mut st = NodeState::default();
+            for e in region.dfg.in_edges(n) {
+                let local = is_scratch(region, e.src) && is_scratch(region, e.dst);
+                let gate = match e.kind {
+                    EdgeKind::Data => EdgeGate::Data,
+                    EdgeKind::Forward if local => EdgeGate::Data,
+                    EdgeKind::Order | EdgeKind::May if local => EdgeGate::Token,
+                    _ => policy.edge_gate(self, e),
+                };
+                match gate {
+                    EdgeGate::Data => st.data_pending += 1,
+                    EdgeGate::Token => st.token_pending += 1,
+                    EdgeGate::May => st.may_pending += 1,
+                    EdgeGate::Ignore => {}
+                }
+            }
+            self.state[n.index()] = st;
+        }
+        // Program-order setup: LSQ allocation, MAY-site construction.
+        policy.after_gating(self, t0);
+
+        // Invocations are block-atomic: no event before t0 can be claimed
+        // again, so drop the port calendar's history (unbounded otherwise).
+        self.mem_ports.prune_below(t0);
+
+        // Store addresses resolve from index computation, independent of
+        // the (possibly late) data operand — like the separate
+        // address/data paths of a real LSQ, and like Figure 13's
+        // comparator receiving store addresses before the stores execute.
+        let agen = self.config.latency.mem_agen;
+        let mut stores = std::mem::take(&mut self.store_nodes);
+        stores.clear();
+        stores.extend(
+            region
+                .dfg
+                .mem_ops()
+                .iter()
+                .copied()
+                .filter(|&n| node_kind(region, n).is_store()),
+        );
+        for &n in &stores {
+            let (addr, size) = self.eval_mem_ref(n);
+            let st = &mut self.state[n.index()];
+            st.addr = addr;
+            st.size = size;
+            st.addr_ready = Some(t0 + agen);
+        }
+        self.store_nodes = stores;
+        policy.on_stores_resolved(self, t0, agen);
+
+        // Seed source nodes.
+        for n in region.dfg.node_ids() {
+            if self.state[n.index()].data_pending == 0 {
+                self.push(t0, Ev::Data(n)); // zero-pending: fires immediately
+            }
+        }
+
+        // Event loop, under the watchdog's cycle budget. A healthy
+        // invocation finishes orders of magnitude below the budget; only
+        // a zero-progress hang (e.g. a livelocked retry chain) can reach
+        // the deadline.
+        let budget = self.config.watchdog.budget(region.dfg.num_nodes());
+        let deadline = t0.saturating_add(budget);
+        while let Some(Reverse((t, _, ev))) = self.heap.pop() {
+            debug_assert!(t >= t0);
+            if t > deadline {
+                return Err(self.deadlock(DeadlockCause::BudgetExhausted, t, budget));
+            }
+            self.handle(policy, t, ev)?;
+        }
+
+        // The heap drained: every node must have completed. A node left
+        // incomplete means some gate never opened — a dropped token, a
+        // never-released MAY gate — and the run would silently produce
+        // partial results. Convert the starvation into a diagnosed
+        // deadlock instead.
+        if self.state.iter().any(|st| st.completed.is_none()) {
+            let at = self.clock;
+            return Err(self.deadlock(DeadlockCause::Starved, at, budget));
+        }
+
+        // Let the policy drain its structures (e.g. LSQ retirement) so the
+        // next invocation can begin; bounded by the same budget.
+        policy.end_invocation(self, deadline, budget)?;
+
+        // Count this invocation's span; leave one idle cycle between
+        // block-atomic invocations.
+        self.clock += 1;
+        Ok(())
+    }
+
+    /// Evaluates a memory op's reference against the current invocation's
+    /// binding context.
+    pub(crate) fn eval_mem_ref(&self, n: NodeId) -> (u64, u8) {
+        let mref = node_kind(self.region, n).mem_ref().expect("mem op");
+        let ctx = self.binding.eval_ctx(&self.iv, &self.unknown_vals);
+        (mref.eval(&ctx), mref.size)
+    }
+
+    /// Polls the fault injector at one opportunity of `class`.
+    pub(crate) fn poll_fault(&mut self, class: FaultClass) -> Option<FaultKind> {
+        self.fault.poll(&self.config.fault, self.backend, class)
+    }
+
+    /// Delivers an ordering token to `dst` at `at`, counting the delivery
+    /// as a token fault-injection opportunity (drop / duplicate).
+    pub(crate) fn push_token(&mut self, at: u64, dst: NodeId) {
+        match self.poll_fault(FaultClass::TokenDelivery) {
+            Some(FaultKind::DropToken) => {
+                self.fault.record(
+                    FaultKind::DropToken,
+                    at,
+                    &format!("token to node {}", dst.index()),
+                );
+            }
+            Some(FaultKind::DuplicateToken) => {
+                self.fault.record(
+                    FaultKind::DuplicateToken,
+                    at,
+                    &format!("token to node {}", dst.index()),
+                );
+                self.push(at, Ev::Token(dst));
+                self.push(at, Ev::Token(dst));
+            }
+            _ => self.push(at, Ev::Token(dst)),
+        }
+    }
+
+    /// Builds the deadlock diagnostic: every incomplete node with its
+    /// outstanding gate counts, plus the wait-for edges among them.
+    pub(crate) fn deadlock(&mut self, cause: DeadlockCause, cycle: u64, budget: u64) -> SimError {
+        let mut incomplete = vec![false; self.state.len()];
+        let mut stalled = Vec::new();
+        for n in self.region.dfg.node_ids() {
+            let st = &self.state[n.index()];
+            if st.completed.is_none() {
+                incomplete[n.index()] = true;
+                stalled.push(StalledNode {
+                    node: n.index(),
+                    data_pending: st.data_pending,
+                    token_pending: st.token_pending,
+                    may_pending: st.may_pending,
+                    fired: st.fired.is_some(),
+                    issued: st.issued,
+                });
+            }
+        }
+        let mut wait_for = Vec::new();
+        for n in self.region.dfg.node_ids() {
+            if !incomplete[n.index()] {
+                continue;
+            }
+            for e in self.region.dfg.in_edges(n) {
+                if incomplete[e.src.index()] {
+                    let kind = match e.kind {
+                        EdgeKind::Data => "data",
+                        EdgeKind::Order => "order",
+                        EdgeKind::Forward => "forward",
+                        EdgeKind::May => "may",
+                    };
+                    wait_for.push(WaitForEdge {
+                        from: e.src.index(),
+                        to: n.index(),
+                        kind: kind.into(),
+                    });
+                }
+            }
+        }
+        SimError::Deadlock(Box::new(DeadlockInfo {
+            backend: self.backend,
+            invocation: self.inv,
+            cycle,
+            budget,
+            cause,
+            stalled,
+            wait_for,
+            stalls: self.stalls,
+            injected: self.fault.fired.clone(),
+        }))
+    }
+
+    fn handle(
+        &mut self,
+        policy: &mut dyn DisambiguationPolicy,
+        t: u64,
+        ev: Ev,
+    ) -> Result<(), SimError> {
+        self.clock = self.clock.max(t);
+        if let Some(FaultKind::PanicOnEvent) = self.poll_fault(FaultClass::Event) {
+            // Deliberate: exercises the sweep harness's per-run panic
+            // isolation (`catch_unwind` at the worker boundary).
+            panic!("injected fault: panic-on-event at cycle {t} handling {ev:?}");
+        }
+        match ev {
+            Ev::Data(n) => {
+                let st = &mut self.state[n.index()];
+                if st.fired.is_some() {
+                    return Ok(());
+                }
+                st.data_pending = st.data_pending.saturating_sub(1);
+                if st.data_pending == 0 {
+                    self.fire(policy, t, n);
+                }
+            }
+            Ev::Token(n) => {
+                let backend = self.backend;
+                let st = &mut self.state[n.index()];
+                match st.token_pending.checked_sub(1) {
+                    Some(left) => st.token_pending = left,
+                    None => {
+                        return Err(SimError::ProtocolViolation {
+                            backend,
+                            node: n.index(),
+                            message: "ordering-token underflow: an extra completion \
+                                      token arrived"
+                                .into(),
+                        });
+                    }
+                }
+                self.push(t, Ev::TryMem(n));
+            }
+            Ev::Release(n) => {
+                let backend = self.backend;
+                let st = &mut self.state[n.index()];
+                match st.may_pending.checked_sub(1) {
+                    Some(left) => st.may_pending = left,
+                    None => {
+                        return Err(SimError::ProtocolViolation {
+                            backend,
+                            node: n.index(),
+                            message: "MAY-gate release underflow: an extra comparator \
+                                      release arrived"
+                                .into(),
+                        });
+                    }
+                }
+                self.push(t, Ev::TryMem(n));
+            }
+            Ev::TryMem(n) => self.try_mem(policy, t, n),
+            Ev::Complete(n) => self.complete(policy, t, n),
+        }
+        Ok(())
+    }
+
+    /// All data (and forward) operands have arrived: start execution.
+    fn fire(&mut self, policy: &mut dyn DisambiguationPolicy, t: u64, n: NodeId) {
+        self.state[n.index()].fired = Some(t);
+        let region = self.region;
+        let kind = node_kind(region, n);
+        match kind {
+            OpKind::Load(_) => {
+                // Count address generation as an integer ALU event.
+                self.counts.int_ops += 1;
+                let (addr, size) = self.eval_mem_ref(n);
+                let agen = self.config.latency.mem_agen;
+                let addr_t = t + agen;
+                let st = &mut self.state[n.index()];
+                st.addr = addr;
+                st.size = size;
+                st.addr_ready = Some(addr_t);
+                policy.on_load_address(self, addr_t, n);
+                self.push(addr_t, Ev::TryMem(n));
+            }
+            OpKind::Store(_) => {
+                // Address was resolved at invocation start; firing means
+                // the data operand is now available.
+                self.counts.int_ops += 1;
+                let v = self.eval_node(n);
+                self.state[n.index()].value = v;
+                policy.on_store_data(self, t, n);
+                // Forwarding happens from the *in-flight* value: the
+                // moment the store's data operand exists, it can be
+                // routed to forwarded loads — before the store commits.
+                for e in region.dfg.out_edges(n) {
+                    if e.kind != EdgeKind::Forward {
+                        continue;
+                    }
+                    let hops = self.placement.hops(e.src, e.dst);
+                    let at = t + self.config.latency.route_latency(hops);
+                    if is_scratch(region, e.src) && is_scratch(region, e.dst) {
+                        self.counts.data_links += 1;
+                        self.push(at, Ev::Data(e.dst));
+                    } else {
+                        policy.on_forward_edge(self, at, e.dst);
+                    }
+                }
+                let at = self.state[n.index()]
+                    .addr_ready
+                    .expect("set at start")
+                    .max(t);
+                self.push(at, Ev::TryMem(n));
+            }
+            OpKind::Int(_) => {
+                self.counts.int_ops += 1;
+                let v = self.eval_node(n);
+                self.state[n.index()].value = v;
+                self.push(t + self.config.latency.op_latency(kind), Ev::Complete(n));
+            }
+            OpKind::Fp(_) => {
+                self.counts.fp_ops += 1;
+                let v = self.eval_node(n);
+                self.state[n.index()].value = v;
+                self.push(t + self.config.latency.op_latency(kind), Ev::Complete(n));
+            }
+            OpKind::Input { .. } | OpKind::Const { .. } | OpKind::Output => {
+                let v = self.eval_node(n);
+                self.state[n.index()].value = v;
+                self.push(t, Ev::Complete(n));
+            }
+        }
+    }
+
+    /// Applies a node's operator to its data operands (reusing the operand
+    /// scratch buffer).
+    fn eval_node(&mut self, n: NodeId) -> u64 {
+        let region = self.region;
+        let kind = node_kind(region, n);
+        let mut ops = std::mem::take(&mut self.operands);
+        ops.clear();
+        ops.extend(
+            region
+                .dfg
+                .in_edges(n)
+                .filter(|e| e.kind == EdgeKind::Data)
+                .map(|e| self.state[e.src.index()].value),
+        );
+        let v = apply(kind, &ops, self.inv);
+        self.operands = ops;
+        v
+    }
+
+    /// Attempts the memory stage of a load/store: the core checks address
+    /// readiness, the policy decides admission. (Under OPT-LSQ, stores may
+    /// bind and pre-search before their data operand arrives; issuing to
+    /// the cache always requires the node to have fired.)
+    fn try_mem(&mut self, policy: &mut dyn DisambiguationPolicy, t: u64, n: NodeId) {
+        let st = &self.state[n.index()];
+        if st.issued {
+            return;
+        }
+        let Some(addr_t) = st.addr_ready else { return };
+        if t < addr_t {
+            return;
+        }
+        let fired = st.fired.is_some();
+        policy.admit_mem(self, t, n, fired);
+    }
+
+    /// Closes a memory op's stall-attribution window (opened when a ready
+    /// op was observed blocked) and charges the recorded mechanism.
+    pub(crate) fn charge_block_stall(&mut self, t: u64, n: NodeId) {
+        if let Some((since, cause)) = self.state[n.index()].blocked_since.take() {
+            let cycles = t.saturating_sub(since);
+            match cause {
+                StallCause::LsqSearch => self.stalls.lsq_search += cycles,
+                StallCause::Token => self.stalls.token += cycles,
+                StallCause::MayGate => self.stalls.may_gate += cycles,
+            }
+        }
+    }
+
+    pub(crate) fn has_forward_in(&self, n: NodeId) -> bool {
+        self.region
+            .dfg
+            .in_edges(n)
+            .any(|e| e.kind == EdgeKind::Forward)
+    }
+
+    fn forward_value(&self, n: NodeId) -> u64 {
+        self.region
+            .dfg
+            .in_edges(n)
+            .find(|e| e.kind == EdgeKind::Forward)
+            .map(|e| self.state[e.src.index()].value)
+            .expect("forward edge present")
+    }
+
+    /// The gate-free memory stage: all ordering gates passed, go to memory
+    /// (or consume the forwarded value).
+    pub(crate) fn issue_dataflow(&mut self, t: u64, n: NodeId) {
+        self.charge_block_stall(t, n);
+        let is_load = self.node_kind(n).is_load();
+        if self.is_scratch(n) {
+            self.state[n.index()].issued = true;
+            self.scratch_access(t, n);
+            return;
+        }
+        if is_load && self.has_forward_in(n) {
+            // Memory dependence became a data dependence: no cache access.
+            self.state[n.index()].issued = true;
+            let v = self.forward_value(n);
+            let v = self.consume_forward(t, n, v, "forward into node");
+            self.state[n.index()].value = v;
+            self.counts.forwards += 1;
+            self.record_load(n, v);
+            self.push(t + 1, Ev::Complete(n));
+            return;
+        }
+        self.state[n.index()].issued = true;
+        self.cache_access(t, n, 0);
+    }
+
+    /// Applies the forward-consume fault hook (possible value corruption)
+    /// to a forwarded value.
+    pub(crate) fn consume_forward(&mut self, t: u64, n: NodeId, mut v: u64, what: &str) -> u64 {
+        if let Some(FaultKind::CorruptForward { mask }) =
+            self.poll_fault(FaultClass::ForwardConsume)
+        {
+            self.fault.record(
+                FaultKind::CorruptForward { mask },
+                t,
+                &format!("{what} {}", n.index()),
+            );
+            v ^= mask;
+        }
+        v
+    }
+
+    /// Performs the scratchpad access: 1-cycle latency, no cache energy.
+    pub(crate) fn scratch_access(&mut self, t: u64, n: NodeId) {
+        let is_load = self.node_kind(n).is_load();
+        let (addr, size) = (self.state[n.index()].addr, self.state[n.index()].size);
+        if is_load {
+            let v = self.mem.read(addr, size);
+            self.state[n.index()].value = v;
+            self.record_load(n, v);
+        } else {
+            let v = self.state[n.index()].value;
+            self.mem.write(addr, size, v);
+        }
+        self.push(t + 1, Ev::Complete(n));
+    }
+
+    /// Issues a cache access through the edge ports; performs the
+    /// functional read/write at the issue cycle.
+    pub(crate) fn cache_access(&mut self, t: u64, n: NodeId, mut extra_latency: u64) {
+        if let Some(FaultKind::DelayMem { cycles }) = self.poll_fault(FaultClass::MemResponse) {
+            self.fault.record(
+                FaultKind::DelayMem { cycles },
+                t,
+                &format!("response to node {}", n.index()),
+            );
+            extra_latency += cycles;
+        }
+        let issue = self.mem_ports.claim(t);
+        // Cycles spent queued for an edge memory port.
+        self.stalls.mem_port += issue - t;
+        let is_load = self.node_kind(n).is_load();
+        let (addr, size) = (self.state[n.index()].addr, self.state[n.index()].size);
+        let hops = self.placement.hops_to_mem(n);
+        // Request + response each traverse the FU<->cache connection once.
+        self.counts.mem_links += 2;
+        self.counts.l1_accesses += 1;
+        let res = self.hierarchy.access(addr, !is_load, issue);
+        if is_load {
+            let v = self.mem.read(addr, size);
+            self.state[n.index()].value = v;
+            self.record_load(n, v);
+        } else {
+            let v = self.state[n.index()].value;
+            self.mem.write(addr, size, v);
+        }
+        let route = self.config.latency.route_latency(hops);
+        self.push(res.complete_at + extra_latency + route, Ev::Complete(n));
+    }
+
+    pub(crate) fn record_load(&mut self, n: NodeId, v: u64) {
+        let slot = self
+            .region
+            .dfg
+            .node(n)
+            .mem_slot
+            .expect("load has a slot")
+            .index();
+        self.loads.record(self.inv, slot, v);
+    }
+
+    /// A node finished: propagate values, tokens and completion wakeups.
+    fn complete(&mut self, policy: &mut dyn DisambiguationPolicy, t: u64, n: NodeId) {
+        if self.state[n.index()].completed.is_some() {
+            return;
+        }
+        self.state[n.index()].completed = Some(t);
+        let region = self.region;
+        for e in region.dfg.out_edges(n) {
+            let dst = e.dst;
+            let route = self
+                .config
+                .latency
+                .route_latency(self.placement.hops(e.src, dst));
+            let local = is_scratch(region, n) && is_scratch(region, dst);
+            match e.kind {
+                EdgeKind::Data => {
+                    self.counts.data_links += 1;
+                    self.push(t + route, Ev::Data(dst));
+                }
+                // Forward payloads were already sent when the store's
+                // value became available (see the Store arm of `fire`).
+                EdgeKind::Forward => {}
+                // Local (scratchpad) dependencies are register dataflow:
+                // honoured everywhere, no MDE energy.
+                EdgeKind::Order | EdgeKind::May if local => {
+                    self.push_token(t + route, dst);
+                }
+                EdgeKind::Order | EdgeKind::May => {
+                    policy.on_completion_edge(self, t + route, dst, e.kind);
+                }
+            }
+        }
+        policy.on_complete(self, t, n);
+    }
+
+    pub(crate) fn finish(
+        &mut self,
+        policy: &mut dyn DisambiguationPolicy,
+        energy: &crate::energy::EnergyModel,
+    ) -> super::SimResult {
+        let mut counts = self.counts;
+        let bloom = policy.finalize(&mut counts);
+        let breakdown = crate::energy::EnergyBreakdown::from_events(&counts, energy);
+        let injected = std::mem::take(&mut self.fault.fired);
+        super::SimResult {
+            backend: self.backend,
+            cycles: self.clock,
+            invocations: self.config.invocations,
+            events: counts,
+            energy: breakdown,
+            mem: std::mem::replace(&mut self.mem, DataMemory::new()),
+            loads: std::mem::replace(&mut self.loads, LoadObserver::new()),
+            l1: self.hierarchy.l1_stats(),
+            llc: self.hierarchy.llc_stats(),
+            bloom,
+            stalls: self.stalls,
+            injected,
+        }
+    }
+}

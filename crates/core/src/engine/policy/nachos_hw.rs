@@ -1,0 +1,213 @@
+//! The NACHOS policy: MDEs with hardware-assisted MAY resolution. Each
+//! MAY edge routes the older op's address to a comparator at the younger
+//! op's site; the `==?` check releases the younger op early when the
+//! addresses do not overlap, and otherwise holds it until the older op
+//! completes (paper §VI–VII). One comparator per site arbitrates checks.
+
+use crate::config::{Backend, SimConfig};
+use nachos_ir::{Edge, EdgeKind, NodeId};
+use std::collections::HashMap;
+
+use super::super::calendar::Calendar;
+use super::super::core::{is_scratch, SchedCore};
+use super::super::state::Ev;
+use super::{dataflow_admit, DisambiguationPolicy, EdgeGate};
+use crate::fault::{FaultClass, FaultKind};
+
+#[derive(Clone, Debug)]
+struct MayEdge {
+    older: NodeId,
+    younger: NodeId,
+    /// Mesh links from the older op's FU to the younger's comparator.
+    hops: u32,
+    checked: bool,
+}
+
+#[derive(Default)]
+pub(crate) struct NachosPolicy {
+    may_edges: Vec<MayEdge>,
+    /// Younger nodes waiting for an older op's completion (conflict case).
+    conflict_waiters: Vec<Vec<(NodeId, u32)>>,
+    /// Comparator-site calendars, one per MAY-receiving node.
+    sites: HashMap<NodeId, Calendar>,
+    /// Scratch for the indices of edges to re-check.
+    to_check: Vec<usize>,
+}
+
+impl NachosPolicy {
+    /// The older op's address is now known — wake every MAY edge it
+    /// participates in (as older: route the address to the younger's
+    /// comparator; as younger: its own checks can begin).
+    fn propagate_may_addresses(&mut self, core: &mut SchedCore, addr_t: u64, n: NodeId) {
+        let mut to_check = std::mem::take(&mut self.to_check);
+        to_check.clear();
+        to_check.extend(
+            self.may_edges
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.older == n || e.younger == n)
+                .map(|(idx, _)| idx),
+        );
+        for &idx in &to_check {
+            self.try_may_check(core, addr_t, idx);
+        }
+        self.to_check = to_check;
+    }
+
+    /// Performs the `==?` check of one MAY edge if both addresses are
+    /// available, honouring the per-site single-comparator arbitration.
+    fn try_may_check(&mut self, core: &mut SchedCore, now: u64, idx: usize) {
+        let e = &self.may_edges[idx];
+        if e.checked {
+            return;
+        }
+        let (older, younger, hops) = (e.older, e.younger, e.hops);
+        let (Some(older_addr_t), Some(younger_addr_t)) = (
+            core.state[older.index()].addr_ready,
+            core.state[younger.index()].addr_ready,
+        ) else {
+            return;
+        };
+        // Address reaches the younger site over the operand network.
+        let ready = now
+            .max(older_addr_t + core.config.latency.route_latency(hops))
+            .max(younger_addr_t);
+        let site = self
+            .sites
+            .get_mut(&younger)
+            .expect("site registered for may edge");
+        let check_t = site.claim(ready);
+        // Cycles the check spent queued behind the site's single comparator.
+        core.stalls.comparator += check_t - ready;
+        self.may_edges[idx].checked = true;
+        core.counts.may_checks += 1;
+        let a = (
+            core.state[older.index()].addr,
+            core.state[older.index()].size,
+        );
+        let b = (
+            core.state[younger.index()].addr,
+            core.state[younger.index()].size,
+        );
+        let mut conflict = a.0 < b.0 + u64::from(b.1) && b.0 < a.0 + u64::from(a.1);
+        match core.poll_fault(FaultClass::MayCheck) {
+            Some(kind @ FaultKind::ForceNoConflict) => {
+                core.fault.record(
+                    kind,
+                    check_t,
+                    &format!("check n{} vs n{}", older.index(), younger.index()),
+                );
+                conflict = false;
+            }
+            Some(kind @ FaultKind::ForceConflict) => {
+                core.fault.record(
+                    kind,
+                    check_t,
+                    &format!("check n{} vs n{}", older.index(), younger.index()),
+                );
+                conflict = true;
+            }
+            _ => {}
+        }
+        if !conflict {
+            core.push(check_t + 1, Ev::Release(younger));
+        } else if let Some(done) = core.state[older.index()].completed {
+            let release = (done + core.config.latency.route_latency(hops)).max(check_t + 1);
+            core.push(release, Ev::Release(younger));
+        } else {
+            self.conflict_waiters[older.index()].push((younger, hops));
+        }
+    }
+}
+
+impl DisambiguationPolicy for NachosPolicy {
+    fn backend(&self) -> Backend {
+        Backend::Nachos
+    }
+
+    fn prepare_run(&mut self, _config: &SimConfig) {
+        self.may_edges.clear();
+        self.conflict_waiters.clear();
+        self.sites.clear();
+    }
+
+    fn edge_gate(&mut self, _core: &SchedCore, e: &Edge) -> EdgeGate {
+        match e.kind {
+            EdgeKind::Forward => EdgeGate::Data,
+            EdgeKind::Order => EdgeGate::Token,
+            // Unresolved until the comparator releases it.
+            EdgeKind::May => EdgeGate::May,
+            EdgeKind::Data => EdgeGate::Data,
+        }
+    }
+
+    /// Build the MAY-edge table and comparator sites for this invocation.
+    fn after_gating(&mut self, core: &mut SchedCore, _t0: u64) {
+        let region = core.region;
+        let n = region.dfg.num_nodes();
+        self.may_edges.clear();
+        if self.conflict_waiters.len() < n {
+            self.conflict_waiters.resize(n, Vec::new());
+        }
+        for w in &mut self.conflict_waiters {
+            w.clear();
+        }
+        let width = core.config.comparators_per_site;
+        for e in region.dfg.edges() {
+            if e.kind == EdgeKind::May && !(is_scratch(region, e.src) && is_scratch(region, e.dst))
+            {
+                self.may_edges.push(MayEdge {
+                    older: e.src,
+                    younger: e.dst,
+                    hops: core.placement.hops(e.src, e.dst),
+                    checked: false,
+                });
+                self.sites
+                    .entry(e.dst)
+                    .and_modify(|c| c.reset(width))
+                    .or_insert_with(|| Calendar::new(width));
+            }
+        }
+    }
+
+    fn on_stores_resolved(&mut self, core: &mut SchedCore, t0: u64, agen: u64) {
+        for i in 0..core.store_nodes.len() {
+            let n = core.store_nodes[i];
+            self.propagate_may_addresses(core, t0 + agen, n);
+        }
+    }
+
+    fn on_load_address(&mut self, core: &mut SchedCore, addr_t: u64, n: NodeId) {
+        self.propagate_may_addresses(core, addr_t, n);
+    }
+
+    fn on_forward_edge(&mut self, core: &mut SchedCore, at: u64, dst: NodeId) {
+        core.counts.must_tokens += 1;
+        core.push(at, Ev::Data(dst));
+    }
+
+    fn admit_mem(&mut self, core: &mut SchedCore, t: u64, n: NodeId, fired: bool) {
+        dataflow_admit(core, t, n, fired);
+    }
+
+    /// ORDER completes as a token; MAY releases ride the comparator
+    /// protocol instead.
+    fn on_completion_edge(&mut self, core: &mut SchedCore, at: u64, dst: NodeId, kind: EdgeKind) {
+        if kind == EdgeKind::Order {
+            core.counts.must_tokens += 1;
+            core.push_token(at, dst);
+        }
+    }
+
+    /// Conflicting younger ops waiting on this completion.
+    fn on_complete(&mut self, core: &mut SchedCore, t: u64, n: NodeId) {
+        if self.conflict_waiters.len() <= n.index() {
+            return;
+        }
+        let waiters = std::mem::take(&mut self.conflict_waiters[n.index()]);
+        for (younger, hops) in waiters {
+            let route = core.config.latency.route_latency(hops);
+            core.push(t + route, Ev::Release(younger));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Per-node scheduler state and the event vocabulary shared by the core
+//! and every disambiguation policy.
+
+use nachos_ir::NodeId;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Ev {
+    /// A data or forward payload arrived at `node`.
+    Data(NodeId),
+    /// An ordering token arrived at `node`.
+    Token(NodeId),
+    /// One MAY gate of `node` released.
+    Release(NodeId),
+    /// Re-attempt the memory stage of `node`.
+    TryMem(NodeId),
+    /// `node` finished (value available / store performed).
+    Complete(NodeId),
+}
+
+/// The ordering mechanism a blocked memory op is charged against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum StallCause {
+    LsqSearch,
+    Token,
+    MayGate,
+}
+
+#[derive(Clone, Debug, Default)]
+pub(crate) struct NodeState {
+    pub(crate) data_pending: u32,
+    pub(crate) token_pending: u32,
+    pub(crate) may_pending: u32,
+    pub(crate) fired: Option<u64>,
+    pub(crate) addr_ready: Option<u64>,
+    pub(crate) addr: u64,
+    pub(crate) size: u8,
+    pub(crate) value: u64,
+    pub(crate) completed: Option<u64>,
+    pub(crate) issued: bool,
+    /// First cycle a ready memory stage was observed blocked, with the
+    /// mechanism charged for the wait (stall attribution).
+    pub(crate) blocked_since: Option<(u64, StallCause)>,
+}

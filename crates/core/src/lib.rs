@@ -11,7 +11,8 @@
 //! * the memory substrate ([`nachos_mem`]) provides the L1/LLC/DRAM
 //!   hierarchy; the OPT-LSQ baseline comes from [`nachos_lsq`];
 //! * this crate's [`simulate`] runs the region cycle-by-cycle under one of
-//!   three backends ([`Backend`]) with an event-based energy model
+//!   the paper's three backends or the IDEAL oracle ([`Backend`]) with an
+//!   event-based energy model
 //!   ([`EnergyModel`]), and [`reference::execute`] provides the in-order
 //!   ground truth every backend must match.
 //!
@@ -46,14 +47,16 @@ mod fault;
 pub mod json;
 pub mod reference;
 pub mod sweep;
+pub mod testutil;
 pub mod value;
 
 pub use analytic::DecentralizedModel;
 pub use config::{Backend, SimConfig, WatchdogConfig};
 pub use driver::{
-    pct_slowdown, run_all_backends, run_backend, run_backend_with_stages, ExperimentRun,
+    pct_slowdown, run_all_backends, run_backend, run_backend_in, run_backend_with_stages,
+    run_backend_with_stages_in, ExperimentRun,
 };
 pub use energy::{EnergyBreakdown, EnergyModel, EventCounts};
-pub use engine::{simulate, SimResult, StallCounts};
+pub use engine::{simulate, simulate_in, SimArena, SimResult, StallCounts};
 pub use error::{DeadlockCause, DeadlockInfo, SimError, StalledNode, WaitForEdge};
 pub use fault::{FaultClass, FaultKind, FaultPlan, FaultSpec};

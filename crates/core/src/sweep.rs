@@ -41,8 +41,9 @@
 //! ```
 
 use crate::config::{Backend, SimConfig};
-use crate::driver::{run_backend_with_stages, ExperimentRun};
+use crate::driver::{run_backend_with_stages_in, ExperimentRun};
 use crate::energy::EnergyModel;
+use crate::engine::SimArena;
 use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::json::JsonWriter;
@@ -133,6 +134,20 @@ impl SweepVariant {
         });
         v
     }
+
+    /// The IDEAL oracle variant (perfect-disambiguation upper bound,
+    /// paper Figure 9). Opt-in: never part of the default matrices, so
+    /// default reports are unchanged; append it last (see
+    /// [`SweepConfig::with_ideal`]) to keep the shared columns in the
+    /// standard order.
+    #[must_use]
+    pub fn ideal() -> SweepVariant {
+        SweepVariant {
+            label: "ideal".into(),
+            backend: Backend::Ideal,
+            stages: StageConfig::full(),
+        }
+    }
 }
 
 /// Sweep-wide configuration.
@@ -178,6 +193,15 @@ impl SweepConfig {
     #[must_use]
     pub fn with_variants(mut self, variants: Vec<SweepVariant>) -> Self {
         self.variants = variants;
+        self
+    }
+
+    /// Appends the [`SweepVariant::ideal`] oracle column to the matrix
+    /// (the sweep binary's `--ideal` flag). Appending keeps the existing
+    /// columns — and therefore the default report prefix — untouched.
+    #[must_use]
+    pub fn with_ideal(mut self) -> Self {
+        self.variants.push(SweepVariant::ideal());
         self
     }
 }
@@ -325,12 +349,15 @@ pub fn run_sweep(jobs: &[SweepJob], cfg: &SweepConfig) -> SweepResult {
                 let next = &next;
                 s.spawn(move || {
                     let mut mine = Vec::new();
+                    // One arena per worker: simulation state is built once
+                    // and reset between runs instead of reallocated.
+                    let mut arena = SimArena::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= jobs.len() {
                             break;
                         }
-                        mine.push((i, run_job(&jobs[i], cfg)));
+                        mine.push((i, run_job(&jobs[i], cfg, &mut arena)));
                     }
                     mine
                 })
@@ -359,7 +386,7 @@ fn effective_threads(requested: usize, jobs: usize) -> usize {
 
 /// Runs one job through the whole variant matrix, sequentially, isolating
 /// each run behind a panic boundary.
-fn run_job(job: &SweepJob, cfg: &SweepConfig) -> JobOutcome {
+fn run_job(job: &SweepJob, cfg: &SweepConfig, arena: &mut SimArena) -> JobOutcome {
     let reference = reference::execute(&job.region, &job.binding, cfg.sim.invocations);
     let mut sim_cfg = cfg.sim.clone();
     sim_cfg
@@ -369,7 +396,7 @@ fn run_job(job: &SweepJob, cfg: &SweepConfig) -> JobOutcome {
     let runs = cfg
         .variants
         .iter()
-        .map(|v| run_variant(job, v, &sim_cfg, &cfg.energy, &reference))
+        .map(|v| run_variant(job, v, &sim_cfg, &cfg.energy, &reference, arena))
         .collect();
     JobOutcome {
         name: job.name.clone(),
@@ -387,10 +414,12 @@ fn run_variant(
     sim_cfg: &SimConfig,
     energy: &EnergyModel,
     reference: &ReferenceResult,
+    arena: &mut SimArena,
 ) -> VariantOutcome {
     let fault_active = sim_cfg.fault.applies_to(v.backend);
     let caught = catch_unwind(AssertUnwindSafe(|| {
-        run_backend_with_stages(
+        run_backend_with_stages_in(
+            arena,
             &job.region,
             &job.binding,
             v.backend,
@@ -400,12 +429,17 @@ fn run_variant(
         )
     }));
     let (status, run, error, detail) = match caught {
-        Err(payload) => (
-            RunStatus::Panic,
-            None,
-            None,
-            Some(panic_message(payload.as_ref())),
-        ),
+        Err(payload) => {
+            // The engine unwound while holding the arena's buffers; drop
+            // whatever is left and start the next run from a fresh pool.
+            *arena = SimArena::new();
+            (
+                RunStatus::Panic,
+                None,
+                None,
+                Some(panic_message(payload.as_ref())),
+            )
+        }
         Ok(Err(e)) => {
             let status = match &e {
                 SimError::Deadlock(_) => RunStatus::Deadlock,
@@ -637,23 +671,11 @@ fn cache_json(w: &mut JsonWriter, hits: u64, misses: u64, writebacks: u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nachos_ir::{AffineExpr, MemRef, RegionBuilder};
+    use crate::testutil::store_load_region;
 
     fn demo_job(name: &str) -> SweepJob {
-        let mut b = RegionBuilder::new(name);
-        let g = b.global("g", 64, 0);
-        let m = MemRef::affine(g, AffineExpr::zero());
-        let x = b.input();
-        b.store(m.clone(), &[x]);
-        b.load(m, &[]);
-        SweepJob::new(
-            name,
-            b.finish(),
-            Binding {
-                base_addrs: vec![0x1_0000],
-                ..Binding::default()
-            },
-        )
+        let (region, binding) = store_load_region(name);
+        SweepJob::new(name, region, binding)
     }
 
     #[test]
@@ -668,6 +690,28 @@ mod tests {
         for (_, _, status) in sweep.statuses() {
             assert_eq!(status, RunStatus::Ok);
         }
+    }
+
+    #[test]
+    fn ideal_variant_is_appended_and_matches_reference() {
+        let jobs = [demo_job("a")];
+        let base = SweepConfig::default().with_invocations(4);
+        let plain = run_sweep(&jobs, &base.clone());
+        let with_ideal = run_sweep(&jobs, &base.with_ideal());
+        assert_eq!(
+            with_ideal.variants,
+            ["opt-lsq", "nachos-sw", "nachos", "ideal"],
+            "the oracle column is appended last"
+        );
+        assert!(with_ideal.all_match(), "IDEAL matches the reference too");
+        // Opt-in contract: the shared columns are byte-identical to the
+        // default report.
+        let plain_json = plain.to_json();
+        let ideal_json = with_ideal.to_json();
+        for v in &plain.variants {
+            assert!(ideal_json.contains(&format!("\"variant\": \"{v}\"")));
+        }
+        assert!(!plain_json.contains("\"variant\": \"ideal\""));
     }
 
     #[test]

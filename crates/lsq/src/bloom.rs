@@ -120,6 +120,12 @@ impl CountingBloom {
     pub fn clear(&mut self) {
         self.counters.fill(0);
     }
+
+    /// Zeroes the query statistics (contents are retained). Paired with
+    /// [`CountingBloom::clear`] when a pooled filter starts a new run.
+    pub fn reset_stats(&mut self) {
+        self.stats = BloomStats::default();
+    }
 }
 
 #[cfg(test)]

@@ -173,24 +173,43 @@ impl Lsq {
             self.entries.iter().all(|e| e.retired),
             "LSQ must drain between invocations"
         );
-        self.entries = is_store
-            .iter()
-            .map(|&s| Entry {
-                is_store: s,
-                addr: None,
-                bank: None,
-                data_ready: false,
-                completed: false,
-                retired: false,
-                deposited: false,
-                searched: false,
-            })
-            .collect();
+        // In place: block-atomic invocations re-fill the same entry
+        // vector every time, so keep its capacity across invocations
+        // (and, via `reset`, across pooled runs).
+        self.entries.clear();
+        self.entries.extend(is_store.iter().map(|&s| Entry {
+            is_store: s,
+            addr: None,
+            bank: None,
+            data_ready: false,
+            completed: false,
+            retired: false,
+            deposited: false,
+            searched: false,
+        }));
         self.next_alloc = 0;
         self.next_retire = 0;
         self.bank_load.fill(0);
         self.sq_bloom.clear();
         self.lq_bloom.clear();
+    }
+
+    /// Returns the LSQ to its freshly-constructed state — entries emptied
+    /// (capacity kept), blooms and all statistics zeroed — so a pooled
+    /// instance can be reused by a new simulation run.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.next_alloc = 0;
+        self.next_retire = 0;
+        self.bank_load.fill(0);
+        self.sq_bloom.clear();
+        self.sq_bloom.reset_stats();
+        self.lq_bloom.clear();
+        self.lq_bloom.reset_stats();
+        self.stats = LsqStats::default();
+        self.cycle = 0;
+        self.allocs_this_cycle = 0;
+        self.retires_this_cycle = 0;
     }
 
     fn roll_cycle(&mut self, cycle: u64) {

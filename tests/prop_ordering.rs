@@ -1,28 +1,18 @@
 //! Property test for the central system invariant: random regions with
 //! random aliasing, under every backend, must reproduce the in-order
 //! reference execution exactly.
+//!
+//! The region blueprints ([`OpPlan`] and its builders) live in
+//! [`nachos::testutil`], shared with the engine's unit tests and the
+//! monotonicity property suite.
 
+use nachos::testutil::{build_plan_region, build_plan_region_with_scratchpad, OpPlan};
 use nachos::{reference, run_all_backends, EnergyModel, SimConfig};
-use nachos_ir::{
-    AffineExpr, Binding, IntOp, LoopInfo, MemRef, MemSpace, Provenance, Region, RegionBuilder,
-    UnknownPattern,
-};
+use nachos_ir::{Binding, Region};
 use proptest::prelude::*;
 
-/// Blueprint for one random memory operation.
-#[derive(Clone, Debug)]
-struct OpPlan {
-    is_store: bool,
-    /// Which object it targets: 0..3 = globals/args, 3..5 = unknowns.
-    target: usize,
-    /// Slot within the object (small so collisions are common).
-    slot: i64,
-    /// Whether the op is strided by the loop IV.
-    strided: bool,
-}
-
-fn arb_op() -> impl Strategy<Value = OpPlan> {
-    (any::<bool>(), 0usize..5, 0i64..4, any::<bool>()).prop_map(
+fn arb_op(targets: usize) -> impl Strategy<Value = OpPlan> {
+    (any::<bool>(), 0..targets, 0i64..4, any::<bool>()).prop_map(
         |(is_store, target, slot, strided)| OpPlan {
             is_store,
             target,
@@ -30,139 +20,6 @@ fn arb_op() -> impl Strategy<Value = OpPlan> {
             strided,
         },
     )
-}
-
-fn build(ops: &[OpPlan]) -> (Region, Binding) {
-    let mut b = RegionBuilder::new("prop");
-    let i = b.enclosing_loop(LoopInfo::range("i", 0, 4));
-    let g0 = b.global("g0", 4096, 0);
-    let g1 = b.global("g1", 4096, 1);
-    let a0 = b.arg(0, Provenance::Object(7));
-    let u0 = b.unknown_ptr();
-    let u1 = b.unknown_ptr();
-    let bases = [g0, g1, a0];
-    let x = b.input();
-    let mut carried = x;
-    for plan in ops {
-        let node = if plan.target < 3 {
-            let mut off = AffineExpr::constant_expr(plan.slot * 8);
-            if plan.strided {
-                off = off.add(&AffineExpr::var(i).scaled(8));
-            }
-            let mref = MemRef::affine(bases[plan.target], off);
-            if plan.is_store {
-                b.store(mref, &[carried])
-            } else {
-                b.load(mref, &[])
-            }
-        } else {
-            let u = if plan.target == 3 { u0 } else { u1 };
-            let mref = MemRef::unknown(u, plan.slot * 8);
-            if plan.is_store {
-                b.store(mref, &[carried])
-            } else {
-                b.load(mref, &[])
-            }
-        };
-        if !plan.is_store {
-            carried = b.int_op(IntOp::Add, &[node, carried]);
-        }
-    }
-    b.output(carried);
-    let region = b.finish();
-    let binding = Binding {
-        base_addrs: vec![0x1000, 0x2000, 0x3000],
-        params: Vec::new(),
-        // Overlapping windows covering the globals: real conflicts occur.
-        unknowns: vec![
-            UnknownPattern::Scatter {
-                seed: 11,
-                lo: 0x1000,
-                hi: 0x1040,
-                align: 8,
-            },
-            UnknownPattern::Stride {
-                base: 0x2000,
-                step: 8,
-            },
-        ],
-    };
-    (region, binding)
-}
-
-/// Like [`build`], but target 5 is a scratchpad object (bypasses the LSQ
-/// and the cache in every scheme) and the unknown windows scatter across
-/// the global footprint, so LSQ-tracked, MAY-checked and local traffic
-/// interleave in one region.
-fn build_with_scratchpad(ops: &[OpPlan]) -> (Region, Binding) {
-    let mut b = RegionBuilder::new("prop-sp");
-    let i = b.enclosing_loop(LoopInfo::range("i", 0, 4));
-    let g0 = b.global("g0", 4096, 0);
-    let g1 = b.global("g1", 4096, 1);
-    let a0 = b.arg(0, Provenance::Object(7));
-    let sp = b.global("sp", 256, 3);
-    let u0 = b.unknown_ptr();
-    let u1 = b.unknown_ptr();
-    let bases = [g0, g1, a0];
-    let x = b.input();
-    let mut carried = x;
-    for plan in ops {
-        let node = if plan.target < 3 {
-            let mut off = AffineExpr::constant_expr(plan.slot * 8);
-            if plan.strided {
-                off = off.add(&AffineExpr::var(i).scaled(8));
-            }
-            let mref = MemRef::affine(bases[plan.target], off);
-            if plan.is_store {
-                b.store(mref, &[carried])
-            } else {
-                b.load(mref, &[])
-            }
-        } else if plan.target < 5 {
-            let u = if plan.target == 3 { u0 } else { u1 };
-            let mref = MemRef::unknown(u, plan.slot * 8);
-            if plan.is_store {
-                b.store(mref, &[carried])
-            } else {
-                b.load(mref, &[])
-            }
-        } else {
-            let mut off = AffineExpr::constant_expr(plan.slot * 8);
-            if plan.strided {
-                off = off.add(&AffineExpr::var(i).scaled(8));
-            }
-            let mref = MemRef::affine(sp, off).with_space(MemSpace::Scratchpad);
-            if plan.is_store {
-                b.store(mref, &[carried])
-            } else {
-                b.load(mref, &[])
-            }
-        };
-        if !plan.is_store {
-            carried = b.int_op(IntOp::Add, &[node, carried]);
-        }
-    }
-    b.output(carried);
-    let region = b.finish();
-    let binding = Binding {
-        base_addrs: vec![0x1000, 0x2000, 0x3000, 0x2_0000],
-        params: Vec::new(),
-        unknowns: vec![
-            UnknownPattern::Scatter {
-                seed: 21,
-                lo: 0x1000,
-                hi: 0x1040,
-                align: 8,
-            },
-            UnknownPattern::Scatter {
-                seed: 22,
-                lo: 0x2000,
-                hi: 0x2040,
-                align: 8,
-            },
-        ],
-    };
-    (region, binding)
 }
 
 fn assert_all_backends_match(region: &Region, binding: &Binding, ops: &[OpPlan]) {
@@ -191,9 +48,9 @@ proptest! {
 
     #[test]
     fn random_regions_preserve_sequential_semantics(
-        ops in proptest::collection::vec(arb_op(), 1..14)
+        ops in proptest::collection::vec(arb_op(5), 1..14)
     ) {
-        let (region, binding) = build(&ops);
+        let (region, binding) = build_plan_region(&ops);
         let config = SimConfig::default().with_invocations(6);
         let expected = reference::execute(&region, &binding, config.invocations);
         let runs = run_all_backends(&region, &binding, &config, &EnergyModel::default())
@@ -217,14 +74,9 @@ proptest! {
     /// must interleave correctly with checked global traffic.
     #[test]
     fn scratchpad_and_scatter_regions_preserve_sequential_semantics(
-        ops in proptest::collection::vec(
-            (any::<bool>(), 0usize..6, 0i64..4, any::<bool>()).prop_map(
-                |(is_store, target, slot, strided)| OpPlan { is_store, target, slot, strided }
-            ),
-            1..14
-        )
+        ops in proptest::collection::vec(arb_op(6), 1..14)
     ) {
-        let (region, binding) = build_with_scratchpad(&ops);
+        let (region, binding) = build_plan_region_with_scratchpad(&ops);
         assert_all_backends_match(&region, &binding, &ops);
     }
 }
