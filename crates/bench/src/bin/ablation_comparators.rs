@@ -54,8 +54,19 @@ fn main() {
         print!("{name:<14} {:>6}", fanins[i]);
         for sweep in &sweeps {
             let run = &sweep.jobs[i].runs[0];
-            assert!(run.matches_reference(), "{name} diverged from reference");
-            print!(" {:>10}", run.expect_run().sim.cycles);
+            let cycles = match run.try_run() {
+                Ok(r) if run.matches_reference() => r.sim.cycles,
+                _ => {
+                    eprintln!(
+                        "{name} [{}] unusable: {} ({})",
+                        run.variant,
+                        run.status,
+                        run.detail.as_deref().unwrap_or("diverged from reference"),
+                    );
+                    std::process::exit(1);
+                }
+            };
+            print!(" {cycles:>10}");
         }
         println!();
     }

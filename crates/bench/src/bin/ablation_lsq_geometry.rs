@@ -50,17 +50,36 @@ fn main() {
         print!("{name:<14} {:>6} |", mem_ops[i]);
         for sweep in &sweeps {
             let run = &sweep.jobs[i].runs[0];
-            assert!(run.matches_reference(), "{name} diverged from reference");
-            print!(" {:>10}", run.expect_run().sim.cycles);
+            print!(" {:>10}", usable_cycles(name, run));
         }
-        let overflow_small = sweeps[0].jobs[i].runs[0]
-            .expect_run()
-            .sim
-            .events
-            .lsq_bank_overflows;
+        let small = &sweeps[0].jobs[i].runs[0];
+        let overflow_small = match small.try_run() {
+            Ok(r) => r.sim.events.lsq_bank_overflows,
+            Err(why) => {
+                eprintln!("{why}");
+                std::process::exit(1);
+            }
+        };
         println!(" | {overflow_small:>12}");
     }
     println!();
     println!("Small LSQs stall wide regions (cycles fall as geometry grows); the");
     println!("overflow column shows bank-capacity pressure at the smallest point.");
+}
+
+/// The run's cycle count, or a diagnostic exit when the run is degraded
+/// or diverged (the ablation table would be meaningless).
+fn usable_cycles(name: &str, run: &nachos::sweep::VariantOutcome) -> u64 {
+    match run.try_run() {
+        Ok(r) if run.matches_reference() => r.sim.cycles,
+        _ => {
+            eprintln!(
+                "{name} [{}] unusable: {} ({})",
+                run.variant,
+                run.status,
+                run.detail.as_deref().unwrap_or("diverged from reference"),
+            );
+            std::process::exit(1);
+        }
+    }
 }

@@ -109,14 +109,18 @@ fn main() {
     for (ci, (label, _)) in configs.iter().enumerate() {
         print!("{label:<10}");
         for job in &sweep.jobs {
-            let run = job.runs[ci].expect_run();
-            let full_cycles = job.runs[full_idx].expect_run().sim.cycles;
-            let mdes = run
-                .analysis
-                .as_ref()
-                .expect("NACHOS-SW runs carry their analysis")
-                .plan
-                .num_mdes();
+            let (run, full_cycles) = match (job.runs[ci].try_run(), job.runs[full_idx].try_run()) {
+                (Ok(run), Ok(full)) => (run, full.sim.cycles),
+                (Err(why), _) | (_, Err(why)) => {
+                    eprintln!("{why}");
+                    std::process::exit(1);
+                }
+            };
+            let Some(analysis) = run.analysis.as_ref() else {
+                eprintln!("{} [{label}]: NACHOS-SW run carries no analysis", job.name);
+                std::process::exit(1);
+            };
+            let mdes = analysis.plan.num_mdes();
             print!(
                 " | {:>7} {:>5} {:>+7.0}%",
                 run.sim.cycles,

@@ -90,7 +90,9 @@ fn main() -> ExitCode {
     let json = report.to_json();
     match out_path {
         Some(path) => {
-            if let Err(e) = std::fs::write(&path, &json) {
+            // Atomic (tmp + rename): a crash mid-write never leaves a
+            // truncated report for downstream tooling to misparse.
+            if let Err(e) = nachos::json::write_atomic(std::path::Path::new(&path), &json) {
                 eprintln!("error: cannot write {path}: {e}");
                 return ExitCode::FAILURE;
             }

@@ -1,6 +1,26 @@
 //! The machine-readable sweep: runs the full 27-workload × 4-variant
 //! differential matrix on the parallel harness and emits the JSON report
-//! (schema `nachos-sweep-v2`).
+//! (schema `nachos-sweep-v3`).
+//!
+//! Crash-recoverable orchestration: with `--journal FILE` every completed
+//! run is fsynced to an append-only JSONL journal as it finishes, and
+//! `--resume` replays completed runs from that journal instead of
+//! re-executing them — after a crash or a kill, the resumed sweep
+//! produces a report byte-identical to an uninterrupted one. `--max-retries N`
+//! retries transient per-run failures (panic/deadlock/error) under
+//! deterministically derived seeds before giving up (a run panicking
+//! through its whole budget is reported as `quarantined`).
+//!
+//! `--filter SUBSTR` keeps only workloads whose name contains the
+//! substring; `--variants a,b,c` selects report columns by label from
+//! {opt-lsq, nachos-sw, nachos, nachos-sw-baseline, ideal}.
+//!
+//! `--poison NAME` injects a deterministic panic-on-event fault into the
+//! named workload — every one of its runs panics on every attempt, so
+//! with a retry budget it exercises the whole worker-supervision path
+//! (retry, respawn, quarantine) while the other workloads complete
+//! untouched. The CI soak-resume job kills exactly such a sweep
+//! mid-flight and diffs the resumed report against a clean one.
 //!
 //! With `--inject smoke`, runs the fault-injection smoke suite instead:
 //! one crafted scenario per fault class, each with a hard per-backend
@@ -12,13 +32,22 @@
 //! Figure 9 upper bound) is appended as a fifth variant column; without
 //! it the report is byte-identical to the default four-variant matrix.
 //!
+//! Reports land atomically (`<out>.tmp` + rename): a crash mid-write
+//! never leaves a truncated report behind.
+//!
 //! Usage: `sweep [--threads N] [--invocations N] [--out FILE] [--ideal]
-//! [--inject smoke]` (defaults: auto threads, 64 invocations, stdout).
+//! [--journal FILE] [--resume] [--max-retries N] [--filter SUBSTR]
+//! [--variants LIST] [--poison NAME] [--inject smoke]`
+//! (defaults: auto threads, 64 invocations, stdout, no journal).
 
+use nachos::json::write_atomic;
+use nachos::sweep::{journal::Journal, run_sweep_journaled};
+use std::path::Path;
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: sweep [--threads N] [--invocations N] [--out FILE] [--ideal] [--inject smoke]";
+const USAGE: &str = "usage: sweep [--threads N] [--invocations N] [--out FILE] [--ideal] \
+                     [--journal FILE] [--resume] [--max-retries N] [--filter SUBSTR] \
+                     [--variants LIST] [--poison NAME] [--inject smoke]";
 
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("{msg}");
@@ -32,14 +61,28 @@ fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut inject: Option<String> = None;
     let mut ideal = false;
+    let mut journal_path: Option<String> = None;
+    let mut resume = false;
+    let mut max_retries = 0u32;
+    let mut filter: Option<String> = None;
+    let mut variant_list: Option<String> = None;
+    let mut poison: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--ideal" {
-            ideal = true;
-            continue;
+        match a.as_str() {
+            "--ideal" => {
+                ideal = true;
+                continue;
+            }
+            "--resume" => {
+                resume = true;
+                continue;
+            }
+            _ => {}
         }
         let Some(value) = (match a.as_str() {
-            "--threads" | "--invocations" | "--out" | "--inject" => args.next(),
+            "--threads" | "--invocations" | "--out" | "--inject" | "--journal"
+            | "--max-retries" | "--filter" | "--variants" | "--poison" => args.next(),
             other => return usage_error(&format!("unknown argument: {other}")),
         }) else {
             return usage_error(&format!("{a} requires a value"));
@@ -55,9 +98,22 @@ fn main() -> ExitCode {
                     return usage_error(&format!("--invocations takes a count, got {value:?}"))
                 }
             },
+            "--max-retries" => match value.parse() {
+                Ok(n) => max_retries = n,
+                Err(_) => {
+                    return usage_error(&format!("--max-retries takes a count, got {value:?}"))
+                }
+            },
             "--inject" => inject = Some(value),
+            "--journal" => journal_path = Some(value),
+            "--filter" => filter = Some(value),
+            "--variants" => variant_list = Some(value),
+            "--poison" => poison = Some(value),
             _ => out = Some(value),
         }
+    }
+    if resume && journal_path.is_none() {
+        return usage_error("--resume requires --journal FILE");
     }
 
     let (json, summary, ok) = match inject.as_deref() {
@@ -87,23 +143,95 @@ fn main() -> ExitCode {
         }
         Some(other) => return usage_error(&format!("--inject knows 'smoke', got {other:?}")),
         None => {
-            let suite = nachos_bench::run_suite_opts(invocations, threads, ideal);
-            let ok = suite.sweep.all_match();
+            let mut jobs = nachos_bench::suite_jobs();
+            if let Some(f) = &filter {
+                jobs.retain(|j| j.name.contains(f.as_str()));
+                if jobs.is_empty() {
+                    return usage_error(&format!("--filter {f:?} matches no workload"));
+                }
+            }
+            if let Some(name) = &poison {
+                let Some(job) = jobs.iter_mut().find(|j| &j.name == name) else {
+                    return usage_error(&format!("--poison knows no workload {name:?}"));
+                };
+                job.fault = nachos::FaultPlan::single(nachos::FaultSpec::new(
+                    nachos::FaultKind::PanicOnEvent,
+                    0,
+                ));
+            }
+            let mut cfg = nachos_bench::suite_config(invocations, threads, false);
+            if let Some(list) = &variant_list {
+                let mut variants = Vec::new();
+                for label in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                    match nachos_bench::variant_by_label(label) {
+                        Some(v) => variants.push(v),
+                        None => {
+                            return usage_error(&format!("--variants knows no label {label:?}"))
+                        }
+                    }
+                }
+                if variants.is_empty() {
+                    return usage_error("--variants requires at least one label");
+                }
+                cfg = cfg.with_variants(variants);
+            }
+            if ideal && !cfg.variants.iter().any(|v| v.label == "ideal") {
+                cfg = cfg.with_ideal();
+            }
+            cfg = cfg.with_retries(max_retries);
+            let journal = match &journal_path {
+                Some(p) => {
+                    let opened = if resume {
+                        Journal::resume(p)
+                    } else {
+                        Journal::create(p)
+                    };
+                    match opened {
+                        Ok(j) => Some(j),
+                        Err(e) => {
+                            eprintln!("cannot open journal {p}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                None => None,
+            };
+            if let Some(j) = &journal {
+                if j.replay_len() > 0 || j.skipped() > 0 {
+                    eprintln!(
+                        "journal {}: {} completed runs loaded, {} unreadable lines skipped",
+                        j.path().display(),
+                        j.replay_len(),
+                        j.skipped(),
+                    );
+                }
+            }
+            let (sweep, stats) = run_sweep_journaled(&jobs, &cfg, journal.as_ref());
+            let ok = sweep.all_match();
             if !ok {
-                eprintln!("DIVERGENCE: {:?}", suite.sweep.mismatches());
+                eprintln!("DIVERGENCE: {:?}", sweep.mismatches());
+            }
+            if journal.is_some() {
+                eprintln!(
+                    "orchestration: {} runs replayed from the journal, {} executed, {} journal errors",
+                    stats.replayed, stats.executed, stats.journal_errors,
+                );
             }
             let summary = format!(
                 "{} jobs x {} variants",
-                suite.sweep.jobs.len(),
-                suite.sweep.variants.len()
+                sweep.jobs.len(),
+                sweep.variants.len()
             );
-            (suite.sweep.to_json(), summary, ok)
+            (sweep.to_json(), summary, ok)
         }
     };
 
     match out {
         Some(path) => {
-            std::fs::write(&path, &json).expect("writing the report file");
+            if let Err(e) = write_atomic(Path::new(&path), &json) {
+                eprintln!("cannot write report {path}: {e}");
+                return ExitCode::FAILURE;
+            }
             eprintln!("wrote {summary} to {path}");
         }
         None => {

@@ -118,51 +118,96 @@ pub fn job_for(w: &Workload) -> SweepJob {
     SweepJob::new(w.spec.name, w.region.clone(), w.binding.clone())
 }
 
-/// Builds a [`BenchResult`] from one job's sweep outcome.
-///
-/// # Panics
-///
-/// Panics if any run diverged from the reference executor or the outcome
-/// does not carry the [`SweepVariant::bench_matrix`] variants — either
-/// means the experiment data would be meaningless.
-fn from_outcome(spec: BenchSpec, workload: Workload, outcome: JobOutcome) -> BenchResult {
+/// The full 27-workload Table II suite as sweep jobs, in table order.
+#[must_use]
+pub fn suite_jobs() -> Vec<SweepJob> {
+    nachos_workloads::generate_all()
+        .iter()
+        .map(job_for)
+        .collect()
+}
+
+/// Resolves a report label (`"opt-lsq"`, `"nachos-sw"`, `"nachos"`,
+/// `"nachos-sw-baseline"`, `"ideal"`) to its sweep variant — the sweep
+/// binary's `--variants` flag.
+#[must_use]
+pub fn variant_by_label(label: &str) -> Option<SweepVariant> {
+    let mut known = SweepVariant::bench_matrix();
+    known.push(SweepVariant::ideal());
+    known.into_iter().find(|v| v.label == label)
+}
+
+/// Builds a [`BenchResult`] from one job's sweep outcome, or a
+/// deterministic description of why the outcome is unusable (a diverged
+/// or degraded run, or a variant matrix other than
+/// [`SweepVariant::bench_matrix`] plus optional ideal).
+fn from_outcome(
+    spec: BenchSpec,
+    workload: Workload,
+    outcome: JobOutcome,
+) -> Result<BenchResult, String> {
     for r in &outcome.runs {
-        assert!(
-            r.matches_reference(),
-            "differential check failed: {} [{}] is {} ({})",
-            outcome.name,
-            r.variant,
-            r.status,
-            r.detail.as_deref().unwrap_or("diverged from the reference"),
-        );
+        if !r.matches_reference() {
+            return Err(format!(
+                "differential check failed: {} [{}] is {} ({})",
+                outcome.name,
+                r.variant,
+                r.status,
+                r.detail.as_deref().unwrap_or("diverged from the reference"),
+            ));
+        }
     }
+    let name = outcome.name;
     let mut runs = outcome.runs;
     // The optional IDEAL oracle column is always appended last.
-    let ideal = (runs.len() == 5).then(|| runs.pop().expect("len checked"));
-    let [lsq, sw, hw, sw_baseline]: [_; 4] = runs
-        .try_into()
-        .expect("bench outcomes carry the 4-variant bench matrix (plus optional ideal)");
+    let ideal = if runs.len() == 5 { runs.pop() } else { None };
+    let [lsq, sw, hw, sw_baseline]: [_; 4] = runs.try_into().map_err(|_| {
+        format!("{name}: bench outcomes carry the 4-variant bench matrix (plus optional ideal)")
+    })?;
     let analysis_full = sw
-        .expect_run()
+        .try_run()?
         .analysis
         .clone()
-        .expect("NACHOS-SW runs carry their analysis");
+        .ok_or_else(|| format!("{name}: NACHOS-SW run carries no analysis"))?;
     let analysis_baseline = sw_baseline
-        .expect_run()
+        .try_run()?
         .analysis
         .clone()
-        .expect("baseline NACHOS-SW runs carry their analysis");
-    BenchResult {
+        .ok_or_else(|| format!("{name}: baseline NACHOS-SW run carries no analysis"))?;
+    let ideal = match ideal {
+        Some(r) => Some(r.try_run()?.clone()),
+        None => None,
+    };
+    Ok(BenchResult {
         spec,
         workload,
         analysis_full,
         analysis_baseline,
-        lsq: lsq.expect_run().clone(),
-        sw: sw.expect_run().clone(),
-        hw: hw.expect_run().clone(),
-        sw_baseline: sw_baseline.expect_run().clone(),
-        ideal: ideal.map(|r| r.expect_run().clone()),
-    }
+        lsq: lsq.try_run()?.clone(),
+        sw: sw.try_run()?.clone(),
+        hw: hw.try_run()?.clone(),
+        sw_baseline: sw_baseline.try_run()?.clone(),
+        ideal,
+    })
+}
+
+/// Runs one benchmark through the whole experiment matrix, or describes
+/// the failing run.
+///
+/// # Errors
+///
+/// Returns the deterministic failure description when a simulation fails
+/// or diverges from the reference executor.
+pub fn try_run_bench(spec: &BenchSpec, invocations: u64) -> Result<BenchResult, String> {
+    let workload = generate(spec);
+    let cfg = suite_config(invocations, 1, false);
+    let sweep = run_sweep(&[job_for(&workload)], &cfg);
+    let outcome = sweep
+        .jobs
+        .into_iter()
+        .next()
+        .ok_or_else(|| format!("{}: sweep produced no job outcome", spec.name))?;
+    from_outcome(*spec, workload, outcome)
 }
 
 /// Runs one benchmark through the whole experiment matrix.
@@ -170,14 +215,14 @@ fn from_outcome(spec: BenchSpec, workload: Workload, outcome: JobOutcome) -> Ben
 /// # Panics
 ///
 /// Panics if a simulation fails or diverges from the reference executor
-/// (generated workloads always fit the grid).
+/// (generated workloads always fit the grid). Fallible callers should
+/// prefer [`try_run_bench`].
 #[must_use]
 pub fn run_bench(spec: &BenchSpec, invocations: u64) -> BenchResult {
-    let workload = generate(spec);
-    let cfg = suite_config(invocations, 1, false);
-    let sweep = run_sweep(&[job_for(&workload)], &cfg);
-    let outcome = sweep.jobs.into_iter().next().expect("one job in, one out");
-    from_outcome(*spec, workload, outcome)
+    match try_run_bench(spec, invocations) {
+        Ok(r) => r,
+        Err(why) => panic!("{why}"),
+    }
 }
 
 /// Runs the full 27-benchmark suite on `threads` workers (`0` = one per
@@ -197,8 +242,27 @@ pub fn run_suite_threads(invocations: u64, threads: usize) -> SuiteRun {
 /// # Panics
 ///
 /// Panics if a simulation fails or diverges from the reference executor.
+/// Fallible callers should prefer [`try_run_suite_opts`].
 #[must_use]
 pub fn run_suite_opts(invocations: u64, threads: usize, ideal: bool) -> SuiteRun {
+    match try_run_suite_opts(invocations, threads, ideal) {
+        Ok(s) => s,
+        Err(why) => panic!("{why}"),
+    }
+}
+
+/// Like [`run_suite_opts`], but reporting the first unusable outcome as a
+/// deterministic description instead of panicking.
+///
+/// # Errors
+///
+/// Returns the failure description when a simulation fails or diverges
+/// from the reference executor.
+pub fn try_run_suite_opts(
+    invocations: u64,
+    threads: usize,
+    ideal: bool,
+) -> Result<SuiteRun, String> {
     let workloads = nachos_workloads::generate_all();
     let jobs: Vec<SweepJob> = workloads.iter().map(job_for).collect();
     let cfg = suite_config(invocations, threads, ideal);
@@ -207,8 +271,8 @@ pub fn run_suite_opts(invocations: u64, threads: usize, ideal: bool) -> SuiteRun
         .into_iter()
         .zip(sweep.jobs.iter().cloned())
         .map(|(w, outcome)| from_outcome(w.spec, w, outcome))
-        .collect();
-    SuiteRun { results, sweep }
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(SuiteRun { results, sweep })
 }
 
 /// Runs the full 27-benchmark suite (parallel, auto thread count).

@@ -5,6 +5,8 @@ use nachos_cgra::{GridConfig, LatencyModel};
 use nachos_lsq::LsqConfig;
 use nachos_mem::HierarchyConfig;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Which memory-disambiguation scheme the accelerator uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -50,6 +52,44 @@ impl fmt::Display for Backend {
     }
 }
 
+/// A shared cooperative-cancellation flag for in-flight simulations.
+///
+/// The supervisor (or any external controller) holds one clone and the
+/// engine polls another: [`CancelToken::cancel`] makes every run carrying
+/// the token return [`crate::SimError::Cancelled`] at its next event —
+/// cycle granularity, checked alongside the watchdog — so wall-clock
+/// deadlines can be enforced without killing worker threads. Cancellation
+/// is sticky: a cancelled token never un-cancels.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation of every run holding a clone of this token.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Tokens compare by identity (the shared flag), not by state: a clone
+/// equals its source, two independently created tokens do not.
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
 /// Full structural configuration of one simulation.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SimConfig {
@@ -72,6 +112,12 @@ pub struct SimConfig {
     pub watchdog: WatchdogConfig,
     /// Deterministic fault-injection plan (empty by default).
     pub fault: FaultPlan,
+    /// Cooperative cancellation hook (`None` by default — zero cost).
+    /// When set, the engine polls the token once per handled event and
+    /// aborts the run with [`crate::SimError::Cancelled`] as soon as it
+    /// trips. Runtime control, not configuration: excluded from journal
+    /// run keys.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SimConfig {
@@ -86,6 +132,7 @@ impl Default for SimConfig {
             invocations: 64,
             watchdog: WatchdogConfig::default(),
             fault: FaultPlan::default(),
+            cancel: None,
         }
     }
 }
@@ -102,6 +149,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_fault(mut self, fault: FaultPlan) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Attaches a cooperative cancellation token, builder-style.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 }
@@ -163,6 +217,21 @@ mod tests {
         assert_eq!(c.comparators_per_site, 1);
         assert!(c.fault.is_empty());
         assert_eq!(c.with_invocations(10).invocations, 10);
+    }
+
+    #[test]
+    fn cancel_token_is_sticky_and_shared() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!t.is_cancelled());
+        clone.cancel();
+        assert!(t.is_cancelled(), "cancellation is visible through clones");
+        assert_eq!(t, clone, "clones compare equal (same flag)");
+        assert_ne!(t, CancelToken::new(), "independent tokens are distinct");
+        // Default config carries no token — the hot path stays free.
+        assert!(SimConfig::default().cancel.is_none());
+        let cfg = SimConfig::default().with_cancel(t.clone());
+        assert!(cfg.cancel.as_ref().is_some_and(CancelToken::is_cancelled));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! schemes diverge is a call through the
 //! [`DisambiguationPolicy`](super::policy::DisambiguationPolicy) trait.
 
-use crate::config::{Backend, SimConfig};
+use crate::config::{Backend, CancelToken, SimConfig};
 use crate::energy::EventCounts;
 use crate::error::{DeadlockCause, DeadlockInfo, SimError, StalledNode, WaitForEdge};
 use crate::fault::{FaultClass, FaultKind, FaultState};
@@ -238,13 +238,24 @@ impl<'a> SchedCore<'a> {
         // Event loop, under the watchdog's cycle budget. A healthy
         // invocation finishes orders of magnitude below the budget; only
         // a zero-progress hang (e.g. a livelocked retry chain) can reach
-        // the deadline.
+        // the deadline. The cooperative cancellation token is polled at
+        // the same granularity as the watchdog check: once per event, so
+        // a supervisor can stop a run within one simulated cycle without
+        // killing the worker thread.
         let budget = self.config.watchdog.budget(region.dfg.num_nodes());
         let deadline = t0.saturating_add(budget);
+        let cancel = self.config.cancel.clone();
         while let Some(Reverse((t, _, ev))) = self.heap.pop() {
             debug_assert!(t >= t0);
             if t > deadline {
                 return Err(self.deadlock(DeadlockCause::BudgetExhausted, t, budget));
+            }
+            if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                return Err(SimError::Cancelled {
+                    backend: self.backend,
+                    invocation: self.inv,
+                    cycle: t,
+                });
             }
             self.handle(policy, t, ev)?;
         }

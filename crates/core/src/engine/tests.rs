@@ -523,3 +523,46 @@ fn ideal_oracle_is_sound_and_checkless() {
         hw.sim.cycles
     );
 }
+
+/// A pre-tripped cancellation token stops the run at its first event with
+/// a structured [`SimError::Cancelled`]; a live token leaves the run
+/// untouched until it is cancelled.
+#[test]
+fn cancellation_token_stops_the_run_cooperatively() {
+    use crate::config::CancelToken;
+    let (region, binding) = crate::testutil::store_load_region("cancel");
+    let token = CancelToken::new();
+    let cfg = config(8).with_cancel(token.clone());
+    // Un-cancelled: the token is inert and the run completes normally.
+    let ok = simulate(
+        &region,
+        &binding,
+        Backend::Nachos,
+        &cfg,
+        &EnergyModel::default(),
+    );
+    assert!(ok.is_ok(), "inert token must not perturb the run");
+    // Cancelled before the run starts: the engine notices at its very
+    // first handled event and reports where it stopped.
+    token.cancel();
+    let err = simulate(
+        &region,
+        &binding,
+        Backend::Nachos,
+        &cfg,
+        &EnergyModel::default(),
+    )
+    .unwrap_err();
+    match err {
+        SimError::Cancelled {
+            backend,
+            invocation,
+            cycle,
+        } => {
+            assert_eq!(backend, Backend::Nachos);
+            assert_eq!(invocation, 0, "cut at the first invocation");
+            assert_eq!(cycle, 0, "cut at the first event");
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}

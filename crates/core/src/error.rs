@@ -37,6 +37,19 @@ pub enum SimError {
     /// [`nachos_alias::audit`]). Running it would risk silently wrong
     /// results, so the driver refuses.
     Audit(Vec<nachos_alias::audit::Diagnostic>),
+    /// The run was cooperatively cancelled through its
+    /// [`crate::CancelToken`] (checked once per handled event, alongside
+    /// the watchdog). Lets an external controller stop in-flight sweep
+    /// work promptly without killing worker threads; cancelled runs are
+    /// never journaled, so a resumed sweep re-executes them.
+    Cancelled {
+        /// Backend that was running when the token tripped.
+        backend: Backend,
+        /// Invocation index (0-based) at which the run stopped.
+        invocation: u64,
+        /// Simulated cycle at which the cancellation was observed.
+        cycle: u64,
+    },
     /// The token protocol was violated at run time (e.g. a completion
     /// token arrived at a node with no outstanding token count). Only
     /// reachable under fault injection or a genuine engine bug.
@@ -69,6 +82,16 @@ impl fmt::Display for SimError {
             SimError::IncompleteBinding(m) => write!(f, "incomplete binding: {m}"),
             SimError::BadConfig(m) => write!(f, "bad configuration: {m}"),
             SimError::Deadlock(info) => write!(f, "{info}"),
+            SimError::Cancelled {
+                backend,
+                invocation,
+                cycle,
+            } => {
+                write!(
+                    f,
+                    "cancelled under {backend} at invocation {invocation} cycle {cycle}"
+                )
+            }
             SimError::Audit(diags) => {
                 write!(f, "compile audit failed ({} error", diags.len())?;
                 if diags.len() != 1 {
@@ -266,6 +289,19 @@ mod tests {
         let e = SimError::Validation(diags);
         assert!(e.to_string().contains("failed validation"));
         assert!(e.to_string().contains("symbol error"));
+    }
+
+    #[test]
+    fn cancelled_display_names_the_cut_point() {
+        let e = SimError::Cancelled {
+            backend: Backend::OptLsq,
+            invocation: 9,
+            cycle: 512,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cancelled under OPT-LSQ"));
+        assert!(s.contains("invocation 9"));
+        assert!(s.contains("cycle 512"));
     }
 
     #[test]

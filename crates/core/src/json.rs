@@ -7,6 +7,9 @@
 //! key order and deterministic number formatting.
 
 use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, Write as _};
+use std::path::Path;
 
 /// Pretty-printing JSON writer with a fixed key order (the caller emits
 /// keys in schema order) and deterministic number formatting.
@@ -23,6 +26,8 @@ pub struct JsonWriter {
     need_comma: Vec<bool>,
     /// `true` immediately after `key()` — the value belongs to that key.
     pending_value: bool,
+    /// Single-line mode: no newlines or indentation (JSONL emission).
+    compact: bool,
 }
 
 impl Default for JsonWriter {
@@ -40,6 +45,18 @@ impl JsonWriter {
             indent: 0,
             need_comma: vec![false],
             pending_value: false,
+            compact: false,
+        }
+    }
+
+    /// An empty writer in single-line (compact) mode: no newlines or
+    /// indentation, so the finished document fits one JSONL record. Key
+    /// order and number formatting are identical to the pretty writer.
+    #[must_use]
+    pub fn compact() -> Self {
+        Self {
+            compact: true,
+            ..Self::new()
         }
     }
 
@@ -60,9 +77,12 @@ impl JsonWriter {
         let top = self.need_comma.last_mut().expect("writer has a level");
         if *top {
             self.out.push(',');
+            if self.compact {
+                self.out.push(' ');
+            }
         }
         *top = true;
-        if self.indent > 0 {
+        if self.indent > 0 && !self.compact {
             self.out.push('\n');
             for _ in 0..self.indent {
                 self.out.push_str("  ");
@@ -106,7 +126,7 @@ impl JsonWriter {
     fn close_with(&mut self, ch: char) {
         let had_items = self.need_comma.pop().expect("balanced writer");
         self.indent -= 1;
-        if had_items {
+        if had_items && !self.compact {
             self.out.push('\n');
             for _ in 0..self.indent {
                 self.out.push_str("  ");
@@ -165,6 +185,35 @@ impl JsonWriter {
     }
 }
 
+/// Writes `contents` to `path` atomically: the bytes land in a sibling
+/// `<path>.tmp` file first, are fsynced, and are renamed over `path` only
+/// once durable. A crash at any point leaves either the old report or the
+/// new one — never a truncated JSON that downstream tooling would parse
+/// as a valid (but wrong) document. Every report-emitting binary routes
+/// its `--out` through this.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error; the temporary file is removed on
+/// a best-effort basis when any step fails.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = Path::new(&tmp);
+    let write = (|| {
+        let mut f = File::create(tmp)?;
+        f.write_all(contents.as_bytes())?;
+        // Durability before visibility: the rename must never expose
+        // bytes that are not on disk yet.
+        f.sync_all()?;
+        std::fs::rename(tmp, path)
+    })();
+    if write.is_err() {
+        let _ = std::fs::remove_file(tmp);
+    }
+    write
+}
+
 /// Escapes a string for inclusion in a JSON string literal.
 #[must_use]
 pub fn escape(s: &str) -> String {
@@ -216,5 +265,40 @@ mod tests {
     #[test]
     fn control_characters_are_escaped() {
         assert_eq!(escape("a\nb\u{1}"), "a\\nb\\u0001");
+    }
+
+    #[test]
+    fn compact_mode_emits_one_line() {
+        let mut w = JsonWriter::compact();
+        w.open_obj();
+        w.str_field("name", "x");
+        w.key("items");
+        w.open_arr();
+        w.u64_item(1);
+        w.u64_item(2);
+        w.close_arr();
+        w.bool_field("ok", true);
+        w.close_obj();
+        let json = w.finish();
+        assert_eq!(json, "{\"name\": \"x\", \"items\": [1, 2], \"ok\": true}\n");
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join("nachos-json-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        write_atomic(&path, "{\"a\": 1}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\": 1}\n");
+        // Overwrite goes through the same tmp+rename dance.
+        write_atomic(&path, "{\"a\": 2}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\": 2}\n");
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(
+            !Path::new(&tmp).exists(),
+            "temporary file is renamed away on success"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -51,7 +51,7 @@ pub mod testutil;
 pub mod value;
 
 pub use analytic::DecentralizedModel;
-pub use config::{Backend, SimConfig, WatchdogConfig};
+pub use config::{Backend, CancelToken, SimConfig, WatchdogConfig};
 pub use driver::{
     pct_slowdown, run_all_backends, run_backend, run_backend_in, run_backend_with_stages,
     run_backend_with_stages_in, ExperimentRun,

@@ -1,4 +1,5 @@
-//! Parallel differential-sweep harness.
+//! Parallel differential-sweep harness with crash-recoverable
+//! orchestration.
 //!
 //! Runs a set of jobs (region + binding pairs) through a matrix of
 //! simulation variants on a scoped worker pool, differential-checking
@@ -15,10 +16,30 @@
 //! deadlocks, errors or panics yields a deterministic [`RunStatus`] and
 //! detail string, byte-identical for any thread count.
 //!
-//! Degradation contract: every run is isolated. A failing run — a
-//! structured [`SimError`], a detected injected fault, even a panic —
-//! records its [`RunStatus`] in its slot of the report and the remaining
-//! runs proceed untouched; the sweep itself never fails.
+//! Degradation contract: every run is isolated, in depth:
+//!
+//! * a failing run — a structured [`SimError`], a detected injected
+//!   fault, even a panic — records its [`RunStatus`] in its slot of the
+//!   report and the remaining runs proceed untouched;
+//! * transient failures (panic, deadlock, error) are retried up to the
+//!   configured [`RetryPolicy`] budget, each attempt under a seed derived
+//!   deterministically from the run's content key
+//!   ([`journal::derive_seed`] — no wall-clock), with every attempt
+//!   recorded in the report;
+//! * a run that still panics once its attempt budget is exhausted is
+//!   elevated to [`RunStatus::Quarantined`] rather than poisoning the
+//!   sweep;
+//! * a panic that escapes the per-run boundary (job setup, the reference
+//!   executor) kills only its worker thread; the supervisor respawns
+//!   workers and, after [`SweepConfig::quarantine_after`] such strikes,
+//!   quarantines the offending job wholesale.
+//!
+//! Crash-recovery contract: when a durable [`journal::Journal`] is
+//! attached ([`run_sweep_journaled`]), every completed cell is fsynced to
+//! an append-only JSONL file keyed by a content hash of its inputs. After
+//! a crash — or a [`crate::CancelToken`] stop — re-running with the
+//! resumed journal replays completed cells and re-executes only the rest,
+//! and the final report is **byte-identical** to an uninterrupted run.
 //!
 //! ```
 //! use nachos::sweep::{run_sweep, SweepConfig, SweepJob, SweepVariant};
@@ -40,6 +61,8 @@
 //! assert!(sweep.all_match());
 //! ```
 
+pub mod journal;
+
 use crate::config::{Backend, SimConfig};
 use crate::driver::{run_backend_with_stages_in, ExperimentRun};
 use crate::energy::EnergyModel;
@@ -48,10 +71,14 @@ use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::json::JsonWriter;
 use crate::reference::{self, ReferenceResult};
+use journal::{Attempt, Journal, OutcomeRecord, RunKey, RunMetrics, RunRecord};
 use nachos_alias::StageConfig;
 use nachos_ir::{Binding, Region};
+use nachos_mem::DataMemory;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::{fmt, thread};
 
 /// One unit of sweep work: a compiled-from region with its address binding.
@@ -150,6 +177,28 @@ impl SweepVariant {
     }
 }
 
+/// Bounded deterministic retry policy for transient run failures.
+///
+/// A transient status ([`RunStatus::is_transient`]: panic, deadlock,
+/// error) is retried until it either resolves or the attempt budget of
+/// `max_retries + 1` total attempts is exhausted. Each attempt runs under
+/// a seed derived from the run's content key and the attempt index
+/// ([`journal::derive_seed`]) — never from the wall clock — so the
+/// attempt log in the report is byte-deterministic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first (default `0`: no retries).
+    pub max_retries: u32,
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_retries` extra attempts.
+    #[must_use]
+    pub fn retries(max_retries: u32) -> Self {
+        Self { max_retries }
+    }
+}
+
 /// Sweep-wide configuration.
 #[derive(Clone, Debug)]
 pub struct SweepConfig {
@@ -161,6 +210,13 @@ pub struct SweepConfig {
     pub variants: Vec<SweepVariant>,
     /// Worker threads; `0` uses the machine's available parallelism.
     pub threads: usize,
+    /// Retry policy for transient per-run failures.
+    pub retry: RetryPolicy,
+    /// Worker-kill strikes before a job is quarantined wholesale: a panic
+    /// that escapes the per-run boundary retires its worker thread, and a
+    /// job that does so this many times stops being rescheduled (`0` is
+    /// treated as `1`). Default `3`.
+    pub quarantine_after: u32,
 }
 
 impl Default for SweepConfig {
@@ -170,6 +226,8 @@ impl Default for SweepConfig {
             energy: EnergyModel::default(),
             variants: SweepVariant::paper_matrix(),
             threads: 0,
+            retry: RetryPolicy::default(),
+            quarantine_after: 3,
         }
     }
 }
@@ -193,6 +251,13 @@ impl SweepConfig {
     #[must_use]
     pub fn with_variants(mut self, variants: Vec<SweepVariant>) -> Self {
         self.variants = variants;
+        self
+    }
+
+    /// Sets the transient-failure retry budget, builder-style.
+    #[must_use]
+    pub fn with_retries(mut self, max_retries: u32) -> Self {
+        self.retry = RetryPolicy::retries(max_retries);
         self
     }
 
@@ -224,10 +289,18 @@ pub enum RunStatus {
     Panic,
     /// Any other structured [`SimError`] outside fault injection.
     Error,
+    /// The run (or its whole job) kept killing workers: it panicked on
+    /// every attempt of an exhausted retry budget, or its job-level setup
+    /// panicked [`SweepConfig::quarantine_after`] times. The run is
+    /// parked so the rest of the sweep completes.
+    Quarantined,
+    /// The run was stopped through its [`crate::CancelToken`]. Cancelled
+    /// runs are never journaled: resuming re-executes them.
+    Cancelled,
 }
 
 impl RunStatus {
-    /// Stable lowercase label used in the JSON report.
+    /// Stable lowercase label used in the JSON report and the journal.
     #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
@@ -237,7 +310,37 @@ impl RunStatus {
             RunStatus::FaultDetected => "fault_detected",
             RunStatus::Panic => "panic",
             RunStatus::Error => "error",
+            RunStatus::Quarantined => "quarantined",
+            RunStatus::Cancelled => "cancelled",
         }
+    }
+
+    /// Parses the stable label back (journal replay).
+    #[must_use]
+    pub fn from_label(s: &str) -> Option<RunStatus> {
+        Some(match s {
+            "ok" => RunStatus::Ok,
+            "mismatch" => RunStatus::Mismatch,
+            "deadlock" => RunStatus::Deadlock,
+            "fault_detected" => RunStatus::FaultDetected,
+            "panic" => RunStatus::Panic,
+            "error" => RunStatus::Error,
+            "quarantined" => RunStatus::Quarantined,
+            "cancelled" => RunStatus::Cancelled,
+            _ => return None,
+        })
+    }
+
+    /// `true` for statuses the [`RetryPolicy`] treats as retryable.
+    /// Differential verdicts (`ok`/`mismatch`/`fault_detected`) are
+    /// deterministic conclusions, quarantine is final, and cancellation
+    /// is a user decision — none of those are retried.
+    #[must_use]
+    pub fn is_transient(self) -> bool {
+        matches!(
+            self,
+            RunStatus::Panic | RunStatus::Deadlock | RunStatus::Error
+        )
     }
 }
 
@@ -256,14 +359,25 @@ pub struct VariantOutcome {
     pub backend: Backend,
     /// The harness verdict for this run.
     pub status: RunStatus,
-    /// The compiled-and-simulated run (absent when the run errored or
-    /// panicked).
+    /// The compiled-and-simulated run. Present only for runs executed
+    /// live in this process *and* completed; absent for degraded runs and
+    /// for cells replayed from a journal (which carry [`Self::metrics`]
+    /// instead).
     pub run: Option<ExperimentRun>,
-    /// The structured engine error, when the run returned one.
+    /// The structured engine error, when the run returned one live.
     pub error: Option<SimError>,
     /// Deterministic human-readable failure detail (error display or
     /// panic message); absent for [`RunStatus::Ok`].
     pub detail: Option<String>,
+    /// Deterministic descriptions of injected faults that fired, in
+    /// firing order.
+    pub injected: Vec<String>,
+    /// Every supervised attempt in attempt order (length ≥ 1), with its
+    /// derived seed.
+    pub attempts: Vec<Attempt>,
+    /// The reportable metrics, present whenever the simulation produced a
+    /// result (even a diverging one) — live or replayed.
+    pub metrics: Option<RunMetrics>,
 }
 
 impl VariantOutcome {
@@ -273,36 +387,70 @@ impl VariantOutcome {
         self.status == RunStatus::Ok
     }
 
+    /// The completed live run, or a deterministic description of why it
+    /// is unavailable (degraded status, or a journal-replayed cell that
+    /// carries metrics but no live run).
+    ///
+    /// # Errors
+    ///
+    /// Returns the run's status and detail when no live run is present.
+    pub fn try_run(&self) -> Result<&ExperimentRun, String> {
+        self.run.as_ref().ok_or_else(|| {
+            format!(
+                "sweep run [{}] has no live result: {} ({})",
+                self.variant,
+                self.status,
+                self.detail.as_deref().unwrap_or("no detail"),
+            )
+        })
+    }
+
     /// The completed run, for callers that require a clean sweep.
     ///
     /// # Panics
     ///
     /// Panics with the run's recorded detail when the run did not
-    /// complete.
+    /// complete. Fallible callers should prefer [`Self::try_run`].
     #[must_use]
     pub fn expect_run(&self) -> &ExperimentRun {
-        match &self.run {
-            Some(run) => run,
-            None => panic!(
-                "sweep run [{}] did not complete: {} ({})",
-                self.variant,
-                self.status,
-                self.detail.as_deref().unwrap_or("no detail"),
-            ),
+        match self.try_run() {
+            Ok(run) => run,
+            Err(why) => panic!("{why}"),
         }
     }
 
     /// Deterministic descriptions of injected faults that fired in this
-    /// run (from the completed result or the deadlock dump).
+    /// run (from the completed result, the deadlock dump, or the journal).
     #[must_use]
     pub fn injected(&self) -> &[String] {
-        if let Some(run) = &self.run {
-            return &run.sim.injected;
+        &self.injected
+    }
+
+    /// The journal form of this outcome.
+    fn to_record(&self) -> OutcomeRecord {
+        OutcomeRecord {
+            status: self.status,
+            detail: self.detail.clone(),
+            injected: self.injected.clone(),
+            attempts: self.attempts.clone(),
+            metrics: self.metrics,
         }
-        if let Some(SimError::Deadlock(info)) = &self.error {
-            return &info.injected;
+    }
+
+    /// Reconstructs an outcome from a journal record; the report bytes it
+    /// produces are identical to the live run's.
+    fn from_record(v: &SweepVariant, rec: OutcomeRecord) -> VariantOutcome {
+        VariantOutcome {
+            variant: v.label.clone(),
+            backend: v.backend,
+            status: rec.status,
+            run: None,
+            error: None,
+            detail: rec.detail,
+            injected: rec.injected,
+            attempts: rec.attempts,
+            metrics: rec.metrics,
         }
-        &[]
     }
 }
 
@@ -311,7 +459,8 @@ impl VariantOutcome {
 pub struct JobOutcome {
     /// The job's name.
     pub name: String,
-    /// Ground truth from the in-order reference executor.
+    /// Ground truth from the in-order reference executor (empty for a
+    /// quarantined job, whose setup never completed).
     pub reference: ReferenceResult,
     /// One outcome per configured variant, in variant order.
     pub runs: Vec<VariantOutcome>,
@@ -328,54 +477,89 @@ pub struct SweepResult {
     pub jobs: Vec<JobOutcome>,
 }
 
+/// Orchestration counters from a journaled sweep — how much work the
+/// journal saved. Diagnostics only: none of this enters the report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Cells replayed from the journal without re-execution.
+    pub replayed: usize,
+    /// Cells executed live in this process.
+    pub executed: usize,
+    /// Journal appends that failed (the sweep continues; those cells are
+    /// simply re-run on the next resume).
+    pub journal_errors: usize,
+}
+
 /// Runs every job through every variant on a scoped worker pool.
 ///
 /// Results are identical for any worker-thread count; see the module
 /// documentation for the determinism contract. Runs degrade gracefully:
 /// a run that errors, deadlocks or panics records its [`RunStatus`] and
-/// the sweep continues — this function never fails.
-///
-/// # Panics
-///
-/// Re-raises panics that escape the per-run isolation boundary (job
-/// setup, the reference executor) — never a backend run's own panic.
+/// the sweep continues — this function never fails. Equivalent to
+/// [`run_sweep_journaled`] without a journal.
+#[must_use]
 pub fn run_sweep(jobs: &[SweepJob], cfg: &SweepConfig) -> SweepResult {
+    run_sweep_journaled(jobs, cfg, None).0
+}
+
+/// [`run_sweep`] with an optional durable journal attached.
+///
+/// With a journal, every completed cell is appended (and fsynced) as it
+/// finishes, and cells whose content key is already recorded are replayed
+/// instead of re-executed — so a sweep interrupted by a crash, a kill or
+/// a [`crate::CancelToken`] resumes where it left off and still produces
+/// a report byte-identical to an uninterrupted run.
+#[must_use]
+pub fn run_sweep_journaled(
+    jobs: &[SweepJob],
+    cfg: &SweepConfig,
+    journal: Option<&Journal>,
+) -> (SweepResult, SweepStats) {
     let threads = effective_threads(cfg.threads, jobs.len());
-    let next = AtomicUsize::new(0);
+    let sup = Supervisor::new();
     let mut slots: Vec<(usize, JobOutcome)> = Vec::with_capacity(jobs.len());
     thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let next = &next;
-                s.spawn(move || {
-                    let mut mine = Vec::new();
-                    // One arena per worker: simulation state is built once
-                    // and reset between runs instead of reallocated.
-                    let mut arena = SimArena::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= jobs.len() {
-                            break;
-                        }
-                        mine.push((i, run_job(&jobs[i], cfg, &mut arena)));
-                    }
-                    mine
+        // Supervision loop: spawn a round of workers, join them, and
+        // respawn as long as a retired (panic-killed) worker left work
+        // behind. A worker retires on every job-level panic, so each
+        // round makes progress: the strike count of some job grows until
+        // it either succeeds or is quarantined.
+        loop {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let sup = &sup;
+                    s.spawn(move || worker(jobs, cfg, journal, sup))
                 })
-            })
-            .collect();
-        for h in handles {
-            match h.join() {
-                Ok(part) => slots.extend(part),
-                Err(panic) => std::panic::resume_unwind(panic),
+                .collect();
+            let mut any_retired = false;
+            for h in handles {
+                match h.join() {
+                    Ok((part, retired)) => {
+                        slots.extend(part);
+                        any_retired |= retired;
+                    }
+                    // Unreachable in practice (workers catch job-level
+                    // panics), kept as a backstop.
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+            if !any_retired || !sup.work_left(jobs.len()) {
+                break;
             }
         }
     });
     slots.sort_by_key(|(i, _)| *i);
-    SweepResult {
+    let stats = SweepStats {
+        replayed: sup.replayed.load(Ordering::Relaxed),
+        executed: sup.executed.load(Ordering::Relaxed),
+        journal_errors: sup.journal_errors.load(Ordering::Relaxed),
+    };
+    let result = SweepResult {
         invocations: cfg.sim.invocations,
         variants: cfg.variants.iter().map(|v| v.label.clone()).collect(),
         jobs: slots.into_iter().map(|(_, j)| j).collect(),
-    }
+    };
+    (result, stats)
 }
 
 fn effective_threads(requested: usize, jobs: usize) -> usize {
@@ -384,19 +568,208 @@ fn effective_threads(requested: usize, jobs: usize) -> usize {
     n.clamp(1, jobs.max(1))
 }
 
-/// Runs one job through the whole variant matrix, sequentially, isolating
-/// each run behind a panic boundary.
-fn run_job(job: &SweepJob, cfg: &SweepConfig, arena: &mut SimArena) -> JobOutcome {
-    let reference = reference::execute(&job.region, &job.binding, cfg.sim.invocations);
+/// Shared orchestration state: the claim counter, the requeue list for
+/// jobs whose worker died, per-job strike counts, and the stats counters.
+struct Supervisor {
+    next: AtomicUsize,
+    requeued: Mutex<Vec<usize>>,
+    strikes: Mutex<HashMap<usize, u32>>,
+    replayed: AtomicUsize,
+    executed: AtomicUsize,
+    journal_errors: AtomicUsize,
+}
+
+impl Supervisor {
+    fn new() -> Self {
+        Self {
+            next: AtomicUsize::new(0),
+            requeued: Mutex::new(Vec::new()),
+            strikes: Mutex::new(HashMap::new()),
+            replayed: AtomicUsize::new(0),
+            executed: AtomicUsize::new(0),
+            journal_errors: AtomicUsize::new(0),
+        }
+    }
+
+    /// Claims the next job index: requeued strikes first, then the shared
+    /// counter. Claim order does not affect the report (results are
+    /// reassembled in job order and every outcome is deterministic).
+    fn claim(&self, total: usize) -> Option<usize> {
+        if let Ok(mut q) = self.requeued.lock() {
+            if let Some(i) = q.pop() {
+                return Some(i);
+            }
+        }
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < total).then_some(i)
+    }
+
+    /// Records a worker-kill strike against job `i`, returning the new
+    /// strike count.
+    fn strike(&self, i: usize) -> u32 {
+        match self.strikes.lock() {
+            Ok(mut map) => {
+                let n = map.entry(i).or_insert(0);
+                *n += 1;
+                *n
+            }
+            // A poisoned strike map means another worker panicked while
+            // holding it, which cannot happen (the critical section is
+            // panic-free); quarantine immediately as a safe fallback.
+            Err(_) => u32::MAX,
+        }
+    }
+
+    fn requeue(&self, i: usize) {
+        if let Ok(mut q) = self.requeued.lock() {
+            q.push(i);
+        }
+    }
+
+    fn work_left(&self, total: usize) -> bool {
+        let requeued = self.requeued.lock().map(|q| !q.is_empty()).unwrap_or(false);
+        requeued || self.next.load(Ordering::Relaxed) < total
+    }
+}
+
+/// One worker thread: claims jobs until none remain or a job-level panic
+/// retires it. Returns its completed slots and whether it retired.
+fn worker(
+    jobs: &[SweepJob],
+    cfg: &SweepConfig,
+    journal: Option<&Journal>,
+    sup: &Supervisor,
+) -> (Vec<(usize, JobOutcome)>, bool) {
+    let mut mine = Vec::new();
+    // One arena per worker: simulation state is built once and reset
+    // between runs instead of reallocated.
+    let mut arena = SimArena::new();
+    let mut retired = false;
+    while let Some(i) = sup.claim(jobs.len()) {
+        let job = &jobs[i];
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_job(job, cfg, &mut arena, journal, sup)
+        }));
+        match caught {
+            Ok(outcome) => mine.push((i, outcome)),
+            Err(payload) => {
+                // A panic escaped the per-run boundary (job setup or the
+                // reference executor). This worker's arena state is
+                // suspect and, in a real deployment, the thread itself
+                // may be — retire it and let the supervisor respawn.
+                let msg = panic_message(payload.as_ref());
+                let strikes = sup.strike(i);
+                if strikes >= cfg.quarantine_after.max(1) {
+                    mine.push((i, quarantined_job(job, cfg, strikes, &msg)));
+                } else {
+                    sup.requeue(i);
+                }
+                retired = true;
+                break;
+            }
+        }
+    }
+    (mine, retired)
+}
+
+/// The outcome of a job whose setup killed `strikes` workers: every cell
+/// is [`RunStatus::Quarantined`] with the deterministic panic message,
+/// and the reference is empty (it never completed). Quarantined cells are
+/// not journaled — if the underlying panic is deterministic a resume
+/// reproduces the identical outcome, and if it was environmental the
+/// resume gets a fresh chance at a real run.
+fn quarantined_job(job: &SweepJob, cfg: &SweepConfig, strikes: u32, msg: &str) -> JobOutcome {
     let mut sim_cfg = cfg.sim.clone();
     sim_cfg
         .fault
         .faults
         .extend(job.fault.faults.iter().copied());
+    let fp = journal::job_fingerprint(&job.region, &job.binding, &sim_cfg);
+    let detail = format!("quarantined: job-level panic killed {strikes} workers: {msg}");
     let runs = cfg
         .variants
         .iter()
-        .map(|v| run_variant(job, v, &sim_cfg, &cfg.energy, &reference, arena))
+        .map(|v| {
+            let key = journal::run_key(fp, v);
+            VariantOutcome {
+                variant: v.label.clone(),
+                backend: v.backend,
+                status: RunStatus::Quarantined,
+                run: None,
+                error: None,
+                detail: Some(detail.clone()),
+                injected: Vec::new(),
+                attempts: vec![Attempt {
+                    status: RunStatus::Quarantined,
+                    seed: journal::derive_seed(key, 0),
+                }],
+                metrics: None,
+            }
+        })
+        .collect();
+    JobOutcome {
+        name: job.name.clone(),
+        reference: ReferenceResult {
+            mem: DataMemory::new(),
+            loads: crate::value::LoadObserver::new(),
+        },
+        runs,
+    }
+}
+
+/// Runs one job through the whole variant matrix, sequentially, isolating
+/// each run behind a panic boundary and replaying journaled cells.
+fn run_job(
+    job: &SweepJob,
+    cfg: &SweepConfig,
+    arena: &mut SimArena,
+    journal: Option<&Journal>,
+    sup: &Supervisor,
+) -> JobOutcome {
+    let mut sim_cfg = cfg.sim.clone();
+    sim_cfg
+        .fault
+        .faults
+        .extend(job.fault.faults.iter().copied());
+    let fp = journal::job_fingerprint(&job.region, &job.binding, &sim_cfg);
+    let reference = reference::execute(&job.region, &job.binding, cfg.sim.invocations);
+    let runs = cfg
+        .variants
+        .iter()
+        .map(|v| {
+            let key = journal::run_key(fp, v);
+            if let Some(rec) = journal.and_then(|j| j.lookup(key)) {
+                sup.replayed.fetch_add(1, Ordering::Relaxed);
+                return VariantOutcome::from_record(v, rec.clone());
+            }
+            let out = run_cell(
+                job,
+                v,
+                &sim_cfg,
+                &cfg.energy,
+                &reference,
+                arena,
+                key,
+                cfg.retry,
+            );
+            sup.executed.fetch_add(1, Ordering::Relaxed);
+            // Cancelled cells stay out of the journal so a resumed sweep
+            // re-executes them in full.
+            if out.status != RunStatus::Cancelled {
+                if let Some(j) = journal {
+                    let rec = RunRecord {
+                        key,
+                        job: job.name.clone(),
+                        variant: v.label.clone(),
+                        outcome: out.to_record(),
+                    };
+                    if j.append(&rec).is_err() {
+                        sup.journal_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            out
+        })
         .collect();
     JobOutcome {
         name: job.name.clone(),
@@ -405,9 +778,50 @@ fn run_job(job: &SweepJob, cfg: &SweepConfig, arena: &mut SimArena) -> JobOutcom
     }
 }
 
-/// Runs one (job, variant) cell and classifies the outcome. This is the
-/// per-run isolation boundary: a panic inside the engine is caught here
-/// and recorded as [`RunStatus::Panic`] instead of poisoning the sweep.
+/// Runs one (job, variant) cell under the retry policy: transient
+/// failures are re-attempted under fresh derived seeds until they resolve
+/// or the budget runs out, and a run that panicked on every allowed
+/// attempt is elevated to [`RunStatus::Quarantined`].
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    job: &SweepJob,
+    v: &SweepVariant,
+    sim_cfg: &SimConfig,
+    energy: &EnergyModel,
+    reference: &ReferenceResult,
+    arena: &mut SimArena,
+    key: RunKey,
+    retry: RetryPolicy,
+) -> VariantOutcome {
+    let budget = retry.max_retries.saturating_add(1);
+    let mut attempts: Vec<Attempt> = Vec::new();
+    loop {
+        let seed = journal::derive_seed(key, attempts.len() as u32);
+        let mut out = run_variant(job, v, sim_cfg, energy, reference, arena);
+        attempts.push(Attempt {
+            status: out.status,
+            seed,
+        });
+        if out.status.is_transient() && (attempts.len() as u32) < budget {
+            continue;
+        }
+        if out.status == RunStatus::Panic && attempts.len() > 1 {
+            out.status = RunStatus::Quarantined;
+            out.detail = Some(format!(
+                "quarantined after {} panicking attempts; last: {}",
+                attempts.len(),
+                out.detail.as_deref().unwrap_or("no detail"),
+            ));
+        }
+        out.attempts = attempts;
+        return out;
+    }
+}
+
+/// Runs one attempt of a (job, variant) cell and classifies the outcome.
+/// This is the per-run isolation boundary: a panic inside the engine is
+/// caught here and recorded as [`RunStatus::Panic`] instead of poisoning
+/// the sweep.
 fn run_variant(
     job: &SweepJob,
     v: &SweepVariant,
@@ -442,6 +856,7 @@ fn run_variant(
         }
         Ok(Err(e)) => {
             let status = match &e {
+                SimError::Cancelled { .. } => RunStatus::Cancelled,
                 SimError::Deadlock(_) => RunStatus::Deadlock,
                 _ if fault_active => RunStatus::FaultDetected,
                 _ => RunStatus::Error,
@@ -470,6 +885,14 @@ fn run_variant(
             }
         }
     };
+    let injected = if let Some(run) = &run {
+        run.sim.injected.clone()
+    } else if let Some(SimError::Deadlock(info)) = &error {
+        info.injected.clone()
+    } else {
+        Vec::new()
+    };
+    let metrics = run.as_ref().map(|r| RunMetrics::from_sim(&r.sim));
     VariantOutcome {
         variant: v.label.clone(),
         backend: v.backend,
@@ -477,6 +900,9 @@ fn run_variant(
         run,
         error,
         detail,
+        injected,
+        attempts: Vec::new(),
+        metrics,
     }
 }
 
@@ -528,18 +954,23 @@ impl SweepResult {
         out
     }
 
-    /// Serializes the sweep to JSON (schema `nachos-sweep-v2`).
+    /// Serializes the sweep to JSON (schema `nachos-sweep-v3`).
     ///
     /// The writer is hand-rolled (the workspace takes no serialization
     /// dependency) and emits keys in a fixed order; the output is
-    /// byte-identical across runs and worker-thread counts — including
-    /// for degraded runs, whose `status` and `detail` fields are
-    /// deterministic.
+    /// byte-identical across runs, worker-thread counts and
+    /// journal-resume boundaries — including for degraded runs, whose
+    /// `status`, `detail` and `attempt_log` fields are deterministic.
+    ///
+    /// Changes from `nachos-sweep-v2`: each run carries an `attempts`
+    /// count and, when more than one attempt was made, an `attempt_log`
+    /// array of `{status, seed}` objects; `status` may additionally be
+    /// `"quarantined"` or `"cancelled"`. Every v2 field is unchanged.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.open_obj();
-        w.str_field("schema", "nachos-sweep-v2");
+        w.str_field("schema", "nachos-sweep-v3");
         w.u64_field("invocations", self.invocations);
         w.key("variants");
         w.open_arr();
@@ -588,28 +1019,38 @@ impl VariantOutcome {
         w.str_field("backend", &self.backend.to_string());
         w.str_field("status", self.status.as_str());
         w.bool_field("matches_reference", self.status == RunStatus::Ok);
+        w.u64_field("attempts", self.attempts.len().max(1) as u64);
+        if self.attempts.len() > 1 {
+            w.key("attempt_log");
+            w.open_arr();
+            for a in &self.attempts {
+                w.open_obj();
+                w.str_field("status", a.status.as_str());
+                w.u64_field("seed", a.seed);
+                w.close_obj();
+            }
+            w.close_arr();
+        }
         if let Some(detail) = &self.detail {
             w.str_field("detail", detail);
         }
-        let injected = self.injected();
-        if !injected.is_empty() {
+        if !self.injected.is_empty() {
             w.key("injected");
             w.open_arr();
-            for f in injected {
+            for f in &self.injected {
                 w.str_item(f);
             }
             w.close_arr();
         }
-        let Some(run) = &self.run else {
+        let Some(m) = &self.metrics else {
             // Degraded run: no simulation result to report.
             w.close_obj();
             return;
         };
-        let sim = &run.sim;
-        w.u64_field("cycles", sim.cycles);
+        w.u64_field("cycles", m.cycles);
         w.key("stalls");
         {
-            let s = &sim.stalls;
+            let s = &m.stalls;
             w.open_obj();
             w.u64_field("lsq_alloc", s.lsq_alloc);
             w.u64_field("lsq_search", s.lsq_search);
@@ -622,7 +1063,7 @@ impl VariantOutcome {
         }
         w.key("events");
         {
-            let e = &sim.events;
+            let e = &m.events;
             w.open_obj();
             w.u64_field("int_ops", e.int_ops);
             w.u64_field("fp_ops", e.fp_ops);
@@ -642,7 +1083,7 @@ impl VariantOutcome {
         }
         w.key("energy_fj");
         {
-            let en = &sim.energy;
+            let en = &m.energy;
             w.open_obj();
             w.f64_field("compute", en.compute);
             w.f64_field("mde", en.mde);
@@ -653,9 +1094,9 @@ impl VariantOutcome {
             w.close_obj();
         }
         w.key("l1");
-        cache_json(w, sim.l1.hits, sim.l1.misses, sim.l1.writebacks);
+        cache_json(w, m.l1.hits, m.l1.misses, m.l1.writebacks);
         w.key("llc");
-        cache_json(w, sim.llc.hits, sim.llc.misses, sim.llc.writebacks);
+        cache_json(w, m.llc.hits, m.llc.misses, m.llc.writebacks);
         w.close_obj();
     }
 }
@@ -671,6 +1112,7 @@ fn cache_json(w: &mut JsonWriter, hits: u64, misses: u64, writebacks: u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultKind, FaultSpec};
     use crate::testutil::store_load_region;
 
     fn demo_job(name: &str) -> SweepJob {
@@ -689,6 +1131,12 @@ mod tests {
         assert!(sweep.mismatches().is_empty());
         for (_, _, status) in sweep.statuses() {
             assert_eq!(status, RunStatus::Ok);
+        }
+        for j in &sweep.jobs {
+            for r in &j.runs {
+                assert_eq!(r.attempts.len(), 1, "clean runs take one attempt");
+                assert!(r.metrics.is_some());
+            }
         }
     }
 
@@ -732,10 +1180,15 @@ mod tests {
         let sweep = run_sweep(&jobs, &cfg);
         let json = sweep.to_json();
         assert!(json.starts_with("{\n"));
-        assert!(json.contains("\"schema\": \"nachos-sweep-v2\""));
+        assert!(json.contains("\"schema\": \"nachos-sweep-v3\""));
         assert!(json.contains("\"nachos-sw-baseline\""));
         assert!(json.contains("\"status\": \"ok\""));
         assert!(json.contains("\"matches_reference\": true"));
+        assert!(json.contains("\"attempts\": 1"));
+        assert!(
+            !json.contains("\"attempt_log\""),
+            "single attempts stay terse"
+        );
         assert!(json.contains("\"stalls\""));
         let opens = json.matches(['{', '[']).count();
         let closes = json.matches(['}', ']']).count();
@@ -744,7 +1197,6 @@ mod tests {
 
     #[test]
     fn degraded_runs_are_isolated_and_reported() {
-        use crate::fault::{FaultKind, FaultSpec};
         // Job "b" panics while handling its very first engine event under
         // the NACHOS variant only; every other run must stay ok.
         let jobs = [
@@ -762,8 +1214,9 @@ mod tests {
             [("b".to_string(), "nachos".to_string())]
         );
         let bad = &sweep.jobs[1].runs[2];
-        assert_eq!(bad.status, RunStatus::Panic);
+        assert_eq!(bad.status, RunStatus::Panic, "no retries by default");
         assert!(bad.run.is_none());
+        assert_eq!(bad.attempts.len(), 1);
         assert!(
             bad.detail
                 .as_deref()
@@ -783,7 +1236,6 @@ mod tests {
 
     #[test]
     fn degraded_report_is_thread_count_independent() {
-        use crate::fault::{FaultKind, FaultSpec};
         let mut jobs: Vec<SweepJob> = (0..6).map(|i| demo_job(&format!("j{i}"))).collect();
         // A panic, a deadlock and a detected corruption sprinkled across
         // the matrix must not disturb byte-determinism.
@@ -803,5 +1255,141 @@ mod tests {
         assert_eq!(serial.to_json(), wide.to_json());
         assert_eq!(serial.to_json(), wider.to_json());
         assert!(!serial.all_match());
+    }
+
+    #[test]
+    fn persistent_panic_exhausts_retries_and_is_quarantined() {
+        // Fault opportunity counters reset per attempt, so PanicOnEvent
+        // fires on every retry: the cell burns its whole budget and is
+        // parked as quarantined, with the attempt log telling the story.
+        let jobs = [
+            demo_job("a"),
+            demo_job("poison").with_fault(FaultPlan::single(
+                FaultSpec::new(FaultKind::PanicOnEvent, 0).on_backend(Backend::Nachos),
+            )),
+        ];
+        let cfg = SweepConfig::default().with_invocations(2).with_retries(2);
+        let sweep = run_sweep(&jobs, &cfg);
+        let bad = &sweep.jobs[1].runs[2];
+        assert_eq!(bad.status, RunStatus::Quarantined);
+        assert_eq!(bad.attempts.len(), 3, "1 attempt + 2 retries");
+        assert!(bad.attempts.iter().all(|a| a.status == RunStatus::Panic));
+        // Seeds are derived, distinct per attempt, and deterministic.
+        let seeds: Vec<u64> = bad.attempts.iter().map(|a| a.seed).collect();
+        assert_ne!(seeds[0], seeds[1]);
+        assert_ne!(seeds[1], seeds[2]);
+        let again = run_sweep(&jobs, &cfg);
+        assert_eq!(sweep.to_json(), again.to_json());
+        let json = sweep.to_json();
+        assert!(json.contains("\"status\": \"quarantined\""));
+        assert!(json.contains("\"attempt_log\""));
+        // Everything else still completed.
+        let ok_runs = sweep
+            .statuses()
+            .iter()
+            .filter(|(_, _, s)| *s == RunStatus::Ok)
+            .count();
+        assert_eq!(ok_runs, 5);
+    }
+
+    #[test]
+    fn job_level_panic_retires_workers_and_quarantines_the_job() {
+        // An empty binding makes the reference executor itself panic —
+        // outside the per-run boundary — so the job strikes out and is
+        // quarantined wholesale while its neighbours finish.
+        let mut poison = demo_job("poison");
+        poison.binding.base_addrs.clear();
+        let jobs = [demo_job("a"), poison, demo_job("b")];
+        let cfg = SweepConfig::default().with_invocations(2);
+        for threads in [1, 4] {
+            let sweep = run_sweep(&jobs, &cfg.clone().with_threads(threads));
+            assert_eq!(sweep.jobs.len(), 3, "every job reports");
+            let q = &sweep.jobs[1];
+            assert_eq!(q.name, "poison");
+            assert!(q.runs.iter().all(|r| r.status == RunStatus::Quarantined));
+            assert!(q.runs[0]
+                .detail
+                .as_deref()
+                .unwrap_or("")
+                .contains("job-level panic killed 3 workers"));
+            assert_eq!(q.reference.loads.digest(), (0, 0), "empty reference");
+            let ok_runs = sweep
+                .statuses()
+                .iter()
+                .filter(|(_, _, s)| *s == RunStatus::Ok)
+                .count();
+            assert_eq!(ok_runs, 6, "both healthy jobs fully complete");
+        }
+        // Byte-determinism holds across thread counts here too.
+        let serial = run_sweep(&jobs, &cfg.clone().with_threads(1));
+        let wide = run_sweep(&jobs, &cfg.clone().with_threads(4));
+        assert_eq!(serial.to_json(), wide.to_json());
+    }
+
+    #[test]
+    fn cancelled_sweep_reports_cancelled_and_skips_journaling() {
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let mut cfg = SweepConfig::default().with_invocations(2);
+        cfg.sim = cfg.sim.with_cancel(token);
+        let dir = std::env::temp_dir().join("nachos-sweep-cancel-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        let jrn = Journal::create(&path).unwrap();
+        let jobs = [demo_job("a")];
+        let (sweep, stats) = run_sweep_journaled(&jobs, &cfg, Some(&jrn));
+        assert!(sweep
+            .statuses()
+            .iter()
+            .all(|(_, _, s)| *s == RunStatus::Cancelled));
+        assert_eq!(stats.executed, 3);
+        drop(jrn);
+        let resumed = Journal::resume(&path).unwrap();
+        assert_eq!(
+            resumed.replay_len(),
+            0,
+            "cancelled cells are never journaled"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journaled_sweep_resumes_byte_identically() {
+        let jobs = [
+            demo_job("a"),
+            demo_job("b").with_fault(FaultPlan::single(
+                FaultSpec::new(FaultKind::DropToken, 0).on_backend(Backend::NachosSw),
+            )),
+            demo_job("c"),
+        ];
+        let cfg = SweepConfig::default().with_invocations(3);
+        let clean = run_sweep(&jobs, &cfg);
+        let dir = std::env::temp_dir().join("nachos-sweep-journal-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        // First pass journals everything (simulating a completed shard of
+        // an interrupted campaign: only jobs a and b ran).
+        {
+            let jrn = Journal::create(&path).unwrap();
+            let (_, stats) = run_sweep_journaled(&jobs[..2], &cfg, Some(&jrn));
+            assert_eq!(stats.executed, 6);
+            assert_eq!(stats.replayed, 0);
+        }
+        // Resume over the full job list: a and b replay, c runs live, and
+        // the report matches an uninterrupted sweep byte for byte.
+        let jrn = Journal::resume(&path).unwrap();
+        assert_eq!(jrn.replay_len(), 6);
+        let (resumed, stats) = run_sweep_journaled(&jobs, &cfg, Some(&jrn));
+        assert_eq!(stats.replayed, 6);
+        assert_eq!(stats.executed, 3);
+        assert_eq!(resumed.to_json(), clean.to_json());
+        // A second resume replays everything.
+        drop(jrn);
+        let jrn = Journal::resume(&path).unwrap();
+        let (replayed, stats) = run_sweep_journaled(&jobs, &cfg, Some(&jrn));
+        assert_eq!(stats.replayed, 9);
+        assert_eq!(stats.executed, 0);
+        assert_eq!(replayed.to_json(), clean.to_json());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,1037 @@
+//! The durable run journal behind crash-recoverable sweeps.
+//!
+//! A long evaluation campaign (27 workloads × 5 variants, or a generated
+//! matrix orders of magnitude larger) must survive a panic, an OOM-kill
+//! or a plain SIGKILL without discarding hours of completed work. The
+//! journal makes the sweep resumable *to the byte*:
+//!
+//! * every completed `(job, variant)` cell is appended to a JSONL file as
+//!   one self-contained [`RunRecord`] — written with a single `write`,
+//!   flushed and fsynced before the supervisor moves on, so a crash can
+//!   lose at most the in-flight line (and a torn line is skipped on
+//!   replay, never misparsed);
+//! * records are keyed by a **content hash** of (region, binding,
+//!   variant, fault plan, simulator config) — not by position or name —
+//!   so resuming with a reordered, filtered or extended job list replays
+//!   exactly the cells whose inputs are unchanged and re-runs the rest;
+//! * on restart, [`Journal::resume`] loads the replay map and
+//!   `run_sweep` skips completed keys; the final `nachos-sweep-v3`
+//!   report is byte-identical to an uninterrupted run because the record
+//!   carries every reported field (status, retry attempts, metrics)
+//!   round-tripped losslessly — including `f64` energy values, which use
+//!   Rust's shortest-roundtrip formatting both ways.
+//!
+//! The journal has no serialization dependency: lines are written by the
+//! compact [`JsonWriter`] and read back by the ~100-line recursive
+//! descent parser at the bottom of this module. Numbers are kept as raw
+//! text during parsing so `u64` seeds survive without an `f64` detour.
+
+use super::{RunStatus, SweepVariant};
+use crate::config::SimConfig;
+use crate::energy::{EnergyBreakdown, EventCounts};
+use crate::engine::{SimResult, StallCounts};
+use crate::json::JsonWriter;
+use nachos_mem::CacheStats;
+use std::collections::HashMap;
+use std::fmt::{self, Write as _};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead as _, BufReader, Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Journal line schema tag; bump when the record layout changes so stale
+/// journals are skipped (and re-run) instead of misread.
+pub const JOURNAL_SCHEMA: &str = "nachos-journal-v1";
+
+// ---------------------------------------------------------------------
+// Content hashing
+// ---------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice: small, dependency-free, deterministic
+/// across platforms and processes (unlike `DefaultHasher`, which is
+/// randomly seeded per process).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A `fmt::Write` sink that FNV-hashes everything written into it, so
+/// large structures can be fingerprinted through their `Debug` form
+/// without materializing the string.
+struct FnvWrite(u64);
+
+impl fmt::Write for FnvWrite {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for &b in s.as_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        Ok(())
+    }
+}
+
+/// SplitMix64 — the standard finalizer used to derive per-attempt seeds
+/// from a run key. Bijective, so distinct (key, attempt) pairs map to
+/// distinct seeds.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The content hash identifying one `(job, variant)` cell. Displayed and
+/// stored as 16 lowercase hex digits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RunKey(pub u64);
+
+impl fmt::Display for RunKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl RunKey {
+    /// Parses the 16-hex-digit journal form.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<RunKey> {
+        if s.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(RunKey)
+    }
+}
+
+/// Fingerprints everything a job shares across its variant cells: the
+/// region, the binding and the *effective* simulator configuration (the
+/// sweep-wide config with the job's fault plan already merged in).
+///
+/// The [`crate::CancelToken`] is runtime control, not configuration, and
+/// is deliberately excluded; the job *name* is excluded too — keys are
+/// content hashes, so renaming a workload keeps its journal entries
+/// valid while any change to its region, binding, faults or config
+/// invalidates them.
+#[must_use]
+pub fn job_fingerprint(
+    region: &nachos_ir::Region,
+    binding: &nachos_ir::Binding,
+    sim: &SimConfig,
+) -> u64 {
+    let mut h = FnvWrite(FNV_OFFSET);
+    let _ = write!(h, "{region:?}|{binding:?}|");
+    let _ = write!(
+        h,
+        "{:?}|{:?}|{:?}|{:?}|{}|{}|{}|{:?}|{:?}",
+        sim.grid,
+        sim.latency,
+        sim.hierarchy,
+        sim.lsq,
+        sim.mem_ports,
+        sim.comparators_per_site,
+        sim.invocations,
+        sim.watchdog,
+        sim.fault,
+    );
+    h.0
+}
+
+/// Extends a job fingerprint with one variant column (label, backend and
+/// compiler staging) into the cell's [`RunKey`].
+#[must_use]
+pub fn run_key(job_fingerprint: u64, variant: &SweepVariant) -> RunKey {
+    let mut h = FnvWrite(job_fingerprint);
+    let _ = write!(
+        h,
+        "|{}|{:?}|{:?}",
+        variant.label, variant.backend, variant.stages
+    );
+    RunKey(h.0)
+}
+
+/// Derives the deterministic seed for retry attempt `attempt` (0-based)
+/// of the run identified by `key`. No wall-clock, no global state: the
+/// same key and attempt index always yield the same seed, on any thread
+/// count, which keeps retried reports byte-deterministic.
+#[must_use]
+pub fn derive_seed(key: RunKey, attempt: u32) -> u64 {
+    splitmix64(key.0 ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+// ---------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------
+
+/// One supervised attempt of a run: the status it ended with and the
+/// deterministic seed it ran under (see [`derive_seed`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Attempt {
+    /// The attempt's verdict.
+    pub status: RunStatus,
+    /// The attempt's derived seed.
+    pub seed: u64,
+}
+
+/// The reportable metrics of a completed run — exactly the scalar fields
+/// `nachos-sweep-v3` emits per run, so a journaled cell reproduces its
+/// report bytes without re-simulation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunMetrics {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Cycle-weighted stall attribution.
+    pub stalls: StallCounts,
+    /// Raw event counts.
+    pub events: EventCounts,
+    /// Energy by component (femtojoules).
+    pub energy: EnergyBreakdown,
+    /// L1 statistics.
+    pub l1: CacheStats,
+    /// LLC statistics.
+    pub llc: CacheStats,
+}
+
+impl RunMetrics {
+    /// Extracts the reportable metrics from a live simulation result.
+    #[must_use]
+    pub fn from_sim(sim: &SimResult) -> Self {
+        Self {
+            cycles: sim.cycles,
+            stalls: sim.stalls,
+            events: sim.events,
+            energy: sim.energy,
+            l1: sim.l1,
+            llc: sim.llc,
+        }
+    }
+}
+
+/// Everything the report needs about one completed cell; the journaled
+/// form of a [`super::VariantOutcome`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct OutcomeRecord {
+    /// Final harness verdict.
+    pub status: RunStatus,
+    /// Deterministic failure detail (absent for clean runs).
+    pub detail: Option<String>,
+    /// Injected faults that fired, in firing order.
+    pub injected: Vec<String>,
+    /// Every supervised attempt, in attempt order (length ≥ 1).
+    pub attempts: Vec<Attempt>,
+    /// Reportable metrics (absent when the run never completed).
+    pub metrics: Option<RunMetrics>,
+}
+
+/// One journal line: a completed cell with its content key plus the
+/// human-readable job/variant labels (diagnostics only — replay matches
+/// on the key, never on the labels).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRecord {
+    /// Content hash of the cell's inputs.
+    pub key: RunKey,
+    /// Job name at record time.
+    pub job: String,
+    /// Variant label at record time.
+    pub variant: String,
+    /// The recorded outcome.
+    pub outcome: OutcomeRecord,
+}
+
+impl RunRecord {
+    /// Serializes the record to its single-line JSONL form (newline
+    /// terminated).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        let mut w = JsonWriter::compact();
+        w.open_obj();
+        w.str_field("journal", JOURNAL_SCHEMA);
+        w.str_field("key", &self.key.to_string());
+        w.str_field("job", &self.job);
+        w.str_field("variant", &self.variant);
+        w.str_field("status", self.outcome.status.as_str());
+        w.key("attempts");
+        w.open_arr();
+        for a in &self.outcome.attempts {
+            w.open_obj();
+            w.str_field("status", a.status.as_str());
+            w.u64_field("seed", a.seed);
+            w.close_obj();
+        }
+        w.close_arr();
+        if let Some(detail) = &self.outcome.detail {
+            w.str_field("detail", detail);
+        }
+        if !self.outcome.injected.is_empty() {
+            w.key("injected");
+            w.open_arr();
+            for s in &self.outcome.injected {
+                w.str_item(s);
+            }
+            w.close_arr();
+        }
+        if let Some(m) = &self.outcome.metrics {
+            w.key("metrics");
+            w.open_obj();
+            w.u64_field("cycles", m.cycles);
+            w.key("stalls");
+            w.open_obj();
+            w.u64_field("lsq_alloc", m.stalls.lsq_alloc);
+            w.u64_field("lsq_search", m.stalls.lsq_search);
+            w.u64_field("token", m.stalls.token);
+            w.u64_field("may_gate", m.stalls.may_gate);
+            w.u64_field("comparator", m.stalls.comparator);
+            w.u64_field("mem_port", m.stalls.mem_port);
+            w.close_obj();
+            w.key("events");
+            w.open_obj();
+            w.u64_field("int_ops", m.events.int_ops);
+            w.u64_field("fp_ops", m.events.fp_ops);
+            w.u64_field("data_links", m.events.data_links);
+            w.u64_field("mem_links", m.events.mem_links);
+            w.u64_field("may_checks", m.events.may_checks);
+            w.u64_field("must_tokens", m.events.must_tokens);
+            w.u64_field("l1_accesses", m.events.l1_accesses);
+            w.u64_field("lsq_allocs", m.events.lsq_allocs);
+            w.u64_field("lsq_bank_overflows", m.events.lsq_bank_overflows);
+            w.u64_field("lsq_bloom_queries", m.events.lsq_bloom_queries);
+            w.u64_field("lsq_bloom_hits", m.events.lsq_bloom_hits);
+            w.u64_field("lsq_cam_loads", m.events.lsq_cam_loads);
+            w.u64_field("lsq_cam_stores", m.events.lsq_cam_stores);
+            w.u64_field("forwards", m.events.forwards);
+            w.close_obj();
+            w.key("energy_fj");
+            w.open_obj();
+            w.f64_field("compute", m.energy.compute);
+            w.f64_field("mde", m.energy.mde);
+            w.f64_field("lsq_bloom", m.energy.lsq_bloom);
+            w.f64_field("lsq_cam", m.energy.lsq_cam);
+            w.f64_field("l1", m.energy.l1);
+            w.close_obj();
+            w.key("l1");
+            cache_line(&mut w, m.l1);
+            w.key("llc");
+            cache_line(&mut w, m.llc);
+            w.close_obj();
+        }
+        w.close_obj();
+        w.finish()
+    }
+
+    /// Parses one journal line. Returns `None` for anything malformed —
+    /// torn tail lines from a crash, foreign schemas, hand-edited junk —
+    /// so replay degrades to re-running those cells instead of failing.
+    #[must_use]
+    pub fn from_line(line: &str) -> Option<RunRecord> {
+        let v = parse_json(line)?;
+        if v.get("journal")?.as_str()? != JOURNAL_SCHEMA {
+            return None;
+        }
+        let key = RunKey::parse(v.get("key")?.as_str()?)?;
+        let job = v.get("job")?.as_str()?.to_owned();
+        let variant = v.get("variant")?.as_str()?.to_owned();
+        let status = RunStatus::from_label(v.get("status")?.as_str()?)?;
+        let mut attempts = Vec::new();
+        for a in v.get("attempts")?.as_arr()? {
+            attempts.push(Attempt {
+                status: RunStatus::from_label(a.get("status")?.as_str()?)?,
+                seed: a.get("seed")?.as_u64()?,
+            });
+        }
+        if attempts.is_empty() {
+            return None;
+        }
+        let detail = match v.get("detail") {
+            Some(d) => Some(d.as_str()?.to_owned()),
+            None => None,
+        };
+        let injected = match v.get("injected") {
+            Some(arr) => {
+                let mut out = Vec::new();
+                for s in arr.as_arr()? {
+                    out.push(s.as_str()?.to_owned());
+                }
+                out
+            }
+            None => Vec::new(),
+        };
+        let metrics = match v.get("metrics") {
+            Some(m) => Some(parse_metrics(m)?),
+            None => None,
+        };
+        Some(RunRecord {
+            key,
+            job,
+            variant,
+            outcome: OutcomeRecord {
+                status,
+                detail,
+                injected,
+                attempts,
+                metrics,
+            },
+        })
+    }
+}
+
+fn cache_line(w: &mut JsonWriter, c: CacheStats) {
+    w.open_obj();
+    w.u64_field("hits", c.hits);
+    w.u64_field("misses", c.misses);
+    w.u64_field("writebacks", c.writebacks);
+    w.close_obj();
+}
+
+fn parse_cache(v: &Json) -> Option<CacheStats> {
+    Some(CacheStats {
+        hits: v.get("hits")?.as_u64()?,
+        misses: v.get("misses")?.as_u64()?,
+        writebacks: v.get("writebacks")?.as_u64()?,
+    })
+}
+
+fn parse_metrics(v: &Json) -> Option<RunMetrics> {
+    let s = v.get("stalls")?;
+    let e = v.get("events")?;
+    let en = v.get("energy_fj")?;
+    Some(RunMetrics {
+        cycles: v.get("cycles")?.as_u64()?,
+        stalls: StallCounts {
+            lsq_alloc: s.get("lsq_alloc")?.as_u64()?,
+            lsq_search: s.get("lsq_search")?.as_u64()?,
+            token: s.get("token")?.as_u64()?,
+            may_gate: s.get("may_gate")?.as_u64()?,
+            comparator: s.get("comparator")?.as_u64()?,
+            mem_port: s.get("mem_port")?.as_u64()?,
+        },
+        events: EventCounts {
+            int_ops: e.get("int_ops")?.as_u64()?,
+            fp_ops: e.get("fp_ops")?.as_u64()?,
+            data_links: e.get("data_links")?.as_u64()?,
+            mem_links: e.get("mem_links")?.as_u64()?,
+            may_checks: e.get("may_checks")?.as_u64()?,
+            must_tokens: e.get("must_tokens")?.as_u64()?,
+            l1_accesses: e.get("l1_accesses")?.as_u64()?,
+            lsq_allocs: e.get("lsq_allocs")?.as_u64()?,
+            lsq_bank_overflows: e.get("lsq_bank_overflows")?.as_u64()?,
+            lsq_bloom_queries: e.get("lsq_bloom_queries")?.as_u64()?,
+            lsq_bloom_hits: e.get("lsq_bloom_hits")?.as_u64()?,
+            lsq_cam_loads: e.get("lsq_cam_loads")?.as_u64()?,
+            lsq_cam_stores: e.get("lsq_cam_stores")?.as_u64()?,
+            forwards: e.get("forwards")?.as_u64()?,
+        },
+        energy: EnergyBreakdown {
+            compute: en.get("compute")?.as_f64()?,
+            mde: en.get("mde")?.as_f64()?,
+            lsq_bloom: en.get("lsq_bloom")?.as_f64()?,
+            lsq_cam: en.get("lsq_cam")?.as_f64()?,
+            l1: en.get("l1")?.as_f64()?,
+        },
+        l1: parse_cache(v.get("l1")?)?,
+        llc: parse_cache(v.get("llc")?)?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The journal file
+// ---------------------------------------------------------------------
+
+/// The durable append-only journal. Opened once per sweep; workers
+/// append completed cells through a mutex (one line per append, flushed
+/// and fsynced before the lock drops), and the preloaded replay map
+/// serves `lookup` without touching the file again.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+    replay: HashMap<u64, OutcomeRecord>,
+    skipped: usize,
+}
+
+impl Journal {
+    /// Starts a fresh journal at `path`, truncating any previous file —
+    /// the non-`--resume` mode, where stale entries must not leak into a
+    /// new campaign.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation errors.
+    pub fn create(path: impl Into<PathBuf>) -> io::Result<Journal> {
+        let path = path.into();
+        let file = File::create(&path)?;
+        Ok(Journal {
+            path,
+            file: Mutex::new(file),
+            replay: HashMap::new(),
+            skipped: 0,
+        })
+    }
+
+    /// Opens `path` for resumption: parses every intact line into the
+    /// replay map (later duplicates of a key win; torn or foreign lines
+    /// are counted in [`Journal::skipped`] and otherwise ignored), then
+    /// reopens the file for appending. A missing file is an empty
+    /// journal, so `--resume` on a first run degrades to a fresh start.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than the file not existing.
+    pub fn resume(path: impl Into<PathBuf>) -> io::Result<Journal> {
+        let path = path.into();
+        let mut replay = HashMap::new();
+        let mut skipped = 0usize;
+        let mut torn_tail = false;
+        match File::open(&path) {
+            Ok(f) => {
+                for line in BufReader::new(f).lines() {
+                    let line = line?;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match RunRecord::from_line(&line) {
+                        Some(rec) => {
+                            replay.insert(rec.key.0, rec.outcome);
+                        }
+                        None => skipped += 1,
+                    }
+                }
+                // A crash mid-append leaves a final record with no
+                // newline. New appends must not concatenate onto it —
+                // that would corrupt the *next* record too.
+                torn_tail = file_lacks_final_newline(&path)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if torn_tail {
+            file.write_all(b"\n")?;
+            file.flush()?;
+        }
+        Ok(Journal {
+            path,
+            file: Mutex::new(file),
+            replay,
+            skipped,
+        })
+    }
+
+    /// The journal's file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Completed cells loaded for replay.
+    #[must_use]
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Malformed lines skipped while loading (a torn tail line after a
+    /// crash is normal and costs exactly one re-run).
+    #[must_use]
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// The recorded outcome for `key`, when the journal has one.
+    #[must_use]
+    pub fn lookup(&self, key: RunKey) -> Option<&OutcomeRecord> {
+        self.replay.get(&key.0)
+    }
+
+    /// Durably appends one completed cell: a single `write` of the JSONL
+    /// line, flushed and fsynced before returning, so the record either
+    /// exists completely or (after a crash mid-write) fails to parse and
+    /// is re-run — never half-trusted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/fsync errors (and a poisoned append lock as
+    /// [`io::ErrorKind::Other`]).
+    pub fn append(&self, record: &RunRecord) -> io::Result<()> {
+        let line = record.to_line();
+        let mut file = self
+            .file
+            .lock()
+            .map_err(|_| io::Error::other("journal append lock poisoned"))?;
+        file.write_all(line.as_bytes())?;
+        file.flush()?;
+        file.sync_data()
+    }
+}
+
+/// Whether the file's last byte is something other than `\n` — the
+/// signature of an append interrupted mid-record.
+fn file_lacks_final_newline(path: &Path) -> io::Result<bool> {
+    let mut f = File::open(path)?;
+    let len = f.seek(SeekFrom::End(0))?;
+    if len == 0 {
+        return Ok(false);
+    }
+    f.seek(SeekFrom::End(-1))?;
+    let mut last = [0u8; 1];
+    f.read_exact(&mut last)?;
+    Ok(last[0] != b'\n')
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON parsing (journal replay only)
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers keep their raw text so integer seeds
+/// round-trip without an `f64` detour and floats re-parse to the exact
+/// bit pattern the shortest-roundtrip writer emitted.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `{...}` — insertion-ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+    /// `[...]`.
+    Arr(Vec<Json>),
+    /// A string literal, unescaped.
+    Str(String),
+    /// A number, as raw text.
+    Num(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Json {
+    /// Object field lookup (first match).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64` (exact; no float detour).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (with nothing but whitespace after it).
+/// Returns `None` on any syntax error — the journal treats unparsable
+/// lines as lost work, not fatal corruption.
+#[must_use]
+pub fn parse_json(text: &str) -> Option<Json> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos == p.bytes.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn value(&mut self) -> Option<Json> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string().map(Json::Str),
+            b't' => self.literal(b"true", Json::Bool(true)),
+            b'f' => self.literal(b"false", Json::Bool(false)),
+            b'n' => self.literal(b"null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &[u8], v: Json) -> Option<Json> {
+        if self.bytes[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn object(&mut self) -> Option<Json> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Some(Json::Obj(fields));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn array(&mut self) -> Option<Json> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Some(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Some(Json::Arr(items));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek()? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.peek()? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
+                            let hex = std::str::from_utf8(hex).ok()?;
+                            let code = u32::from_str_radix(hex, 16).ok()?;
+                            // Surrogate pairs never appear in our own
+                            // output (the writer only \u-escapes control
+                            // characters); reject them rather than
+                            // misdecode.
+                            out.push(char::from_u32(code)?);
+                            self.pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).ok()?;
+                    let c = s.chars().next()?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<Json> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+        // Validate now so `as_u64`/`as_f64` only see plausible numbers.
+        raw.parse::<f64>().ok()?;
+        Some(Json::Num(raw.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Backend;
+    use crate::sweep::SweepJob;
+    use crate::testutil::store_load_region;
+
+    fn demo_record(seed: u64) -> RunRecord {
+        RunRecord {
+            key: RunKey(0x0123_4567_89ab_cdef),
+            job: "demo \"quoted\"".into(),
+            variant: "nachos".into(),
+            outcome: OutcomeRecord {
+                status: RunStatus::Ok,
+                detail: None,
+                injected: vec!["drop-token at cycle 3 (token to node 4)".into()],
+                attempts: vec![
+                    Attempt {
+                        status: RunStatus::Panic,
+                        seed,
+                    },
+                    Attempt {
+                        status: RunStatus::Ok,
+                        seed: seed.wrapping_add(1),
+                    },
+                ],
+                metrics: Some(RunMetrics {
+                    cycles: 123,
+                    stalls: StallCounts {
+                        token: 7,
+                        ..StallCounts::default()
+                    },
+                    events: EventCounts {
+                        int_ops: 42,
+                        forwards: 3,
+                        ..EventCounts::default()
+                    },
+                    energy: EnergyBreakdown {
+                        compute: 1.5,
+                        mde: 0.125,
+                        lsq_bloom: 0.0,
+                        lsq_cam: 0.1 + 0.2, // a classic non-round f64
+                        l1: 9.75,
+                    },
+                    l1: CacheStats {
+                        hits: 10,
+                        misses: 2,
+                        writebacks: 1,
+                    },
+                    llc: CacheStats {
+                        hits: 1,
+                        misses: 1,
+                        writebacks: 0,
+                    },
+                }),
+            },
+        }
+    }
+
+    #[test]
+    fn record_roundtrips_bit_exactly() {
+        // Full-range u64 seeds must survive (beyond f64's 2^53).
+        let rec = demo_record(u64::MAX - 7);
+        let line = rec.to_line();
+        assert_eq!(line.matches('\n').count(), 1, "one line, one record");
+        let back = RunRecord::from_line(&line).expect("parses");
+        assert_eq!(back, rec);
+        // And the re-serialized line is identical (stable bytes).
+        assert_eq!(back.to_line(), line);
+    }
+
+    #[test]
+    fn torn_and_foreign_lines_are_skipped() {
+        let rec = demo_record(1);
+        let line = rec.to_line();
+        assert!(RunRecord::from_line(&line[..line.len() / 2]).is_none());
+        assert!(RunRecord::from_line("").is_none());
+        assert!(RunRecord::from_line("{\"journal\": \"other-v9\"}").is_none());
+        assert!(RunRecord::from_line("not json at all").is_none());
+    }
+
+    #[test]
+    fn keys_are_content_hashes() {
+        let (region, binding) = store_load_region("a");
+        let sim = SimConfig::default();
+        let fp = job_fingerprint(&region, &binding, &sim);
+        // Stable under recomputation.
+        assert_eq!(fp, job_fingerprint(&region, &binding, &sim));
+        // Any config change invalidates the key.
+        let mut other = sim.clone();
+        other.invocations += 1;
+        assert_ne!(fp, job_fingerprint(&region, &binding, &other));
+        // The cancel token does NOT (runtime control, not content).
+        let cancelled = sim.clone().with_cancel(crate::CancelToken::new());
+        assert_eq!(fp, job_fingerprint(&region, &binding, &cancelled));
+        // Variants split the key.
+        let variants = SweepVariant::paper_matrix();
+        let k0 = run_key(fp, &variants[0]);
+        let k1 = run_key(fp, &variants[1]);
+        assert_ne!(k0, k1);
+        assert_eq!(k0, run_key(fp, &variants[0]));
+    }
+
+    #[test]
+    fn fault_plan_enters_the_fingerprint() {
+        use crate::fault::{FaultKind, FaultSpec};
+        let (region, binding) = store_load_region("f");
+        let job = SweepJob::new("f", region.clone(), binding.clone());
+        let sim = SimConfig::default();
+        let mut faulted = sim.clone();
+        faulted
+            .fault
+            .faults
+            .push(FaultSpec::new(FaultKind::DropToken, 0).on_backend(Backend::NachosSw));
+        assert_ne!(
+            job_fingerprint(&job.region, &job.binding, &sim),
+            job_fingerprint(&job.region, &job.binding, &faulted),
+        );
+    }
+
+    #[test]
+    fn seed_derivation_is_deterministic_and_attempt_sensitive() {
+        let k = RunKey(42);
+        assert_eq!(derive_seed(k, 0), derive_seed(k, 0));
+        assert_ne!(derive_seed(k, 0), derive_seed(k, 1));
+        assert_ne!(derive_seed(k, 0), derive_seed(RunKey(43), 0));
+    }
+
+    #[test]
+    fn run_key_hex_roundtrip() {
+        let k = RunKey(0x00ff_0000_0000_00aa);
+        assert_eq!(k.to_string(), "00ff0000000000aa");
+        assert_eq!(RunKey::parse(&k.to_string()), Some(k));
+        assert_eq!(RunKey::parse("xyz"), None);
+        assert_eq!(RunKey::parse("00ff"), None);
+    }
+
+    #[test]
+    fn journal_create_resume_and_replay() {
+        let dir = std::env::temp_dir().join("nachos-journal-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        let rec_a = demo_record(7);
+        let mut rec_b = demo_record(9);
+        rec_b.key = RunKey(0xbbbb);
+        {
+            let j = Journal::create(&path).unwrap();
+            j.append(&rec_a).unwrap();
+            j.append(&rec_b).unwrap();
+        }
+        // Simulate a crash mid-append: a torn half line at the tail.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            let torn = demo_record(11).to_line();
+            f.write_all(&torn.as_bytes()[..torn.len() / 3]).unwrap();
+        }
+        let j = Journal::resume(&path).unwrap();
+        assert_eq!(j.replay_len(), 2);
+        assert_eq!(j.skipped(), 1, "the torn tail is skipped, not fatal");
+        assert_eq!(j.lookup(rec_a.key), Some(&rec_a.outcome));
+        assert_eq!(j.lookup(rec_b.key), Some(&rec_b.outcome));
+        assert_eq!(j.lookup(RunKey(0xdead)), None);
+        // Resume newline-terminates the torn tail, so a record appended
+        // after the crash does not concatenate onto it and get lost.
+        let mut rec_c = demo_record(11);
+        rec_c.key = RunKey(0xcccc);
+        j.append(&rec_c).unwrap();
+        drop(j);
+        let j = Journal::resume(&path).unwrap();
+        assert_eq!(
+            j.replay_len(),
+            3,
+            "post-crash append survives the torn tail"
+        );
+        assert_eq!(j.lookup(rec_c.key), Some(&rec_c.outcome));
+        // `create` truncates: a fresh campaign sees nothing stale.
+        let fresh = Journal::create(&path).unwrap();
+        assert_eq!(fresh.replay_len(), 0);
+        drop(fresh);
+        assert_eq!(Journal::resume(&path).unwrap().replay_len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parser_handles_nesting_escapes_and_rejects_trailing_junk() {
+        let v = parse_json("{\"a\": [1, {\"b\": \"x\\n\\u0041\"}], \"c\": -1.5e3}").unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[1]
+                .get("b")
+                .unwrap()
+                .as_str(),
+            Some("x\nA")
+        );
+        assert_eq!(v.get("c").unwrap().as_f64(), Some(-1500.0));
+        assert!(parse_json("{} trailing").is_none());
+        assert!(parse_json("{\"a\": }").is_none());
+        assert!(parse_json("[1, 2").is_none());
+    }
+}

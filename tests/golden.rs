@@ -1,12 +1,12 @@
 //! Golden-snapshot parity suite.
 //!
-//! The committed fixture (`tests/goldens/sweep-v2.json`) was generated by
-//! the pre-refactor monolithic engine; the layered scheduler-core +
-//! policy-trait engine must reproduce it **byte-identically** — cycles,
-//! stall attribution, event counts, energy, cache statistics and the
-//! reference digests, for all three paper backends, across six
-//! representative Table II workloads (fully-resolved, MAY-heavy and
-//! multi-dimensional mixes).
+//! The committed fixture (`tests/goldens/sweep-v3.json`) pins the
+//! `nachos-sweep-v3` report of the layered scheduler-core + policy-trait
+//! engine; any engine or orchestration change must reproduce it
+//! **byte-identically** — cycles, stall attribution, event counts,
+//! energy, cache statistics, attempt counts and the reference digests,
+//! for all three paper backends, across six representative Table II
+//! workloads (fully-resolved, MAY-heavy and multi-dimensional mixes).
 //!
 //! Regenerate with `NACHOS_BLESS_GOLDENS=1 cargo test --test golden` —
 //! but only when a *deliberate* behaviour change is being made; diff the
@@ -27,7 +27,7 @@ fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("goldens")
-        .join("sweep-v2.json")
+        .join("sweep-v3.json")
 }
 
 fn golden_sweep_json() -> String {
@@ -46,7 +46,7 @@ fn golden_sweep_json() -> String {
 }
 
 #[test]
-fn engine_reproduces_pre_refactor_goldens_byte_identically() {
+fn engine_reproduces_committed_goldens_byte_identically() {
     let json = golden_sweep_json();
     let path = golden_path();
     if std::env::var_os("NACHOS_BLESS_GOLDENS").is_some() {
