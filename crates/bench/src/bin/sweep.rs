@@ -11,6 +11,17 @@
 //! deterministically derived seeds before giving up (a run panicking
 //! through its whole budget is reported as `quarantined`).
 //!
+//! Process isolation: `--shards N` partitions the matrix by run key and
+//! executes each shard in a separate worker OS process (this binary
+//! re-invoked with `--shard-exec`), so an abort, OOM kill or segfault in
+//! one cell costs one worker, not the campaign. The supervisor watches
+//! per-shard journals for heartbeat growth, respawns dead or silent
+//! workers under deterministic backoff, merges every shard into the
+//! `--journal` file and emits a report byte-identical to a
+//! single-process run. `--cache PATH` adds a persistent cross-campaign
+//! result cache keyed by the same content hashes (`default` picks
+//! `$XDG_CACHE_HOME/nachos/sweep`).
+//!
 //! `--filter SUBSTR` keeps only workloads whose name contains the
 //! substring; `--variants a,b,c` selects report columns by label from
 //! {opt-lsq, nachos-sw, nachos, nachos-sw-baseline, ideal}.
@@ -33,21 +44,69 @@
 //! it the report is byte-identical to the default four-variant matrix.
 //!
 //! Reports land atomically (`<out>.tmp` + rename): a crash mid-write
-//! never leaves a truncated report behind.
-//!
-//! Usage: `sweep [--threads N] [--invocations N] [--out FILE] [--ideal]
-//! [--journal FILE] [--resume] [--max-retries N] [--filter SUBSTR]
-//! [--variants LIST] [--poison NAME] [--inject smoke]`
-//! (defaults: auto threads, 64 invocations, stdout, no journal).
+//! never leaves a truncated report behind. Run `sweep --help` for the
+//! exit-code contract.
 
 use nachos::json::write_atomic;
-use nachos::sweep::{journal::Journal, run_sweep_journaled};
+use nachos::sweep::cache::ResultCache;
+use nachos::sweep::shard::{run_shard_worker, run_sweep_sharded, ShardConfig};
+use nachos::sweep::{journal::Journal, run_sweep_journaled, RunStatus, SweepResult};
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "usage: sweep [--threads N] [--invocations N] [--out FILE] [--ideal] \
                      [--journal FILE] [--resume] [--max-retries N] [--filter SUBSTR] \
-                     [--variants LIST] [--poison NAME] [--inject smoke]";
+                     [--variants LIST] [--poison NAME] [--inject smoke] [--shards N] \
+                     [--cache PATH|default] [--heartbeat-interval MS] [--strict] \
+                     [--shard-exec] [--help]";
+
+const HELP: &str = "\
+The NACHOS differential sweep harness.
+
+Flags:
+  --threads N             worker threads for in-process execution (0 = auto)
+  --invocations N         accelerator invocations simulated per run
+  --out FILE              write the JSON report atomically (default: stdout)
+  --ideal                 append the IDEAL oracle as a fifth variant column
+  --journal FILE          fsync each completed run to an append-only journal
+  --resume                replay completed runs from --journal FILE
+  --max-retries N         retry budget for transient per-run failures
+  --filter SUBSTR         keep only workloads whose name contains SUBSTR
+  --variants LIST         comma-separated variant labels to run
+  --poison NAME           inject a deterministic panic into workload NAME
+  --inject smoke          run the fault-injection smoke suite instead
+  --shards N              run the matrix across N worker OS processes
+                          (requires --journal; report stays byte-identical
+                          to a single-process run)
+  --cache PATH            promote settled runs into a persistent
+                          content-addressed cache at PATH and serve future
+                          campaigns from it; the literal 'default' means
+                          $XDG_CACHE_HOME/nachos/sweep (requires --shards)
+  --heartbeat-interval MS worker liveness pulse period (0 disables; a
+                          worker silent for ~10 intervals is respawned)
+  --strict                degraded cells (quarantined, cancelled, panic,
+                          deadlock, error, fault_detected) fail the run
+  --shard-exec            internal: run as a shard worker, reading the
+                          dispatch header and cell list from stdin
+  --help                  this text
+
+Exit codes:
+  0  every run completed; without --strict, degraded-but-deterministic
+     cells (e.g. a quarantined poison workload) also exit 0
+  1  usage error, I/O error, or worker protocol error
+  2  divergence: at least one run mismatched the reference executor
+     (also: any --inject smoke deviation)
+  3  --strict only: no mismatch, but at least one degraded cell
+
+Cache layout and invalidation: entries live at <root>/<hh>/<key>.rec,
+one checksum-framed record per file, where <key> is the 16-hex FNV-1a
+content hash of (region, binding, variant, fault plan, simulator
+config) and <hh> its first byte. Any input change changes the key, so
+stale entries are never served — they are merely unreachable. Only
+settled statuses (ok, mismatch, fault_detected) are cached; corrupt
+entries are detected by checksum, removed, and re-executed.
+";
 
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("{msg}");
@@ -55,6 +114,21 @@ fn usage_error(msg: &str) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// Maps a finished sweep to the documented exit contract: mismatches are
+/// exit 2 always; other degradations are exit 3 under `--strict` and
+/// exit 0 otherwise.
+fn verdict(sweep: &SweepResult, strict: bool) -> ExitCode {
+    let statuses = sweep.statuses();
+    if statuses.iter().any(|(_, _, s)| *s == RunStatus::Mismatch) {
+        return ExitCode::from(2);
+    }
+    if strict && statuses.iter().any(|(_, _, s)| *s != RunStatus::Ok) {
+        return ExitCode::from(3);
+    }
+    ExitCode::SUCCESS
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
     let mut threads = 0usize;
     let mut invocations = nachos_bench::DEFAULT_INVOCATIONS;
@@ -67,9 +141,18 @@ fn main() -> ExitCode {
     let mut filter: Option<String> = None;
     let mut variant_list: Option<String> = None;
     let mut poison: Option<String> = None;
+    let mut shards = 0usize;
+    let mut shard_exec = false;
+    let mut cache_arg: Option<String> = None;
+    let mut heartbeat_ms = 200u64;
+    let mut strict = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--help" => {
+                print!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
             "--ideal" => {
                 ideal = true;
                 continue;
@@ -78,11 +161,29 @@ fn main() -> ExitCode {
                 resume = true;
                 continue;
             }
+            "--shard-exec" => {
+                shard_exec = true;
+                continue;
+            }
+            "--strict" => {
+                strict = true;
+                continue;
+            }
             _ => {}
         }
         let Some(value) = (match a.as_str() {
-            "--threads" | "--invocations" | "--out" | "--inject" | "--journal"
-            | "--max-retries" | "--filter" | "--variants" | "--poison" => args.next(),
+            "--threads"
+            | "--invocations"
+            | "--out"
+            | "--inject"
+            | "--journal"
+            | "--max-retries"
+            | "--filter"
+            | "--variants"
+            | "--poison"
+            | "--shards"
+            | "--cache"
+            | "--heartbeat-interval" => args.next(),
             other => return usage_error(&format!("unknown argument: {other}")),
         }) else {
             return usage_error(&format!("{a} requires a value"));
@@ -104,19 +205,47 @@ fn main() -> ExitCode {
                     return usage_error(&format!("--max-retries takes a count, got {value:?}"))
                 }
             },
+            "--shards" => match value.parse() {
+                Ok(n) => shards = n,
+                Err(_) => return usage_error(&format!("--shards takes a count, got {value:?}")),
+            },
+            "--heartbeat-interval" => match value.parse() {
+                Ok(ms) => heartbeat_ms = ms,
+                Err(_) => {
+                    return usage_error(&format!(
+                        "--heartbeat-interval takes milliseconds, got {value:?}"
+                    ))
+                }
+            },
             "--inject" => inject = Some(value),
             "--journal" => journal_path = Some(value),
             "--filter" => filter = Some(value),
             "--variants" => variant_list = Some(value),
             "--poison" => poison = Some(value),
+            "--cache" => cache_arg = Some(value),
             _ => out = Some(value),
         }
     }
     if resume && journal_path.is_none() {
         return usage_error("--resume requires --journal FILE");
     }
+    if shards > 0 && journal_path.is_none() {
+        return usage_error("--shards requires --journal FILE (the merge target)");
+    }
+    if cache_arg.is_some() && shards == 0 && !shard_exec {
+        return usage_error("--cache requires --shards N");
+    }
+    if shard_exec && (shards > 0 || journal_path.is_some() || out.is_some() || inject.is_some()) {
+        return usage_error(
+            "--shard-exec is the worker side: it takes its journal from the dispatch \
+             header, not from --shards/--journal/--out/--inject",
+        );
+    }
+    if inject.is_some() && shards > 0 {
+        return usage_error("--inject smoke runs in-process; it takes no --shards");
+    }
 
-    let (json, summary, ok) = match inject.as_deref() {
+    let (json, summary, code) = match inject.as_deref() {
         Some("smoke") if ideal => {
             return usage_error("--ideal applies to the standard sweep, not --inject smoke")
         }
@@ -130,6 +259,11 @@ fn main() -> ExitCode {
                 .iter()
                 .map(|(job, variant, status)| format!("{job} [{variant}] {status}"))
                 .collect();
+            let code = if failures.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
             (
                 sweep.to_json(),
                 format!(
@@ -138,7 +272,7 @@ fn main() -> ExitCode {
                     failures.len(),
                     statuses.join("\n"),
                 ),
-                failures.is_empty(),
+                code,
             )
         }
         Some(other) => return usage_error(&format!("--inject knows 'smoke', got {other:?}")),
@@ -179,50 +313,178 @@ fn main() -> ExitCode {
                 cfg = cfg.with_ideal();
             }
             cfg = cfg.with_retries(max_retries);
-            let journal = match &journal_path {
-                Some(p) => {
-                    let opened = if resume {
-                        Journal::resume(p)
+
+            // Worker mode: execute the shard streamed over stdin and
+            // exit — no report of its own.
+            if shard_exec {
+                return match run_shard_worker(&jobs, &cfg, std::io::stdin()) {
+                    Ok(s) => {
+                        eprintln!(
+                            "shard {}: {} executed, {} replayed, {} protocol errors{}",
+                            s.shard,
+                            s.executed,
+                            s.replayed,
+                            s.protocol_errors,
+                            if s.cancelled { ", cancelled" } else { "" },
+                        );
+                        if s.protocol_errors > 0 {
+                            ExitCode::FAILURE
+                        } else {
+                            ExitCode::SUCCESS
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("shard worker failed: {e}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
+
+            if shards > 0 {
+                // Supervisor mode: the journal is the merge target; the
+                // workers are this binary re-invoked with --shard-exec
+                // and the matrix-defining flags forwarded verbatim.
+                let journal = journal_path.clone().unwrap_or_default();
+                let exe = match std::env::current_exe() {
+                    Ok(p) => p.display().to_string(),
+                    Err(e) => {
+                        eprintln!("cannot locate own executable for workers: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let mut worker_cmd = vec![
+                    exe,
+                    "--shard-exec".into(),
+                    "--invocations".into(),
+                    invocations.to_string(),
+                    "--max-retries".into(),
+                    max_retries.to_string(),
+                ];
+                if ideal {
+                    worker_cmd.push("--ideal".into());
+                }
+                for (flag, v) in [
+                    ("--filter", &filter),
+                    ("--variants", &variant_list),
+                    ("--poison", &poison),
+                ] {
+                    if let Some(v) = v {
+                        worker_cmd.push(flag.into());
+                        worker_cmd.push(v.clone());
+                    }
+                }
+                let mut scfg = ShardConfig::new(shards, worker_cmd, &journal);
+                scfg.resume = resume;
+                scfg.heartbeat = Duration::from_millis(heartbeat_ms);
+                scfg.silence_budget = if heartbeat_ms == 0 {
+                    Duration::ZERO
+                } else {
+                    Duration::from_millis((heartbeat_ms * 10).max(2000))
+                };
+                if let Some(arg) = &cache_arg {
+                    let root = if arg == "default" {
+                        ResultCache::default_root()
                     } else {
-                        Journal::create(p)
+                        arg.clone().into()
                     };
-                    match opened {
-                        Ok(j) => Some(j),
+                    match ResultCache::open(root) {
+                        Ok(c) => scfg.cache = Some(c),
                         Err(e) => {
-                            eprintln!("cannot open journal {p}: {e}");
+                            eprintln!("cannot open result cache: {e}");
                             return ExitCode::FAILURE;
                         }
                     }
                 }
-                None => None,
-            };
-            if let Some(j) = &journal {
-                if j.replay_len() > 0 || j.skipped() > 0 {
+                let (sweep, stats, sstats) = match run_sweep_sharded(&jobs, &cfg, &scfg) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("sharded sweep failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if !sweep.all_match() {
+                    eprintln!("DIVERGENCE: {:?}", sweep.mismatches());
+                }
+                eprintln!(
+                    "orchestration: {} shards, {} workers spawned ({} respawns, {} silent kills), \
+                     {} cells dispatched, {} recovered from shard journals, {} corrupt lines \
+                     dropped, {} quarantined by the supervisor, {} abandoned to the inline pass",
+                    sstats.shards,
+                    sstats.workers_spawned,
+                    sstats.respawns,
+                    sstats.silent_kills,
+                    sstats.dispatched,
+                    sstats.recovered,
+                    sstats.corrupt_lines,
+                    sstats.quarantined,
+                    sstats.abandoned,
+                );
+                if scfg.cache.is_some() {
                     eprintln!(
-                        "journal {}: {} completed runs loaded, {} unreadable lines skipped",
-                        j.path().display(),
-                        j.replay_len(),
-                        j.skipped(),
+                        "cache: {} hits, {} misses, {} corrupt entries healed, {} stored",
+                        sstats.cache.hits,
+                        sstats.cache.misses,
+                        sstats.cache.corrupt,
+                        sstats.cache.stored,
                     );
                 }
-            }
-            let (sweep, stats) = run_sweep_journaled(&jobs, &cfg, journal.as_ref());
-            let ok = sweep.all_match();
-            if !ok {
-                eprintln!("DIVERGENCE: {:?}", sweep.mismatches());
-            }
-            if journal.is_some() {
                 eprintln!(
-                    "orchestration: {} runs replayed from the journal, {} executed, {} journal errors",
+                    "merge: {} runs replayed, {} executed inline, {} journal errors",
                     stats.replayed, stats.executed, stats.journal_errors,
                 );
+                let summary = format!(
+                    "{} jobs x {} variants",
+                    sweep.jobs.len(),
+                    sweep.variants.len()
+                );
+                (sweep.to_json(), summary, verdict(&sweep, strict))
+            } else {
+                let journal = match &journal_path {
+                    Some(p) => {
+                        let opened = if resume {
+                            Journal::resume(p)
+                        } else {
+                            Journal::create(p)
+                        };
+                        match opened {
+                            Ok(j) => Some(j),
+                            Err(e) => {
+                                eprintln!("cannot open journal {p}: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                    None => None,
+                };
+                if let Some(j) = &journal {
+                    if j.replay_len() > 0 || j.skipped() > 0 {
+                        eprintln!(
+                            "journal {}: {} completed runs loaded, {} unreadable lines skipped \
+                             ({} corrupt)",
+                            j.path().display(),
+                            j.replay_len(),
+                            j.skipped(),
+                            j.corrupt(),
+                        );
+                    }
+                }
+                let (sweep, stats) = run_sweep_journaled(&jobs, &cfg, journal.as_ref());
+                if !sweep.all_match() {
+                    eprintln!("DIVERGENCE: {:?}", sweep.mismatches());
+                }
+                if journal.is_some() {
+                    eprintln!(
+                        "orchestration: {} runs replayed from the journal, {} executed, {} journal errors",
+                        stats.replayed, stats.executed, stats.journal_errors,
+                    );
+                }
+                let summary = format!(
+                    "{} jobs x {} variants",
+                    sweep.jobs.len(),
+                    sweep.variants.len()
+                );
+                (sweep.to_json(), summary, verdict(&sweep, strict))
             }
-            let summary = format!(
-                "{} jobs x {} variants",
-                sweep.jobs.len(),
-                sweep.variants.len()
-            );
-            (sweep.to_json(), summary, ok)
         }
     };
 
@@ -239,9 +501,5 @@ fn main() -> ExitCode {
             eprintln!("{summary}");
         }
     }
-    if ok {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    code
 }

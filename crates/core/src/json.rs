@@ -214,6 +214,69 @@ pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
     write
 }
 
+// ---------------------------------------------------------------------
+// Checksummed line framing (journal / heartbeat / cache records)
+// ---------------------------------------------------------------------
+
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice: small, dependency-free, deterministic
+/// across platforms and processes (unlike `DefaultHasher`, which is
+/// randomly seeded per process). Used both for content-addressing
+/// (journal run keys, the result cache) and for per-record checksums.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Why a framed line failed verification; see [`checksum_unframe`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The line does not carry the `<16-hex> <payload>` frame at all —
+    /// a foreign or legacy line, not evidence of corruption.
+    Unframed,
+    /// The frame parses but the checksum does not match the payload:
+    /// the record was corrupted (flipped bytes, partial overwrite,
+    /// mid-file truncation) after it was written.
+    Corrupt,
+}
+
+/// Frames one single-line record as `<16-hex FNV-1a> <payload>` so any
+/// later corruption — anywhere in the line, not just a torn tail — is
+/// detectable. The payload must not contain a newline.
+#[must_use]
+pub fn checksum_frame(payload: &str) -> String {
+    debug_assert!(!payload.contains('\n'), "framed payloads are one line");
+    format!("{:016x} {payload}", fnv1a(payload.as_bytes()))
+}
+
+/// Verifies a framed line and returns the payload.
+///
+/// # Errors
+///
+/// [`FrameError::Unframed`] when the line lacks the frame shape (so
+/// callers can treat foreign lines as merely skippable), and
+/// [`FrameError::Corrupt`] when the frame is present but the checksum
+/// disagrees with the payload bytes.
+pub fn checksum_unframe(line: &str) -> Result<&str, FrameError> {
+    let (sum, payload) = line.split_once(' ').ok_or(FrameError::Unframed)?;
+    if sum.len() != 16 || !sum.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(FrameError::Unframed);
+    }
+    let want = u64::from_str_radix(sum, 16).map_err(|_| FrameError::Unframed)?;
+    if fnv1a(payload.as_bytes()) == want {
+        Ok(payload)
+    } else {
+        Err(FrameError::Corrupt)
+    }
+}
+
 /// Escapes a string for inclusion in a JSON string literal.
 #[must_use]
 pub fn escape(s: &str) -> String {
@@ -237,6 +300,43 @@ pub fn escape(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn frame_roundtrips_and_detects_any_flipped_byte() {
+        let payload = "{\"journal\": \"nachos-journal-v1\", \"seed\": 18446744073709551615}";
+        let line = checksum_frame(payload);
+        assert_eq!(checksum_unframe(&line), Ok(payload));
+        // Flip every byte position in turn: the frame must never
+        // verify, and never panic.
+        for i in 0..line.len() {
+            let mut bytes = line.clone().into_bytes();
+            bytes[i] ^= 0x01;
+            if let Ok(flipped) = String::from_utf8(bytes) {
+                assert_ne!(
+                    checksum_unframe(&flipped),
+                    Ok(payload),
+                    "flip at byte {i} went undetected"
+                );
+            }
+        }
+        // Truncations anywhere fail too.
+        for i in 0..line.len() {
+            assert_ne!(checksum_unframe(&line[..i]), Ok(payload));
+        }
+    }
+
+    #[test]
+    fn unframed_lines_are_distinguished_from_corrupt_ones() {
+        assert_eq!(checksum_unframe("{\"bare\": 1}"), Err(FrameError::Unframed));
+        assert_eq!(checksum_unframe(""), Err(FrameError::Unframed));
+        assert_eq!(
+            checksum_unframe("not-a-checksum {\"x\": 1}"),
+            Err(FrameError::Unframed)
+        );
+        let mut line = checksum_frame("{\"x\": 1}");
+        line.push('!');
+        assert_eq!(checksum_unframe(&line), Err(FrameError::Corrupt));
+    }
 
     #[test]
     fn nested_document_is_stable() {

@@ -61,7 +61,10 @@
 //! assert!(sweep.all_match());
 //! ```
 
+pub mod cache;
+pub mod heartbeat;
 pub mod journal;
+pub mod shard;
 
 use crate::config::{Backend, SimConfig};
 use crate::driver::{run_backend_with_stages_in, ExperimentRun};

@@ -10,6 +10,12 @@
 //!   flushed and fsynced before the supervisor moves on, so a crash can
 //!   lose at most the in-flight line (and a torn line is skipped on
 //!   replay, never misparsed);
+//! * every line is wrapped in a `<16-hex FNV-1a> <payload>` checksum
+//!   frame ([`crate::json::checksum_frame`]), so corruption *anywhere*
+//!   in the file — flipped bytes in an old record, a partial overwrite,
+//!   mid-file truncation — is detected on replay, counted
+//!   ([`Journal::corrupt`]), and dropped; the affected cells re-execute
+//!   and every other record (before and after) is kept;
 //! * records are keyed by a **content hash** of (region, binding,
 //!   variant, fault plan, simulator config) — not by position or name —
 //!   so resuming with a reordered, filtered or extended job list replays
@@ -30,8 +36,11 @@ use super::{RunStatus, SweepVariant};
 use crate::config::SimConfig;
 use crate::energy::{EnergyBreakdown, EventCounts};
 use crate::engine::{SimResult, StallCounts};
-use crate::json::JsonWriter;
+use crate::json::{checksum_frame, checksum_unframe, FrameError, JsonWriter};
+use crate::json::{FNV_OFFSET, FNV_PRIME};
 use nachos_mem::CacheStats;
+
+pub use crate::json::fnv1a;
 use std::collections::HashMap;
 use std::fmt::{self, Write as _};
 use std::fs::{File, OpenOptions};
@@ -46,22 +55,6 @@ pub const JOURNAL_SCHEMA: &str = "nachos-journal-v1";
 // ---------------------------------------------------------------------
 // Content hashing
 // ---------------------------------------------------------------------
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// FNV-1a over a byte slice: small, dependency-free, deterministic
-/// across platforms and processes (unlike `DefaultHasher`, which is
-/// randomly seeded per process).
-#[must_use]
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
 
 /// A `fmt::Write` sink that FNV-hashes everything written into it, so
 /// large structures can be fingerprinted through their `Debug` form
@@ -245,11 +238,38 @@ pub struct RunRecord {
     pub outcome: OutcomeRecord,
 }
 
+/// Why a journal line failed to parse as a [`RunRecord`] — the split
+/// drives the journal's corruption accounting: [`LineError::Corrupt`]
+/// lines carried a checksum frame that no longer matches their bytes
+/// (flipped bits, partial overwrite), while [`LineError::Unusable`]
+/// covers everything else (torn tails, foreign schemas, heartbeat
+/// records, hand-edited junk). Both are dropped — and their cells
+/// re-executed — rather than trusted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineError {
+    /// Framed line whose checksum disagrees with its payload.
+    Corrupt,
+    /// Anything else unusable: unframed, unparsable, or a different
+    /// record schema.
+    Unusable,
+}
+
 impl RunRecord {
-    /// Serializes the record to its single-line JSONL form (newline
-    /// terminated).
+    /// Serializes the record to its single-line JSONL form: a compact
+    /// JSON payload wrapped in the `<16-hex FNV-1a> <payload>` checksum
+    /// frame ([`crate::json::checksum_frame`]), newline terminated.
+    /// The checksum makes corruption anywhere in the record — not just
+    /// a torn tail — detectable on replay.
     #[must_use]
     pub fn to_line(&self) -> String {
+        let mut framed = checksum_frame(self.payload().trim_end_matches('\n'));
+        framed.push('\n');
+        framed
+    }
+
+    /// The record's compact JSON payload (the framed part of
+    /// [`Self::to_line`]), newline terminated.
+    fn payload(&self) -> String {
         let mut w = JsonWriter::compact();
         w.open_obj();
         w.str_field("journal", JOURNAL_SCHEMA);
@@ -325,11 +345,35 @@ impl RunRecord {
         w.finish()
     }
 
-    /// Parses one journal line. Returns `None` for anything malformed —
-    /// torn tail lines from a crash, foreign schemas, hand-edited junk —
-    /// so replay degrades to re-running those cells instead of failing.
+    /// Parses one journal line. Returns `None` for anything unusable —
+    /// torn tail lines from a crash, checksum-failing corrupt records,
+    /// foreign schemas, hand-edited junk — so replay degrades to
+    /// re-running those cells instead of failing. Use
+    /// [`Self::parse_line`] when corrupt records must be counted apart.
     #[must_use]
     pub fn from_line(line: &str) -> Option<RunRecord> {
+        Self::parse_line(line).ok()
+    }
+
+    /// [`Self::from_line`] with corruption classified: a framed line
+    /// whose checksum fails is [`LineError::Corrupt`]; everything else
+    /// unusable is [`LineError::Unusable`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the classification of why the line is not a valid
+    /// record.
+    pub fn parse_line(line: &str) -> Result<RunRecord, LineError> {
+        match checksum_unframe(line.trim_end_matches(['\n', '\r'])) {
+            Ok(payload) => Self::from_payload(payload).ok_or(LineError::Unusable),
+            Err(FrameError::Corrupt) => Err(LineError::Corrupt),
+            Err(FrameError::Unframed) => Err(LineError::Unusable),
+        }
+    }
+
+    /// Parses the JSON payload of an already-unframed record line.
+    #[must_use]
+    pub fn from_payload(line: &str) -> Option<RunRecord> {
         let v = parse_json(line)?;
         if v.get("journal")?.as_str()? != JOURNAL_SCHEMA {
             return None;
@@ -453,6 +497,7 @@ pub struct Journal {
     file: Mutex<File>,
     replay: HashMap<u64, OutcomeRecord>,
     skipped: usize,
+    corrupt: usize,
 }
 
 impl Journal {
@@ -471,14 +516,23 @@ impl Journal {
             file: Mutex::new(file),
             replay: HashMap::new(),
             skipped: 0,
+            corrupt: 0,
         })
     }
 
     /// Opens `path` for resumption: parses every intact line into the
-    /// replay map (later duplicates of a key win; torn or foreign lines
-    /// are counted in [`Journal::skipped`] and otherwise ignored), then
-    /// reopens the file for appending. A missing file is an empty
-    /// journal, so `--resume` on a first run degrades to a fresh start.
+    /// replay map (later duplicates of a key win), then reopens the
+    /// file for appending. A missing file is an empty journal, so
+    /// `--resume` on a first run degrades to a fresh start.
+    ///
+    /// Replay is hardened against corruption *anywhere* in the file,
+    /// not just the torn tail a crash mid-append leaves: lines are read
+    /// as raw bytes (invalid UTF-8 cannot abort the load), and a line
+    /// whose checksum frame fails, whose JSON is malformed, or whose
+    /// schema is foreign is counted ([`Journal::skipped`], with
+    /// checksum failures also in [`Journal::corrupt`]) and dropped —
+    /// every valid record before *and after* it is kept, and the
+    /// dropped cells simply re-execute.
     ///
     /// # Errors
     ///
@@ -487,19 +541,36 @@ impl Journal {
         let path = path.into();
         let mut replay = HashMap::new();
         let mut skipped = 0usize;
+        let mut corrupt = 0usize;
         let mut torn_tail = false;
         match File::open(&path) {
             Ok(f) => {
-                for line in BufReader::new(f).lines() {
-                    let line = line?;
+                let mut reader = BufReader::new(f);
+                let mut buf = Vec::new();
+                loop {
+                    buf.clear();
+                    if reader.read_until(b'\n', &mut buf)? == 0 {
+                        break;
+                    }
+                    // Invalid UTF-8 is corruption like any other: drop
+                    // the line, keep reading the rest of the file.
+                    let Ok(line) = std::str::from_utf8(&buf) else {
+                        skipped += 1;
+                        corrupt += 1;
+                        continue;
+                    };
                     if line.trim().is_empty() {
                         continue;
                     }
-                    match RunRecord::from_line(&line) {
-                        Some(rec) => {
+                    match RunRecord::parse_line(line) {
+                        Ok(rec) => {
                             replay.insert(rec.key.0, rec.outcome);
                         }
-                        None => skipped += 1,
+                        Err(LineError::Corrupt) => {
+                            skipped += 1;
+                            corrupt += 1;
+                        }
+                        Err(LineError::Unusable) => skipped += 1,
                     }
                 }
                 // A crash mid-append leaves a final record with no
@@ -520,6 +591,7 @@ impl Journal {
             file: Mutex::new(file),
             replay,
             skipped,
+            corrupt,
         })
     }
 
@@ -540,6 +612,14 @@ impl Journal {
     #[must_use]
     pub fn skipped(&self) -> usize {
         self.skipped
+    }
+
+    /// The subset of [`Journal::skipped`] that carried a checksum frame
+    /// failing verification — records corrupted on disk after they were
+    /// written, as opposed to torn or foreign lines.
+    #[must_use]
+    pub fn corrupt(&self) -> usize {
+        self.corrupt
     }
 
     /// The recorded outcome for `key`, when the journal has one.
@@ -566,6 +646,46 @@ impl Journal {
         file.write_all(line.as_bytes())?;
         file.flush()?;
         file.sync_data()
+    }
+
+    /// Appends one pre-framed single-line record (heartbeats and other
+    /// non-[`RunRecord`] lines share the journal file in sharded mode).
+    /// Flushed but **not** fsynced: these lines carry liveness, not
+    /// completed work, and losing them costs nothing on resume.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors (and a poisoned append lock as
+    /// [`io::ErrorKind::Other`]).
+    pub fn append_raw(&self, line: &str) -> io::Result<()> {
+        let mut file = self
+            .file
+            .lock()
+            .map_err(|_| io::Error::other("journal append lock poisoned"))?;
+        file.write_all(line.as_bytes())?;
+        if !line.ends_with('\n') {
+            file.write_all(b"\n")?;
+        }
+        file.flush()
+    }
+
+    /// Merges one record recovered from elsewhere (a shard journal, the
+    /// result cache) into this journal: appends it durably *and* makes
+    /// it immediately replayable through [`Journal::lookup`]. A key the
+    /// replay map already holds is left untouched (first absorption
+    /// wins; within one merge pass every source of a key records the
+    /// identical outcome).
+    ///
+    /// # Errors
+    ///
+    /// Propagates append I/O errors.
+    pub fn absorb(&mut self, record: &RunRecord) -> io::Result<bool> {
+        if self.replay.contains_key(&record.key.0) {
+            return Ok(false);
+        }
+        self.append(record)?;
+        self.replay.insert(record.key.0, record.outcome.clone());
+        Ok(true)
     }
 }
 
@@ -1016,6 +1136,86 @@ mod tests {
         assert_eq!(fresh.replay_len(), 0);
         drop(fresh);
         assert_eq!(Journal::resume(&path).unwrap().replay_len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_mid_file_record_is_counted_and_later_records_survive() {
+        let dir = std::env::temp_dir().join("nachos-journal-corrupt-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        let mut recs = Vec::new();
+        for i in 0..4u64 {
+            let mut r = demo_record(i);
+            r.key = RunKey(0x1000 + i);
+            recs.push(r);
+        }
+        {
+            let j = Journal::create(&path).unwrap();
+            for r in &recs {
+                j.append(r).unwrap();
+            }
+        }
+        // Flip one byte inside the *second* record — mid-file, not the
+        // tail — deep enough to land in the JSON payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let line_starts: Vec<usize> = std::iter::once(0)
+            .chain(
+                bytes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| **b == b'\n')
+                    .map(|(i, _)| i + 1),
+            )
+            .collect();
+        bytes[line_starts[1] + 40] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let j = Journal::resume(&path).unwrap();
+        assert_eq!(j.corrupt(), 1, "the flipped record is detected");
+        assert_eq!(j.skipped(), 1);
+        assert_eq!(j.replay_len(), 3, "records after the corruption survive");
+        assert_eq!(j.lookup(recs[1].key), None, "the corrupt cell re-executes");
+        for r in [&recs[0], &recs[2], &recs[3]] {
+            assert_eq!(j.lookup(r.key), Some(&r.outcome));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_utf8_line_never_aborts_the_load() {
+        let dir = std::env::temp_dir().join("nachos-journal-utf8-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        let rec = demo_record(3);
+        {
+            let j = Journal::create(&path).unwrap();
+            j.append(&rec).unwrap();
+        }
+        let mut bytes = b"\xff\xfe garbage \xff\n".to_vec();
+        bytes.extend_from_slice(&std::fs::read(&path).unwrap());
+        std::fs::write(&path, &bytes).unwrap();
+        let j = Journal::resume(&path).unwrap();
+        assert_eq!(j.replay_len(), 1);
+        assert_eq!(j.skipped(), 1);
+        assert_eq!(j.corrupt(), 1);
+        assert_eq!(j.lookup(rec.key), Some(&rec.outcome));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn absorb_appends_once_and_serves_lookups() {
+        let dir = std::env::temp_dir().join("nachos-journal-absorb-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        let rec = demo_record(5);
+        let mut j = Journal::create(&path).unwrap();
+        assert!(j.absorb(&rec).unwrap());
+        assert!(!j.absorb(&rec).unwrap(), "second absorption is a no-op");
+        assert_eq!(j.lookup(rec.key), Some(&rec.outcome));
+        drop(j);
+        let j = Journal::resume(&path).unwrap();
+        assert_eq!(j.replay_len(), 1, "absorb wrote exactly one line");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
