@@ -16,6 +16,10 @@
 //!   final DFG (a missing chain is a hardware race), that FORWARD edges
 //!   connect size-matched accesses, and that the committed [`MdePlan`]
 //!   agrees with the labels and with the edges actually present.
+//! * [`CertLint`] re-verifies every rewrite certificate `nachos-opt`
+//!   recorded — witness paths, address congruence and arithmetic facts —
+//!   independently of the optimizer that produced them. An unverifiable
+//!   certificate is a hard error.
 //! * [`AccountingLint`] recounts the final [`AliasMatrix`] and cross-checks
 //!   every total the [`AnalysisReport`](crate::AnalysisReport) claims.
 //! * [`ResourceLint`] flags comparator fan-in over budget, token fan-out
@@ -29,7 +33,9 @@
 //! result is sorted by `(severity, code, site, message)` and deduplicated,
 //! so two audits of the same region are byte-identical.
 
-use crate::afftest::{delta_range, overlap_oracle, IvBox, Overlap};
+use crate::afftest::{
+    congruence_hits, delta_range, iteration_space, overlap_oracle, IvBox, Overlap,
+};
 use crate::classify::linearize;
 use crate::exact::{window_reachable, ExactBudget};
 use crate::matrix::{AliasLabel, AliasMatrix, Pair, PairKind};
@@ -86,6 +92,8 @@ pub enum Code {
     CountDrift,
     /// A NO pair whose addresses collided during differential replay.
     DynamicCollision,
+    /// An optimizer certificate that fails independent re-verification.
+    BadCertificate,
     /// A MAY pair that is provably decidable (precision loss).
     PrecisionLoss,
     /// An MDE already implied by other ordering edges (missed pruning).
@@ -112,6 +120,7 @@ impl Code {
             Code::PlanDrift => "A-E05",
             Code::CountDrift => "A-E06",
             Code::DynamicCollision => "A-E07",
+            Code::BadCertificate => "A-E08",
             Code::PrecisionLoss => "A-W01",
             Code::RedundantMde => "A-W02",
             Code::FaninOverBudget => "A-W03",
@@ -131,7 +140,8 @@ impl Code {
             | Code::ForwardSizeMismatch
             | Code::PlanDrift
             | Code::CountDrift
-            | Code::DynamicCollision => Severity::Error,
+            | Code::DynamicCollision
+            | Code::BadCertificate => Severity::Error,
             Code::PrecisionLoss | Code::RedundantMde | Code::FaninOverBudget => Severity::Warning,
             Code::TokenFanout | Code::DeadNode | Code::UnreferencedSymbol => Severity::Info,
         }
@@ -309,6 +319,7 @@ pub fn default_lints() -> Vec<Box<dyn Lint>> {
     vec![
         Box::new(VerdictLint),
         Box::new(RaceLint),
+        Box::new(CertLint),
         Box::new(AccountingLint),
         Box::new(ResourceLint),
     ]
@@ -595,8 +606,10 @@ fn multidim_truth(cx: &AuditCx<'_>, a: &MemRef, b: &MemRef) -> Option<Truth> {
     }
     let mut all_exact = true;
     for (da, db) in sa.iter().zip(sb) {
-        let delta = da.index.sub(&db.index);
-        match scalar_truth(&delta, &cx.bx, 1, 1, cx.config.oracle_points) {
+        // Reparameterize to iteration counts: an exact description of the
+        // subscript deltas the runtime produces (stepped loops included).
+        let (delta, kbx) = iteration_space(&da.index.sub(&db.index), &cx.region.loops);
+        match scalar_truth(&delta, &kbx, 1, 1, cx.config.oracle_points) {
             // One dimension's subscripts never coincide: under the
             // bijection the element vectors always differ, so the
             // (element-contained) accesses never touch.
@@ -620,10 +633,13 @@ fn multidim_truth(cx: &AuditCx<'_>, a: &MemRef, b: &MemRef) -> Option<Truth> {
 
 fn same_object_truth(cx: &AuditCx<'_>, a: &MemRef, b: &MemRef) -> Truth {
     if let (Some(la), Some(lb)) = (linearize(a), linearize(b)) {
-        let delta = la.sub(&lb);
+        // Reparameterize to iteration counts — the *exact* value set the
+        // runtime walks (the dense box over-approximates stepped loops),
+        // so the audited truth is at least as sharp as stage 5.
+        let (delta, kbx) = iteration_space(&la.sub(&lb), &cx.region.loops);
         return scalar_truth(
             &delta,
-            &cx.bx,
+            &kbx,
             u32::from(a.size),
             u32::from(b.size),
             cx.config.oracle_points,
@@ -719,6 +735,18 @@ fn attribute_precision_loss(cx: &AuditCx<'_>, a: &MemRef, b: &MemRef) -> String 
             } else {
                 "decidable by stage 4 (disabled)".to_owned()
             };
+        }
+    }
+    if let (Some(ba), Some(bb), Some(la), Some(lb)) =
+        (a.ptr.base(), b.ptr.base(), linearize(a), linearize(b))
+    {
+        if ba == bb {
+            let (dk, kbx) = iteration_space(&la.sub(&lb), &cx.region.loops);
+            if crate::optimize::disjoint_fact(&dk, &kbx, u32::from(a.size), u32::from(b.size))
+                .is_some()
+            {
+                return "decidable by stage 5 (run nachos-opt)".to_owned();
+            }
         }
     }
     "beyond all stages".to_owned()
@@ -856,7 +884,20 @@ impl Lint for RaceLint {
             let (s, d) = (matrix.node(pair.older), matrix.node(pair.younger));
             let ordered = match label {
                 AliasLabel::No => true,
-                AliasLabel::May => has_edge(s, d, EdgeKind::May) || closure.reaches(s, d),
+                // A coalesced MAY pair is ordered *through* its kept
+                // sibling comparator; `CertLint` independently re-verifies
+                // that claim (kept edge present, congruent address,
+                // guaranteed witness path), so accepting it here does not
+                // extend trust to the optimizer.
+                AliasLabel::May => {
+                    has_edge(s, d, EdgeKind::May)
+                        || closure.reaches(s, d)
+                        || cx
+                            .analysis
+                            .opt
+                            .as_ref()
+                            .is_some_and(|o| o.coalesced_pair(s, d))
+                }
                 AliasLabel::MustExact | AliasLabel::MustPartial => closure.reaches(s, d),
             };
             if !ordered {
@@ -1008,7 +1049,273 @@ impl Lint for RaceLint {
 }
 
 // ---------------------------------------------------------------------------
-// Pass 3: accounting
+// Pass 3: certificate re-verification
+// ---------------------------------------------------------------------------
+
+/// Independently re-verifies every rewrite certificate `nachos-opt`
+/// recorded, without trusting the optimizer's own search: witness paths
+/// are re-walked edge by edge against the final DFG, address congruence
+/// is re-compared on the raw [`MemRef`]s, and arithmetic facts are
+/// re-derived from the k-space delta with the audit's own machinery.
+/// A no-op when the region was not optimized. Any failure is a hard
+/// [`Code::BadCertificate`] error — the driver refuses the region.
+pub struct CertLint;
+
+impl CertLint {
+    fn check_order_redundant(
+        cx: &AuditCx<'_>,
+        diags: &mut Vec<Diagnostic>,
+        src: NodeId,
+        dst: NodeId,
+        witness: &[NodeId],
+    ) {
+        let site = Site::Pair {
+            older: src,
+            younger: dst,
+        };
+        let plan = &cx.analysis.plan;
+        let still_planned = plan.order.contains(&(src, dst));
+        let still_in_dfg = cx
+            .region
+            .dfg
+            .out_edges(src)
+            .any(|e| e.dst == dst && e.kind == EdgeKind::Order);
+        if still_planned || still_in_dfg {
+            diags.push(cx.diag(
+                Code::BadCertificate,
+                site,
+                "ORDER-redundancy certificate for an edge still present".to_owned(),
+            ));
+        }
+        if !crate::optimize::path_valid(&cx.region.dfg, witness, src, dst) {
+            diags.push(cx.diag(
+                Code::BadCertificate,
+                site,
+                format!(
+                    "ORDER-redundancy witness {witness:?} is not a guaranteed \
+                     path from {src} to {dst} in the final DFG"
+                ),
+            ));
+        }
+    }
+
+    fn check_may_coalesced(
+        cx: &AuditCx<'_>,
+        diags: &mut Vec<Diagnostic>,
+        removed: (NodeId, NodeId),
+        kept: (NodeId, NodeId),
+        witness: &[NodeId],
+    ) {
+        let site = Site::Pair {
+            older: removed.0,
+            younger: removed.1,
+        };
+        let dfg = &cx.region.dfg;
+        let plan = &cx.analysis.plan;
+        let has_may = |(s, d): (NodeId, NodeId)| {
+            dfg.out_edges(s)
+                .any(|e| e.dst == d && e.kind == EdgeKind::May)
+        };
+        if plan.may.contains(&removed) || has_may(removed) {
+            diags.push(cx.diag(
+                Code::BadCertificate,
+                site,
+                "coalescing certificate for a MAY edge still present".to_owned(),
+            ));
+        }
+        if !plan.may.contains(&kept) || !has_may(kept) {
+            diags.push(cx.diag(
+                Code::BadCertificate,
+                site,
+                format!(
+                    "coalescing certificate's kept MAY edge {}->{} is missing \
+                     from the final plan",
+                    kept.0, kept.1
+                ),
+            ));
+            return;
+        }
+        let mem = |n: NodeId| dfg.node(n).kind.mem_ref();
+        // Re-establish the congruence and the ordering claim from scratch:
+        // the non-shared endpoints must carry identical memory references,
+        // and the witness must order the removed pair through the kept one.
+        let (congruent, from, to) = if removed.1 == kept.1 && removed.0 != kept.0 {
+            // Shared destination: the kept source completes after the
+            // removed source, so the path runs removed.0 ⇝ kept.0.
+            (mem(removed.0) == mem(kept.0), removed.0, kept.0)
+        } else if removed.0 == kept.0 && removed.1 != kept.1 {
+            // Shared source: the removed destination starts after the kept
+            // one, so the path runs kept.1 ⇝ removed.1.
+            (mem(removed.1) == mem(kept.1), kept.1, removed.1)
+        } else {
+            diags.push(cx.diag(
+                Code::BadCertificate,
+                site,
+                format!(
+                    "coalescing certificate shares no endpoint with its kept \
+                     edge {}->{}",
+                    kept.0, kept.1
+                ),
+            ));
+            return;
+        };
+        if !congruent || mem(from).is_none() {
+            diags.push(cx.diag(
+                Code::BadCertificate,
+                site,
+                "coalesced MAY edges do not test a congruent address".to_owned(),
+            ));
+        }
+        if !crate::optimize::path_valid(dfg, witness, from, to) {
+            diags.push(cx.diag(
+                Code::BadCertificate,
+                site,
+                format!(
+                    "coalescing witness {witness:?} is not a guaranteed path \
+                     from {from} to {to} in the final DFG"
+                ),
+            ));
+        }
+    }
+
+    fn check_may_upgraded(
+        cx: &AuditCx<'_>,
+        diags: &mut Vec<Diagnostic>,
+        older: NodeId,
+        younger: NodeId,
+        delta: &AffineExpr,
+        fact: &crate::optimize::ArithFact,
+    ) {
+        use crate::optimize::ArithFact;
+        let site = Site::Pair { older, younger };
+        let matrix = &cx.analysis.matrix;
+        let mut bad = |why: String| {
+            diags.push(cx.diag(Code::BadCertificate, site, why));
+        };
+        let idx = |n: NodeId| matrix.ops().iter().position(|&m| m == n);
+        let labelled_no = match (idx(older), idx(younger)) {
+            (Some(i), Some(j)) if i < j => {
+                matrix.get(Pair {
+                    older: i,
+                    younger: j,
+                }) == Some(AliasLabel::No)
+            }
+            _ => false,
+        };
+        if !labelled_no {
+            bad("upgrade certificate for a pair not labelled NO".to_owned());
+            return;
+        }
+        let Some((dk, kbx, size_a, size_b)) =
+            crate::optimize::kspace_delta(cx.region, older, younger)
+        else {
+            bad("upgrade certificate for a pair outside the stage-5 domain".to_owned());
+            return;
+        };
+        if dk != *delta {
+            bad(format!(
+                "upgrade certificate's delta {delta:?} disagrees with the \
+                 re-derived k-space delta {dk:?}"
+            ));
+            return;
+        }
+        let window_lo = -i128::from(size_a) + 1;
+        let window_hi = i128::from(size_b) - 1;
+        let (lo, hi) = delta_range(&dk, &kbx);
+        let holds = match *fact {
+            ArithFact::Range { lo: clo, hi: chi } => {
+                lo >= clo && hi <= chi && (chi < window_lo || clo > window_hi)
+            }
+            ArithFact::Congruence { modulus, residue } => {
+                let m = i64::try_from(modulus).ok();
+                modulus > 0
+                    && m.is_some_and(|m| dk.terms().all(|(_, c)| c % m == 0))
+                    && dk.constant() == residue
+                    && {
+                        let (clo, chi) = (lo.max(window_lo), hi.min(window_hi));
+                        clo > chi || !congruence_hits(clo, chi, i128::from(residue), modulus)
+                    }
+            }
+            ArithFact::Exact => {
+                window_reachable(&dk, &kbx, window_lo, window_hi, ExactBudget::default())
+                    == Some(false)
+            }
+        };
+        if !holds {
+            bad(format!(
+                "upgrade certificate's arithmetic fact {fact:?} does not hold \
+                 for delta {dk:?}"
+            ));
+        }
+    }
+}
+
+impl Lint for CertLint {
+    fn name(&self) -> &'static str {
+        "certificates"
+    }
+
+    fn run(&self, cx: &AuditCx<'_>) -> Vec<Diagnostic> {
+        use crate::optimize::Certificate;
+        let Some(opt) = cx.analysis.opt.as_ref() else {
+            return Vec::new();
+        };
+        let mut diags = Vec::new();
+        let mut counts = (0usize, 0usize, 0usize);
+        for cert in &opt.certs {
+            match cert {
+                Certificate::OrderRedundant { src, dst, witness } => {
+                    counts.0 += 1;
+                    Self::check_order_redundant(cx, &mut diags, *src, *dst, witness);
+                }
+                Certificate::MayCoalesced {
+                    removed,
+                    kept,
+                    witness,
+                } => {
+                    counts.1 += 1;
+                    Self::check_may_coalesced(cx, &mut diags, *removed, *kept, witness);
+                }
+                Certificate::MayUpgraded {
+                    older,
+                    younger,
+                    delta,
+                    fact,
+                } => {
+                    counts.2 += 1;
+                    Self::check_may_upgraded(cx, &mut diags, *older, *younger, delta, fact);
+                }
+            }
+        }
+        // Every claimed deletion must be certified, and the before/after
+        // ledger must reconcile against the surviving plan.
+        let s = &opt.stats;
+        let plan = &cx.analysis.plan;
+        let ledger_ok = s.order_removed == counts.0
+            && s.may_coalesced == counts.1
+            && s.may_upgraded == counts.2
+            && s.may_upgraded_edges <= s.may_upgraded
+            && s.order_before == plan.order.len() + s.order_removed
+            && s.may_before == plan.may.len() + s.may_coalesced + s.may_upgraded_edges;
+        if !ledger_ok {
+            diags.push(cx.diag(
+                Code::BadCertificate,
+                Site::Region,
+                format!(
+                    "optimizer ledger does not reconcile: {s:?} vs {} certificates \
+                     and a plan of {}/{} ORDER/MAY edges",
+                    opt.certs.len(),
+                    plan.order.len(),
+                    plan.may.len()
+                ),
+            ));
+        }
+        diags
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: accounting
 // ---------------------------------------------------------------------------
 
 /// Cross-checks every total in the analysis report against a recount of
@@ -1098,7 +1405,7 @@ impl Lint for AccountingLint {
 }
 
 // ---------------------------------------------------------------------------
-// Pass 4: resource lints
+// Pass 5: resource lints
 // ---------------------------------------------------------------------------
 
 /// Comparator fan-in, token fan-out, dead nodes, unreferenced symbols.
@@ -1583,6 +1890,138 @@ mod tests {
             .scaled(8)
             .plus(512);
         assert_eq!(scalar_truth(&far, &bx, 8, 8, 0), Truth::Never);
+    }
+
+    /// An ambiguous store MAY-feeding two congruent accesses ordered by a
+    /// data chain — the optimizer coalesces one comparator edge.
+    fn coalescible_region() -> Region {
+        let mut b = RegionBuilder::new("cert-coalesce");
+        let g = b.global("g", 256, 0);
+        let a0 = b.arg(0, Provenance::Unknown);
+        b.store(MemRef::affine(a0, AffineExpr::zero()), &[]);
+        let m = MemRef::affine(g, AffineExpr::constant_expr(8));
+        let ld = b.load(m.clone(), &[]);
+        let t = b.int_op(IntOp::Add, &[ld]);
+        b.store(m, &[t]);
+        b.finish()
+    }
+
+    /// A stepped loop only stage 5 sees through — the optimizer upgrades
+    /// the MAY pair with a congruence certificate.
+    fn stepped_region() -> Region {
+        let mut b = RegionBuilder::new("cert-stepped");
+        let iv = b.enclosing_loop(LoopInfo {
+            name: "i".into(),
+            lower: 0,
+            upper: 4097,
+            step: 16,
+        });
+        let g = b.global("g", 8192, 0);
+        b.store(MemRef::affine(g, AffineExpr::var(iv)), &[]);
+        b.load(MemRef::affine(g, AffineExpr::constant_expr(8)), &[]);
+        b.finish()
+    }
+
+    fn bad_certs(diags: &[Diagnostic]) -> Vec<&Diagnostic> {
+        diags
+            .iter()
+            .filter(|d| d.code == Code::BadCertificate)
+            .collect()
+    }
+
+    #[test]
+    fn corrupted_coalescing_witness_is_rejected() {
+        let mut r = coalescible_region();
+        let mut analysis = compile(&mut r, StageConfig::full());
+        crate::optimize::optimize(&mut r, &mut analysis);
+        let opt = analysis.opt.as_mut().expect("optimizer ran");
+        assert_eq!(opt.stats.may_coalesced, 1, "{:?}", opt.certs);
+        assert!(bad_certs(&audit(&r, &analysis, StageConfig::full())).is_empty());
+
+        let opt = analysis.opt.as_mut().expect("optimizer ran");
+        let crate::optimize::Certificate::MayCoalesced { witness, .. } = &mut opt.certs[0] else {
+            panic!("expected a coalescing certificate");
+        };
+        witness.reverse();
+        let diags = audit(&r, &analysis, StageConfig::full());
+        assert!(!bad_certs(&diags).is_empty(), "{diags:?}");
+        assert!(bad_certs(&diags)[0].is_error());
+    }
+
+    #[test]
+    fn forged_upgrade_fact_is_rejected() {
+        let mut r = stepped_region();
+        let mut analysis = compile(&mut r, StageConfig::full());
+        crate::optimize::optimize(&mut r, &mut analysis);
+        let opt = analysis.opt.as_mut().expect("optimizer ran");
+        assert_eq!(opt.stats.may_upgraded, 1, "{:?}", opt.certs);
+        assert!(bad_certs(&audit(&r, &analysis, StageConfig::full())).is_empty());
+
+        let opt = analysis.opt.as_mut().expect("optimizer ran");
+        let crate::optimize::Certificate::MayUpgraded { fact, .. } = &mut opt.certs[0] else {
+            panic!("expected an upgrade certificate");
+        };
+        // Claim a residue class the delta does not actually inhabit.
+        *fact = crate::optimize::ArithFact::Congruence {
+            modulus: 16,
+            residue: 0,
+        };
+        let diags = audit(&r, &analysis, StageConfig::full());
+        assert!(!bad_certs(&diags).is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unreconciled_ledger_is_rejected() {
+        let mut r = coalescible_region();
+        let mut analysis = compile(&mut r, StageConfig::full());
+        crate::optimize::optimize(&mut r, &mut analysis);
+        analysis
+            .opt
+            .as_mut()
+            .expect("optimizer ran")
+            .stats
+            .order_removed += 1;
+        let diags = audit(&r, &analysis, StageConfig::full());
+        assert!(!bad_certs(&diags).is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn dropped_certificate_is_rejected() {
+        let mut r = coalescible_region();
+        let mut analysis = compile(&mut r, StageConfig::full());
+        crate::optimize::optimize(&mut r, &mut analysis);
+        analysis
+            .opt
+            .as_mut()
+            .expect("optimizer ran")
+            .certs
+            .pop()
+            .expect("one certificate");
+        let diags = audit(&r, &analysis, StageConfig::full());
+        assert!(!bad_certs(&diags).is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn certificate_about_surviving_edge_is_rejected() {
+        let mut r = token_region();
+        let mut analysis = compile(&mut r, StageConfig::full());
+        crate::optimize::optimize(&mut r, &mut analysis);
+        let (s, d) = analysis.plan.order[0];
+        let opt = analysis.opt.as_mut().expect("optimizer ran");
+        opt.certs
+            .push(crate::optimize::Certificate::OrderRedundant {
+                src: s,
+                dst: d,
+                witness: vec![s, d],
+            });
+        opt.stats.order_removed += 1;
+        let diags = audit(&r, &analysis, StageConfig::full());
+        assert!(
+            bad_certs(&diags)
+                .iter()
+                .any(|d| d.message.contains("still present")),
+            "{diags:?}"
+        );
     }
 
     #[test]

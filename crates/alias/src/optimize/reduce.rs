@@ -1,0 +1,73 @@
+//! Transitive reduction of the planned ORDER/token edge set.
+//!
+//! An ORDER edge `s → d` is redundant when `d` remains reachable from `s`
+//! over the *other* guaranteed edges (Data ∪ Order ∪ Forward): every such
+//! hop implies the destination starts only after the source completes, so
+//! the surviving path enforces the same ordering the token did. Removing
+//! a redundant edge preserves pairwise guaranteed reachability, which is
+//! why witness paths can be (re-)searched in the final graph after all
+//! removals — later deletions can invalidate a specific path recorded
+//! earlier, but never the reachability fact itself.
+//!
+//! ST→LD ORDER edges are exempt, mirroring stage 3 and the audit's
+//! `A-W02` rule: they stand in for superseded forwarders and are
+//! committed unconditionally.
+
+use super::cert::Certificate;
+use super::witness;
+use crate::matrix::{AliasMatrix, PairKind};
+use crate::stage3::MdePlan;
+use nachos_ir::{EdgeKind, Region};
+
+/// Deletes every provably redundant planned ORDER edge, recording one
+/// [`Certificate::OrderRedundant`] per deletion. Returns the number of
+/// edges removed.
+pub(super) fn run(
+    region: &mut Region,
+    matrix: &AliasMatrix,
+    plan: &mut MdePlan,
+    certs: &mut Vec<Certificate>,
+) -> usize {
+    let mut index_of = vec![None; region.dfg.num_nodes()];
+    for (i, &n) in matrix.ops().iter().enumerate() {
+        index_of[n.index()] = Some(i);
+    }
+    let mut removed = Vec::new();
+    let mut i = 0;
+    while i < plan.order.len() {
+        let (s, d) = plan.order[i];
+        let is_st_ld = match (index_of[s.index()], index_of[d.index()]) {
+            (Some(si), Some(di)) if si < di => {
+                matrix.kind(crate::matrix::Pair {
+                    older: si,
+                    younger: di,
+                }) == PairKind::StLd
+            }
+            _ => false,
+        };
+        if is_st_ld
+            || witness::find_path(&region.dfg, s, d, Some((s, d, EdgeKind::Order))).is_none()
+        {
+            i += 1;
+            continue;
+        }
+        region
+            .dfg
+            .remove_edge_between(s, d, EdgeKind::Order)
+            .expect("planned ORDER edge exists in the compiled DFG");
+        plan.order.remove(i);
+        removed.push((s, d));
+    }
+    // Witnesses are searched in the final graph so every recorded path
+    // survives all deletions (reachability is preserved by each removal).
+    for (s, d) in removed.iter().copied() {
+        let path = witness::find_path(&region.dfg, s, d, None)
+            .expect("transitive reduction preserves guaranteed reachability");
+        certs.push(Certificate::OrderRedundant {
+            src: s,
+            dst: d,
+            witness: path,
+        });
+    }
+    removed.len()
+}

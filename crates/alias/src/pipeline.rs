@@ -112,6 +112,9 @@ pub struct Analysis {
     pub plan: MdePlan,
     /// Per-stage statistics.
     pub report: AnalysisReport,
+    /// Certificates and counters from the post-pipeline MDE optimizer
+    /// (`None` until [`crate::optimize`] has run on this analysis).
+    pub opt: Option<crate::optimize::OptOutcome>,
 }
 
 /// Runs the configured stages over a region without mutating it.
@@ -146,6 +149,7 @@ pub fn analyze(region: &Region, config: StageConfig) -> Analysis {
         matrix,
         plan,
         report,
+        opt: None,
     }
 }
 

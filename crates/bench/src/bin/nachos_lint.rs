@@ -27,6 +27,14 @@ OPTIONS:
                          (default: 64)
     --ideal              Also cross-check that the IDEAL oracle
                          lower-bounds NACHOS cycle counts per config
+    --optimize           Run the certificate-carrying MDE optimizer
+                         (nachos-opt) after compilation, so the CertLint
+                         pass re-verifies real rewrite certificates
+    --strict             Avoidable-imprecision warnings (redundant MDEs,
+                         precision losses an enabled stage could decide)
+                         also fail the run; losses attributed to disabled
+                         ablation stages and budget advisories stay
+                         advisory
     --out FILE           Write the JSON report to FILE instead of stdout
     -h, --help           Show this help
 ";
@@ -39,6 +47,7 @@ fn usage_error(msg: &str) -> ExitCode {
 fn main() -> ExitCode {
     let mut options = LintOptions::default();
     let mut out_path: Option<String> = None;
+    let mut strict = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -63,6 +72,8 @@ fn main() -> ExitCode {
             }
             "--differential" => options.differential = true,
             "--ideal" => options.ideal = true,
+            "--optimize" => options.optimize = true,
+            "--strict" => strict = true,
             "--invocations" => {
                 let Some(v) = args.next() else {
                     return usage_error("--invocations requires a count");
@@ -104,6 +115,11 @@ fn main() -> ExitCode {
     let errors = report.num_errors();
     if errors > 0 {
         eprintln!("nachos-lint: {errors} error-severity finding(s)");
+        return ExitCode::FAILURE;
+    }
+    let avoidable = report.num_strict();
+    if strict && avoidable > 0 {
+        eprintln!("nachos-lint: {avoidable} avoidable-imprecision finding(s) (--strict)");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -1,6 +1,6 @@
 //! The machine-readable sweep: runs the full 27-workload × 4-variant
 //! differential matrix on the parallel harness and emits the JSON report
-//! (schema `nachos-sweep-v3`).
+//! (schema `nachos-sweep-v4`).
 //!
 //! Crash-recoverable orchestration: with `--journal FILE` every completed
 //! run is fsynced to an append-only JSONL journal as it finishes, and
@@ -43,6 +43,12 @@
 //! Figure 9 upper bound) is appended as a fifth variant column; without
 //! it the report is byte-identical to the default four-variant matrix.
 //!
+//! With `--optimize`, every MDE run compiles through the
+//! certificate-carrying `nachos-opt` optimizer (audit-gated by
+//! `CertLint`) and reports its rewrite ledger per run; the flag is part
+//! of the run fingerprint, so journals and caches never mix optimized
+//! and unoptimized results.
+//!
 //! Reports land atomically (`<out>.tmp` + rename): a crash mid-write
 //! never leaves a truncated report behind. Run `sweep --help` for the
 //! exit-code contract.
@@ -56,10 +62,10 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str = "usage: sweep [--threads N] [--invocations N] [--out FILE] [--ideal] \
-                     [--journal FILE] [--resume] [--max-retries N] [--filter SUBSTR] \
-                     [--variants LIST] [--poison NAME] [--inject smoke] [--shards N] \
-                     [--cache PATH|default] [--heartbeat-interval MS] [--strict] \
-                     [--shard-exec] [--help]";
+                     [--optimize] [--journal FILE] [--resume] [--max-retries N] \
+                     [--filter SUBSTR] [--variants LIST] [--poison NAME] [--inject smoke] \
+                     [--shards N] [--cache PATH|default] [--heartbeat-interval MS] \
+                     [--strict] [--shard-exec] [--help]";
 
 const HELP: &str = "\
 The NACHOS differential sweep harness.
@@ -69,6 +75,9 @@ Flags:
   --invocations N         accelerator invocations simulated per run
   --out FILE              write the JSON report atomically (default: stdout)
   --ideal                 append the IDEAL oracle as a fifth variant column
+  --optimize              run the certificate-carrying MDE optimizer
+                          (nachos-opt) after compilation in every MDE
+                          run; each run then reports its rewrite ledger
   --journal FILE          fsync each completed run to an append-only journal
   --resume                replay completed runs from --journal FILE
   --max-retries N         retry budget for transient per-run failures
@@ -135,6 +144,7 @@ fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut inject: Option<String> = None;
     let mut ideal = false;
+    let mut optimize = false;
     let mut journal_path: Option<String> = None;
     let mut resume = false;
     let mut max_retries = 0u32;
@@ -155,6 +165,10 @@ fn main() -> ExitCode {
             }
             "--ideal" => {
                 ideal = true;
+                continue;
+            }
+            "--optimize" => {
+                optimize = true;
                 continue;
             }
             "--resume" => {
@@ -249,6 +263,9 @@ fn main() -> ExitCode {
         Some("smoke") if ideal => {
             return usage_error("--ideal applies to the standard sweep, not --inject smoke")
         }
+        Some("smoke") if optimize => {
+            return usage_error("--optimize applies to the standard sweep, not --inject smoke")
+        }
         Some("smoke") => {
             let (sweep, failures) = nachos_bench::run_fault_smoke(threads);
             for f in &failures {
@@ -312,6 +329,9 @@ fn main() -> ExitCode {
             if ideal && !cfg.variants.iter().any(|v| v.label == "ideal") {
                 cfg = cfg.with_ideal();
             }
+            if optimize {
+                cfg = cfg.with_optimize(true);
+            }
             cfg = cfg.with_retries(max_retries);
 
             // Worker mode: execute the shard streamed over stdin and
@@ -362,6 +382,12 @@ fn main() -> ExitCode {
                 ];
                 if ideal {
                     worker_cmd.push("--ideal".into());
+                }
+                // The optimizer changes the compiled MDE graph, so it is
+                // part of the matrix definition: workers must agree with
+                // the supervisor or every fingerprint misses.
+                if optimize {
+                    worker_cmd.push("--optimize".into());
                 }
                 for (flag, v) in [
                     ("--filter", &filter),

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod lint;
+pub mod opt;
 
 use nachos::sweep::{
     run_sweep, JobOutcome, RunStatus, SweepConfig, SweepJob, SweepResult, SweepVariant,

@@ -1,0 +1,493 @@
+//! The `nachos-opt` suite runner: runs the certificate-carrying MDE
+//! optimizer ([`nachos_alias::optimize`]) over every Table II workload
+//! under every compiler ablation, re-audits each optimized region (the
+//! audit's `CertLint` pass re-verifies every rewrite certificate
+//! independently), times the MDE backends with and without the optimizer,
+//! and aggregates everything into the byte-deterministic `nachos-opt-v1`
+//! JSON report.
+//!
+//! The report is the CI `opt-audit` gate: a certificate error, a run
+//! diverging from its unoptimized twin, or an optimized cycle count
+//! regressing past its unoptimized baseline all exit nonzero through the
+//! `nachos-opt` binary.
+
+use crate::lint::{standard_configs, LintConfig};
+use nachos::json::JsonWriter;
+use nachos::{run_backend_with_stages_in, Backend, EnergyModel, SimArena, SimConfig};
+use nachos_alias::OptStats;
+use nachos_workloads::{generate_all, Workload};
+
+/// What to optimize and how long to simulate.
+#[derive(Clone, Debug)]
+pub struct OptOptions {
+    /// Restrict to one workload by Table II name (`None` = all 27).
+    pub workload: Option<String>,
+    /// Restrict to one named ablation (`None` = the full matrix).
+    pub config: Option<String>,
+    /// Invocations for the with/without timing comparison.
+    pub invocations: u64,
+}
+
+impl Default for OptOptions {
+    fn default() -> Self {
+        Self {
+            workload: None,
+            config: None,
+            invocations: crate::DEFAULT_INVOCATIONS,
+        }
+    }
+}
+
+/// One MDE backend timed with and without the optimizer.
+#[derive(Clone, Copy, Debug)]
+pub struct BackendCycles {
+    /// The backend simulated (NACHOS-SW or NACHOS).
+    pub backend: Backend,
+    /// Cycles with the paper's stage-1..4 pipeline alone.
+    pub unoptimized: u64,
+    /// Cycles after `nachos-opt` rewrote the MDE plan.
+    pub optimized: u64,
+    /// `true` iff both runs loaded identical value streams and left
+    /// identical final memory — the differential equivalence check.
+    pub equivalent: bool,
+}
+
+impl BackendCycles {
+    /// `true` when the optimized run costs more cycles than the baseline.
+    #[must_use]
+    pub fn regressed(&self) -> bool {
+        self.optimized > self.unoptimized
+    }
+
+    /// `true` when the optimized run costs fewer cycles than the baseline.
+    #[must_use]
+    pub fn improved(&self) -> bool {
+        self.optimized < self.unoptimized
+    }
+}
+
+/// The optimizer's outcome on one workload under one ablation.
+#[derive(Clone, Debug)]
+pub struct OptRun {
+    /// Workload name (Table II).
+    pub workload: String,
+    /// Ablation name.
+    pub config: String,
+    /// The rewrite ledger (before-counts plus per-pass removal counts).
+    pub stats: OptStats,
+    /// Certificates emitted (one per rewrite).
+    pub certificates: usize,
+    /// Committed forward (st→ld) edges — the optimizer never touches
+    /// these; recorded so the report carries the full MDE census.
+    pub forward: usize,
+    /// Engine-measured `==?` comparator sites before optimization.
+    pub comparator_sites_before: u64,
+    /// Engine-measured `==?` comparator sites after optimization.
+    pub comparator_sites_after: u64,
+    /// Error-severity audit findings on the *optimized* region — any
+    /// entry means `CertLint` (or another audit pass) refused a rewrite.
+    pub audit_errors: Vec<String>,
+    /// With/without timings per MDE backend, `[NACHOS-SW, NACHOS]` order
+    /// (empty only when a simulation failed; the failure is recorded in
+    /// `audit_errors`).
+    pub cycles: Vec<BackendCycles>,
+}
+
+/// The whole suite's optimization outcomes.
+#[derive(Clone, Debug, Default)]
+pub struct OptSuiteReport {
+    /// Invocations each timing run simulated.
+    pub invocations: u64,
+    /// One entry per workload × config, in deterministic order.
+    pub runs: Vec<OptRun>,
+}
+
+impl OptSuiteReport {
+    /// Audit findings on optimized regions (certificate or soundness
+    /// errors) plus simulation failures — always fatal for the gate.
+    #[must_use]
+    pub fn num_cert_errors(&self) -> usize {
+        self.runs.iter().map(|r| r.audit_errors.len()).sum()
+    }
+
+    /// Timed runs whose optimized cycle count exceeds the baseline.
+    #[must_use]
+    pub fn num_regressions(&self) -> usize {
+        self.cycle_rows().filter(|c| c.regressed()).count()
+    }
+
+    /// Timed runs whose optimized execution diverged from the baseline
+    /// (different load values or final memory) — a soundness failure.
+    #[must_use]
+    pub fn num_divergences(&self) -> usize {
+        self.cycle_rows().filter(|c| !c.equivalent).count()
+    }
+
+    /// Distinct workloads where some MDE backend got faster under some
+    /// ablation — the acceptance bar asks for improvement on ≥ 5.
+    #[must_use]
+    pub fn improved_workloads(&self) -> usize {
+        let mut names: Vec<&str> = self
+            .runs
+            .iter()
+            .filter(|r| r.cycles.iter().any(BackendCycles::improved))
+            .map(|r| r.workload.as_str())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names.len()
+    }
+
+    /// Fraction of ORDER/token edges the transitive reduction deleted,
+    /// across every run in the report (0 when no run had any).
+    #[must_use]
+    pub fn order_removed_fraction(&self) -> f64 {
+        let before: usize = self.runs.iter().map(|r| r.stats.order_before).sum();
+        let removed: usize = self.runs.iter().map(|r| r.stats.order_removed).sum();
+        if before == 0 {
+            0.0
+        } else {
+            removed as f64 / before as f64
+        }
+    }
+
+    /// Fraction of residual MAY edges that stage 5 upgraded to NO.
+    #[must_use]
+    pub fn may_upgraded_fraction(&self) -> f64 {
+        let before: usize = self.runs.iter().map(|r| r.stats.may_before).sum();
+        let upgraded: usize = self.runs.iter().map(|r| r.stats.may_upgraded_edges).sum();
+        if before == 0 {
+            0.0
+        } else {
+            upgraded as f64 / before as f64
+        }
+    }
+
+    fn cycle_rows(&self) -> impl Iterator<Item = &BackendCycles> {
+        self.runs.iter().flat_map(|r| &r.cycles)
+    }
+
+    /// Renders the `nachos-opt-v1` report. Byte-deterministic: depends
+    /// only on the optimized regions and the options.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open_obj();
+        w.str_field("schema", "nachos-opt-v1");
+        w.u64_field("invocations", self.invocations);
+        w.key("runs");
+        w.open_arr();
+        for run in &self.runs {
+            let s = run.stats;
+            w.open_obj();
+            w.str_field("workload", &run.workload);
+            w.str_field("config", &run.config);
+            w.key("mdes");
+            w.open_obj();
+            w.u64_field("order_before", s.order_before as u64);
+            w.u64_field("order_after", (s.order_before - s.order_removed) as u64);
+            w.u64_field("forward", run.forward as u64);
+            w.u64_field("may_before", s.may_before as u64);
+            w.u64_field(
+                "may_after",
+                (s.may_before - s.may_coalesced - s.may_upgraded_edges) as u64,
+            );
+            w.close_obj();
+            w.key("rewrites");
+            w.open_obj();
+            w.u64_field("order_removed", s.order_removed as u64);
+            w.u64_field("may_coalesced", s.may_coalesced as u64);
+            w.u64_field("may_upgraded", s.may_upgraded as u64);
+            w.u64_field("may_upgraded_edges", s.may_upgraded_edges as u64);
+            w.u64_field("certificates", run.certificates as u64);
+            w.close_obj();
+            w.key("comparator_sites");
+            w.open_obj();
+            w.u64_field("before", run.comparator_sites_before);
+            w.u64_field("after", run.comparator_sites_after);
+            w.close_obj();
+            w.key("cycles");
+            w.open_arr();
+            for c in &run.cycles {
+                w.open_obj();
+                w.str_field("backend", &c.backend.to_string());
+                w.u64_field("unoptimized", c.unoptimized);
+                w.u64_field("optimized", c.optimized);
+                w.bool_field("equivalent", c.equivalent);
+                w.close_obj();
+            }
+            w.close_arr();
+            w.key("audit_errors");
+            w.open_arr();
+            for e in &run.audit_errors {
+                w.open_obj();
+                w.str_field("error", e);
+                w.close_obj();
+            }
+            w.close_arr();
+            w.close_obj();
+        }
+        w.close_arr();
+        w.key("totals");
+        w.open_obj();
+        w.u64_field("runs", self.runs.len() as u64);
+        let sum =
+            |f: fn(&OptStats) -> usize| self.runs.iter().map(|r| f(&r.stats)).sum::<usize>() as u64;
+        w.u64_field("order_before", sum(|s| s.order_before));
+        w.u64_field("order_removed", sum(|s| s.order_removed));
+        w.u64_field("may_before", sum(|s| s.may_before));
+        w.u64_field("may_coalesced", sum(|s| s.may_coalesced));
+        w.u64_field("may_upgraded_edges", sum(|s| s.may_upgraded_edges));
+        w.f64_field("order_removed_fraction", self.order_removed_fraction());
+        w.f64_field("may_upgraded_fraction", self.may_upgraded_fraction());
+        w.u64_field("cert_errors", self.num_cert_errors() as u64);
+        w.u64_field("regressions", self.num_regressions() as u64);
+        w.u64_field("divergences", self.num_divergences() as u64);
+        w.u64_field("improved_workloads", self.improved_workloads() as u64);
+        w.close_obj();
+        w.close_obj();
+        w.finish()
+    }
+}
+
+/// Optimizes one workload under one ablation: rewrites the plan, audits
+/// the result, and times both MDE backends with and without the
+/// optimizer (differentially comparing their executions).
+#[must_use]
+pub fn optimize_workload(
+    arena: &mut SimArena,
+    w: &Workload,
+    config: LintConfig,
+    options: &OptOptions,
+) -> OptRun {
+    // Static pass: compile, optimize, and independently re-audit. The
+    // timing runs below repeat this inside the driver (whose audit gate
+    // refuses bad certificates outright); doing it here as well captures
+    // the findings instead of just an error.
+    let mut region = w.region.clone();
+    let mut analysis = nachos_alias::compile(&mut region, config.stages);
+    nachos_alias::optimize(&mut region, &mut analysis);
+    let outcome = analysis.opt.as_ref().expect("optimizer records an outcome");
+    let stats = outcome.stats;
+    let certificates = outcome.certs.len();
+    let forward = analysis.plan.forward.len();
+    let mut audit_errors: Vec<String> = nachos_alias::audit_with(
+        &region,
+        &analysis,
+        config.stages,
+        &nachos_alias::AuditConfig::default(),
+    )
+    .into_iter()
+    .filter(nachos_alias::Diagnostic::is_error)
+    .map(|d| {
+        format!(
+            "[{}] {} at {}: {}",
+            d.code.id(),
+            d.region,
+            d.site,
+            d.message
+        )
+    })
+    .collect();
+
+    // Timing pass: both MDE backends, with and without the optimizer,
+    // over the *original* region (the driver re-compiles internally).
+    let energy = EnergyModel::default();
+    let base = SimConfig::default().with_invocations(options.invocations);
+    let opt = base.clone().with_optimize(true);
+    let mut cycles = Vec::new();
+    let mut comparator_sites = (0, 0);
+    for backend in [Backend::NachosSw, Backend::Nachos] {
+        let mut run = |cfg: &SimConfig| {
+            run_backend_with_stages_in(
+                arena,
+                &w.region,
+                &w.binding,
+                backend,
+                cfg,
+                &energy,
+                config.stages,
+            )
+        };
+        match (run(&base), run(&opt)) {
+            (Ok(u), Ok(o)) => {
+                comparator_sites = (u.sim.comparator_sites, o.sim.comparator_sites);
+                cycles.push(BackendCycles {
+                    backend,
+                    unoptimized: u.sim.cycles,
+                    optimized: o.sim.cycles,
+                    equivalent: u.sim.loads.digest() == o.sim.loads.digest()
+                        && u.sim.mem == o.sim.mem,
+                });
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                audit_errors.push(format!("{}: {backend} simulation failed: {e}", w.spec.name));
+            }
+        }
+    }
+    OptRun {
+        workload: w.spec.name.to_owned(),
+        config: config.name.to_owned(),
+        stats,
+        certificates,
+        forward,
+        comparator_sites_before: comparator_sites.0,
+        comparator_sites_after: comparator_sites.1,
+        audit_errors,
+        cycles,
+    }
+}
+
+/// Runs the optimizer matrix and returns the suite report.
+///
+/// # Panics
+///
+/// Panics if `options` names a workload or config that does not exist —
+/// the CLI validates names before calling.
+#[must_use]
+pub fn run_opt_suite(options: &OptOptions) -> OptSuiteReport {
+    let configs: Vec<LintConfig> = standard_configs()
+        .into_iter()
+        .filter(|c| options.config.as_deref().is_none_or(|name| name == c.name))
+        .collect();
+    assert!(!configs.is_empty(), "unknown config filter");
+    let workloads: Vec<Workload> = generate_all()
+        .into_iter()
+        .filter(|w| {
+            options
+                .workload
+                .as_deref()
+                .is_none_or(|name| name == w.spec.name)
+        })
+        .collect();
+    assert!(!workloads.is_empty(), "unknown workload filter");
+    let mut arena = SimArena::new();
+    let mut runs = Vec::with_capacity(workloads.len() * configs.len());
+    for w in &workloads {
+        for &config in &configs {
+            runs.push(optimize_workload(&mut arena, w, config, options));
+        }
+    }
+    OptSuiteReport {
+        invocations: options.invocations,
+        runs,
+    }
+}
+
+/// Renders the `nachos-bench-v1` perf artifact (`BENCH_sweep.json`): one
+/// row per Table II workload combining the 27×5 sweep's cycles per
+/// variant, the optimized NACHOS/NACHOS-SW cycles, the MDE census before
+/// vs. after `nachos-opt` (full-pipeline config), the engine-measured
+/// comparator sites, and — when provided — steady-state heap allocations
+/// per arena-reset run.
+///
+/// `allocs` maps workload name → allocations per run; workloads missing
+/// from it simply omit the field (the library cannot observe the global
+/// allocator — the `nachos-opt` binary measures and passes them in).
+#[must_use]
+pub fn bench_artifact_json(
+    suite: &crate::SuiteRun,
+    opt: &OptSuiteReport,
+    allocs: &[(String, u64)],
+    invocations: u64,
+) -> String {
+    let mut w = JsonWriter::new();
+    w.open_obj();
+    w.str_field("schema", "nachos-bench-v1");
+    w.u64_field("invocations", invocations);
+    w.key("workloads");
+    w.open_arr();
+    for r in &suite.results {
+        let name = r.spec.name;
+        w.open_obj();
+        w.str_field("name", name);
+        w.key("cycles");
+        w.open_obj();
+        w.u64_field("opt-lsq", r.lsq.sim.cycles);
+        w.u64_field("nachos-sw", r.sw.sim.cycles);
+        w.u64_field("nachos", r.hw.sim.cycles);
+        w.u64_field("nachos-sw-baseline", r.sw_baseline.sim.cycles);
+        if let Some(ideal) = &r.ideal {
+            w.u64_field("ideal", ideal.sim.cycles);
+        }
+        w.close_obj();
+        // The optimizer's impact under the full pipeline.
+        if let Some(o) = opt
+            .runs
+            .iter()
+            .find(|o| o.workload == name && o.config == "full")
+        {
+            w.key("optimized_cycles");
+            w.open_obj();
+            for c in &o.cycles {
+                w.u64_field(&c.backend.to_string().to_lowercase(), c.optimized);
+            }
+            w.close_obj();
+            let s = o.stats;
+            w.key("mdes");
+            w.open_obj();
+            w.u64_field("order_before", s.order_before as u64);
+            w.u64_field("order_after", (s.order_before - s.order_removed) as u64);
+            w.u64_field("may_before", s.may_before as u64);
+            w.u64_field(
+                "may_after",
+                (s.may_before - s.may_coalesced - s.may_upgraded_edges) as u64,
+            );
+            w.u64_field("forward", o.forward as u64);
+            w.close_obj();
+            w.key("comparator_sites");
+            w.open_obj();
+            w.u64_field("before", o.comparator_sites_before);
+            w.u64_field("after", o.comparator_sites_after);
+            w.close_obj();
+        }
+        if let Some((_, n)) = allocs.iter().find(|(wname, _)| wname == name) {
+            w.u64_field("allocs_per_run", *n);
+        }
+        w.close_obj();
+    }
+    w.close_arr();
+    w.close_obj();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn equake_options() -> OptOptions {
+        OptOptions {
+            workload: Some("183.equake".to_owned()),
+            config: Some("full".to_owned()),
+            invocations: 8,
+        }
+    }
+
+    #[test]
+    fn optimized_workload_is_certified_equivalent_and_no_slower() {
+        let report = run_opt_suite(&equake_options());
+        assert_eq!(report.runs.len(), 1);
+        let run = &report.runs[0];
+        assert!(run.audit_errors.is_empty(), "{:?}", run.audit_errors);
+        assert_eq!(run.cycles.len(), 2, "both MDE backends timed");
+        assert_eq!(report.num_divergences(), 0);
+        assert_eq!(report.num_regressions(), 0);
+        // The ledger and the certificates agree one-for-one.
+        assert_eq!(
+            run.certificates,
+            run.stats.order_removed + run.stats.may_coalesced + run.stats.may_upgraded
+        );
+    }
+
+    #[test]
+    fn report_is_byte_deterministic_and_carries_the_gate() {
+        let options = equake_options();
+        let a = run_opt_suite(&options).to_json();
+        let b = run_opt_suite(&options).to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"nachos-opt-v1\""));
+        assert!(a.contains("\"cert_errors\": 0"));
+        assert!(a.contains("\"divergences\": 0"));
+        assert!(a.contains("\"regressions\": 0"));
+    }
+}

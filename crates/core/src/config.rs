@@ -108,6 +108,12 @@ pub struct SimConfig {
     pub comparators_per_site: u32,
     /// Region invocations to simulate.
     pub invocations: u64,
+    /// Run the certificate-carrying MDE optimizer (`nachos-opt`) after
+    /// compilation: transitive reduction of ORDER tokens, comparator-site
+    /// coalescing and stage-5 MAY upgrades, each re-verified by the
+    /// audit's `CertLint` before the region is trusted. Off by default —
+    /// the paper's pipeline stops at stage 4.
+    pub optimize: bool,
     /// Engine watchdog parameters (cycle budget, liveness checks).
     pub watchdog: WatchdogConfig,
     /// Deterministic fault-injection plan (empty by default).
@@ -130,6 +136,7 @@ impl Default for SimConfig {
             mem_ports: 4,
             comparators_per_site: 1,
             invocations: 64,
+            optimize: false,
             watchdog: WatchdogConfig::default(),
             fault: FaultPlan::default(),
             cancel: None,
@@ -142,6 +149,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_invocations(mut self, invocations: u64) -> Self {
         self.invocations = invocations;
+        self
+    }
+
+    /// Enables or disables the post-compile MDE optimizer, builder-style.
+    #[must_use]
+    pub fn with_optimize(mut self, optimize: bool) -> Self {
+        self.optimize = optimize;
         self
     }
 

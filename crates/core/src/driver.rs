@@ -102,11 +102,15 @@ pub fn run_backend_with_stages_in(
     nachos_ir::validate_region(region).map_err(SimError::Validation)?;
     let mut compiled = region.clone();
     let analysis = if backend.uses_mdes() {
-        let analysis = compile(&mut compiled, stages);
+        let mut analysis = compile(&mut compiled, stages);
+        if config.optimize {
+            nachos_alias::optimize(&mut compiled, &mut analysis);
+        }
         // Post-compile audit: independently re-verify every alias verdict
-        // and ordering chain before trusting the MDEs with correctness.
-        // The quick configuration skips the enumeration oracle, so this
-        // costs a small fraction of the compile itself.
+        // and ordering chain — and, when the optimizer ran, every rewrite
+        // certificate (`CertLint`) — before trusting the MDEs with
+        // correctness. The quick configuration skips the enumeration
+        // oracle, so this costs a small fraction of the compile itself.
         let errors: Vec<_> = nachos_alias::audit_with(
             &compiled,
             &analysis,

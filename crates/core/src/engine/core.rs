@@ -710,6 +710,18 @@ impl<'a> SchedCore<'a> {
         let bloom = policy.finalize(&mut counts);
         let breakdown = crate::energy::EnergyBreakdown::from_events(&counts, energy);
         let injected = std::mem::take(&mut self.fault.fired);
+        // Distinct younger operations carrying a `==?` comparator: each
+        // MAY-edge destination hosts one site, however many parents fan
+        // in. Scratchpad-local MAY edges become plain tokens (no check).
+        let mut site_at = vec![false; self.region.dfg.num_nodes()];
+        for e in self.region.dfg.edges() {
+            if e.kind == EdgeKind::May
+                && !(is_scratch(self.region, e.src) && is_scratch(self.region, e.dst))
+            {
+                site_at[e.dst.index()] = true;
+            }
+        }
+        let comparator_sites = site_at.iter().filter(|&&s| s).count() as u64;
         super::SimResult {
             backend: self.backend,
             cycles: self.clock,
@@ -722,6 +734,7 @@ impl<'a> SchedCore<'a> {
             llc: self.hierarchy.llc_stats(),
             bloom,
             stalls: self.stalls,
+            comparator_sites,
             injected,
         }
     }

@@ -118,6 +118,10 @@ pub struct SimResult {
     pub llc: CacheStats,
     /// LSQ bloom statistics (OPT-LSQ backend only; zero otherwise).
     pub bloom: BloomStats,
+    /// Distinct younger operations hosting a `==?` comparator site (MAY
+    /// fan-in destinations, scratchpad-local edges excluded). The figure
+    /// `nachos-opt` coalescing shrinks; zero for MDE-free backends.
+    pub comparator_sites: u64,
     /// Deterministic descriptions of every injected fault that fired
     /// during the run (empty outside fault-injection runs).
     pub injected: Vec<String>,

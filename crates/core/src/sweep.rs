@@ -272,6 +272,15 @@ impl SweepConfig {
         self.variants.push(SweepVariant::ideal());
         self
     }
+
+    /// Runs the certificate-carrying MDE optimizer (`nachos-opt`) on every
+    /// MDE-backend cell, builder-style (the sweep binary's `--optimize`
+    /// flag). Each run then reports its `opt` rewrite counters.
+    #[must_use]
+    pub fn with_optimize(mut self, optimize: bool) -> Self {
+        self.sim.optimize = optimize;
+        self
+    }
 }
 
 /// Per-run verdict of the sweep harness.
@@ -895,7 +904,7 @@ fn run_variant(
     } else {
         Vec::new()
     };
-    let metrics = run.as_ref().map(|r| RunMetrics::from_sim(&r.sim));
+    let metrics = run.as_ref().map(RunMetrics::from_run);
     VariantOutcome {
         variant: v.label.clone(),
         backend: v.backend,
@@ -957,7 +966,7 @@ impl SweepResult {
         out
     }
 
-    /// Serializes the sweep to JSON (schema `nachos-sweep-v3`).
+    /// Serializes the sweep to JSON (schema `nachos-sweep-v4`).
     ///
     /// The writer is hand-rolled (the workspace takes no serialization
     /// dependency) and emits keys in a fixed order; the output is
@@ -965,15 +974,15 @@ impl SweepResult {
     /// journal-resume boundaries — including for degraded runs, whose
     /// `status`, `detail` and `attempt_log` fields are deterministic.
     ///
-    /// Changes from `nachos-sweep-v2`: each run carries an `attempts`
-    /// count and, when more than one attempt was made, an `attempt_log`
-    /// array of `{status, seed}` objects; `status` may additionally be
-    /// `"quarantined"` or `"cancelled"`. Every v2 field is unchanged.
+    /// Changes from `nachos-sweep-v3`: each completed run reports its
+    /// `comparator_sites` count and, when the run compiled with the MDE
+    /// optimizer, an `opt` object with the rewrite ledger (edges before,
+    /// removed, coalesced, upgraded). Every v3 field is unchanged.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.open_obj();
-        w.str_field("schema", "nachos-sweep-v3");
+        w.str_field("schema", "nachos-sweep-v4");
         w.u64_field("invocations", self.invocations);
         w.key("variants");
         w.open_arr();
@@ -1100,6 +1109,19 @@ impl VariantOutcome {
         cache_json(w, m.l1.hits, m.l1.misses, m.l1.writebacks);
         w.key("llc");
         cache_json(w, m.llc.hits, m.llc.misses, m.llc.writebacks);
+        w.u64_field("comparator_sites", m.comparator_sites);
+        if let Some(o) = &m.opt {
+            w.key("opt");
+            w.open_obj();
+            w.u64_field("order_before", o.order_before);
+            w.u64_field("may_before", o.may_before);
+            w.u64_field("order_removed", o.order_removed);
+            w.u64_field("may_coalesced", o.may_coalesced);
+            w.u64_field("may_upgraded", o.may_upgraded);
+            w.u64_field("may_upgraded_edges", o.may_upgraded_edges);
+            w.u64_field("edges_removed", o.edges_removed());
+            w.close_obj();
+        }
         w.close_obj();
     }
 }
@@ -1183,7 +1205,7 @@ mod tests {
         let sweep = run_sweep(&jobs, &cfg);
         let json = sweep.to_json();
         assert!(json.starts_with("{\n"));
-        assert!(json.contains("\"schema\": \"nachos-sweep-v3\""));
+        assert!(json.contains("\"schema\": \"nachos-sweep-v4\""));
         assert!(json.contains("\"nachos-sw-baseline\""));
         assert!(json.contains("\"status\": \"ok\""));
         assert!(json.contains("\"matches_reference\": true"));

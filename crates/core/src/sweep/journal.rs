@@ -21,7 +21,7 @@
 //!   so resuming with a reordered, filtered or extended job list replays
 //!   exactly the cells whose inputs are unchanged and re-runs the rest;
 //! * on restart, [`Journal::resume`] loads the replay map and
-//!   `run_sweep` skips completed keys; the final `nachos-sweep-v3`
+//!   `run_sweep` skips completed keys; the final `nachos-sweep-v4`
 //!   report is byte-identical to an uninterrupted run because the record
 //!   carries every reported field (status, retry attempts, metrics)
 //!   round-tripped losslessly — including `f64` energy values, which use
@@ -50,7 +50,7 @@ use std::sync::Mutex;
 
 /// Journal line schema tag; bump when the record layout changes so stale
 /// journals are skipped (and re-run) instead of misread.
-pub const JOURNAL_SCHEMA: &str = "nachos-journal-v1";
+pub const JOURNAL_SCHEMA: &str = "nachos-journal-v2";
 
 // ---------------------------------------------------------------------
 // Content hashing
@@ -134,6 +134,8 @@ pub fn job_fingerprint(
         sim.watchdog,
         sim.fault,
     );
+    // The optimizer changes the compiled MDE graph, so it is content.
+    let _ = write!(h, "|opt={}", sim.optimize);
     h.0
 }
 
@@ -173,8 +175,47 @@ pub struct Attempt {
     pub seed: u64,
 }
 
+/// Per-run counters of the certificate-carrying MDE optimizer
+/// (`nachos-opt`), mirroring [`nachos_alias::OptStats`] in the fixed-width
+/// form the report emits. Present only when the run compiled with
+/// [`SimConfig::optimize`] on an MDE backend.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptMetrics {
+    /// ORDER/token edges planned before optimization.
+    pub order_before: u64,
+    /// MAY edges planned before optimization.
+    pub may_before: u64,
+    /// ORDER edges deleted by transitive reduction.
+    pub order_removed: u64,
+    /// MAY edges deleted by comparator-site coalescing.
+    pub may_coalesced: u64,
+    /// Residual MAY pairs upgraded to NO by stage 5.
+    pub may_upgraded: u64,
+    /// MAY edges deleted because their pair was upgraded.
+    pub may_upgraded_edges: u64,
+}
+
+impl OptMetrics {
+    /// Total ordering-mechanism edges deleted.
+    #[must_use]
+    pub fn edges_removed(&self) -> u64 {
+        self.order_removed + self.may_coalesced + self.may_upgraded_edges
+    }
+
+    fn from_stats(s: &nachos_alias::OptStats) -> Self {
+        Self {
+            order_before: s.order_before as u64,
+            may_before: s.may_before as u64,
+            order_removed: s.order_removed as u64,
+            may_coalesced: s.may_coalesced as u64,
+            may_upgraded: s.may_upgraded as u64,
+            may_upgraded_edges: s.may_upgraded_edges as u64,
+        }
+    }
+}
+
 /// The reportable metrics of a completed run — exactly the scalar fields
-/// `nachos-sweep-v3` emits per run, so a journaled cell reproduces its
+/// `nachos-sweep-v4` emits per run, so a journaled cell reproduces its
 /// report bytes without re-simulation.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RunMetrics {
@@ -190,6 +231,10 @@ pub struct RunMetrics {
     pub l1: CacheStats,
     /// LLC statistics.
     pub llc: CacheStats,
+    /// Distinct `==?` comparator sites in the simulated DFG.
+    pub comparator_sites: u64,
+    /// Optimizer counters (`None` when `nachos-opt` did not run).
+    pub opt: Option<OptMetrics>,
 }
 
 impl RunMetrics {
@@ -203,7 +248,22 @@ impl RunMetrics {
             energy: sim.energy,
             l1: sim.l1,
             llc: sim.llc,
+            comparator_sites: sim.comparator_sites,
+            opt: None,
         }
+    }
+
+    /// Extracts the reportable metrics from a completed experiment,
+    /// including the optimizer ledger when the compile carried one.
+    #[must_use]
+    pub fn from_run(run: &crate::driver::ExperimentRun) -> Self {
+        let mut m = Self::from_sim(&run.sim);
+        m.opt = run
+            .analysis
+            .as_ref()
+            .and_then(|a| a.opt.as_ref())
+            .map(|o| OptMetrics::from_stats(&o.stats));
+        m
     }
 }
 
@@ -339,6 +399,18 @@ impl RunRecord {
             cache_line(&mut w, m.l1);
             w.key("llc");
             cache_line(&mut w, m.llc);
+            w.u64_field("comparator_sites", m.comparator_sites);
+            if let Some(o) = &m.opt {
+                w.key("opt");
+                w.open_obj();
+                w.u64_field("order_before", o.order_before);
+                w.u64_field("may_before", o.may_before);
+                w.u64_field("order_removed", o.order_removed);
+                w.u64_field("may_coalesced", o.may_coalesced);
+                w.u64_field("may_upgraded", o.may_upgraded);
+                w.u64_field("may_upgraded_edges", o.may_upgraded_edges);
+                w.close_obj();
+            }
             w.close_obj();
         }
         w.close_obj();
@@ -480,6 +552,18 @@ fn parse_metrics(v: &Json) -> Option<RunMetrics> {
         },
         l1: parse_cache(v.get("l1")?)?,
         llc: parse_cache(v.get("llc")?)?,
+        comparator_sites: v.get("comparator_sites")?.as_u64()?,
+        opt: match v.get("opt") {
+            Some(o) => Some(OptMetrics {
+                order_before: o.get("order_before")?.as_u64()?,
+                may_before: o.get("may_before")?.as_u64()?,
+                order_removed: o.get("order_removed")?.as_u64()?,
+                may_coalesced: o.get("may_coalesced")?.as_u64()?,
+                may_upgraded: o.get("may_upgraded")?.as_u64()?,
+                may_upgraded_edges: o.get("may_upgraded_edges")?.as_u64()?,
+            }),
+            None => None,
+        },
     })
 }
 
@@ -1009,6 +1093,15 @@ mod tests {
                         misses: 1,
                         writebacks: 0,
                     },
+                    comparator_sites: 2,
+                    opt: Some(OptMetrics {
+                        order_before: 6,
+                        may_before: 4,
+                        order_removed: 1,
+                        may_coalesced: 2,
+                        may_upgraded: 1,
+                        may_upgraded_edges: 1,
+                    }),
                 }),
             },
         }
@@ -1047,6 +1140,9 @@ mod tests {
         let mut other = sim.clone();
         other.invocations += 1;
         assert_ne!(fp, job_fingerprint(&region, &binding, &other));
+        // The optimizer changes the compiled graph: content, not control.
+        let optimized = sim.clone().with_optimize(true);
+        assert_ne!(fp, job_fingerprint(&region, &binding, &optimized));
         // The cancel token does NOT (runtime control, not content).
         let cancelled = sim.clone().with_cancel(crate::CancelToken::new());
         assert_eq!(fp, job_fingerprint(&region, &binding, &cancelled));

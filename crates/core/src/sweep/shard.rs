@@ -36,7 +36,7 @@
 //! single merged journal and runs the ordinary in-process
 //! [`super::run_sweep_journaled`] over it: recorded cells replay
 //! byte-exactly and any cell no worker completed (respawn budget
-//! exhausted, hostile cell) executes inline. The final `nachos-sweep-v3`
+//! exhausted, hostile cell) executes inline. The final `nachos-sweep-v4`
 //! report is therefore **byte-identical** to a single-process run of
 //! the same matrix, for any shard count, worker death or resume
 //! history.

@@ -15,7 +15,7 @@ use std::fmt::Write as _;
 /// comparator population of Figure 14 is readable straight off the graph.
 #[must_use]
 pub fn to_dot(region: &Region) -> String {
-    to_dot_highlighted(region, &[])
+    to_dot_with_removed(region, &[], &[])
 }
 
 /// Like [`to_dot`], additionally coloring `flagged` nodes red — the
@@ -24,6 +24,20 @@ pub fn to_dot(region: &Region) -> String {
 /// debuggable in context.
 #[must_use]
 pub fn to_dot_highlighted(region: &Region, flagged: &[NodeId]) -> String {
+    to_dot_with_removed(region, flagged, &[])
+}
+
+/// Like [`to_dot_highlighted`], additionally rendering optimizer-removed
+/// MDEs as dashed grey ghost edges (label suffix `(removed)`), so a
+/// before/after pair of `nachos-opt` plans is visually diffable from the
+/// *after* region alone. `removed` carries the `(src, dst, kind)` of each
+/// deleted edge, exactly as reported by the optimizer's certificates.
+#[must_use]
+pub fn to_dot_with_removed(
+    region: &Region,
+    flagged: &[NodeId],
+    removed: &[(NodeId, NodeId, EdgeKind)],
+) -> String {
     // Comparator sites: the younger (destination) op of each MAY edge.
     let mut comparator = vec![false; region.dfg.num_nodes()];
     for e in region.dfg.edges() {
@@ -67,6 +81,14 @@ pub fn to_dot_highlighted(region: &Region, flagged: &[NodeId]) -> String {
             } else {
                 e.kind.into_label()
             }
+        );
+    }
+    for &(src, dst, kind) in removed {
+        let _ = writeln!(
+            out,
+            "  {src} -> {dst} [style=dashed, color=grey, fontcolor=grey, \
+             label=\"{} (removed)\"];",
+            kind.into_label()
         );
     }
     out.push_str("}\n");
@@ -132,5 +154,20 @@ mod tests {
         let dot = to_dot_highlighted(&r, &[ld]);
         assert!(dot.contains("color=red, fontcolor=red"));
         assert!(!to_dot(&r).contains("color=red"));
+    }
+
+    #[test]
+    fn removed_edges_render_as_grey_ghosts() {
+        let mut b = RegionBuilder::new("ghost");
+        let g = b.global("g", 64, 0);
+        let ld = b.load(MemRef::affine(g, AffineExpr::zero()), &[]);
+        let st = b.store(MemRef::affine(g, AffineExpr::zero()), &[ld]);
+        let r = b.finish();
+        let dot = to_dot_with_removed(&r, &[], &[(ld, st, EdgeKind::Order)]);
+        assert!(dot.contains(&format!(
+            "{ld} -> {st} [style=dashed, color=grey, fontcolor=grey, label=\"O (removed)\"]"
+        )));
+        // A plain render carries no ghosts.
+        assert!(!to_dot(&r).contains("removed"));
     }
 }

@@ -204,6 +204,26 @@ impl Dfg {
         removed
     }
 
+    /// Removes the edge `src → dst` of `kind`, if present, and returns it.
+    ///
+    /// Unlike [`remove_edge_unchecked`](Self::remove_edge_unchecked) this
+    /// is a *checked* mutation meant for production transformation passes
+    /// (the MDE optimizer): the edge is looked up by endpoints and kind,
+    /// the adjacency lists are rebuilt, and removing an edge can never
+    /// break the graph invariants [`add_edge`](Self::add_edge) enforces
+    /// (acyclicity, uniqueness and endpoint shape are preserved by
+    /// deletion). Returns `None` when no such edge exists.
+    pub fn remove_edge_between(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        kind: EdgeKind,
+    ) -> Option<Edge> {
+        let target = Edge::new(src, dst, kind);
+        let index = self.edges.iter().position(|e| *e == target)?;
+        Some(self.remove_edge_unchecked(index))
+    }
+
     /// `true` if `to` is reachable from `from` along any edges.
     #[must_use]
     pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
@@ -433,6 +453,23 @@ mod tests {
             Some(&Edge::new(b, c, EdgeKind::Data))
         );
         assert_eq!(g.in_edges(c).count(), 1);
+    }
+
+    #[test]
+    fn remove_edge_between_finds_by_endpoints_and_kind() {
+        let (mut g, a, _, c) = small_graph();
+        g.add_edge(a, c, EdgeKind::Order).unwrap();
+        // Wrong kind: untouched.
+        assert_eq!(g.remove_edge_between(a, c, EdgeKind::May), None);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(
+            g.remove_edge_between(a, c, EdgeKind::Order),
+            Some(Edge::new(a, c, EdgeKind::Order))
+        );
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.count_edges(EdgeKind::Order), 0);
+        // Second removal of the same edge is a no-op.
+        assert_eq!(g.remove_edge_between(a, c, EdgeKind::Order), None);
     }
 
     #[test]

@@ -53,7 +53,7 @@ mod validate;
 
 pub use binding::{Binding, UnknownPattern};
 pub use builder::RegionBuilder;
-pub use dot::{to_dot, to_dot_highlighted};
+pub use dot::{to_dot, to_dot_highlighted, to_dot_with_removed};
 pub use edge::{Edge, EdgeKind};
 pub use expr::{AffineExpr, ScaledParam};
 pub use graph::{Dfg, GraphError, Node};

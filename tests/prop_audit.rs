@@ -10,8 +10,16 @@
 //! * **No missed bugs** — seeding a known bug into the compiled result
 //!   (a hand-broken NO label, a hand-deleted ORDER edge) must produce an
 //!   Error diagnostic, proving the net actually catches what it claims.
+//!
+//! The `nachos-opt` optimizer extends both directions: optimized random
+//! regions must still audit clean (its `CertLint` pass re-verifying every
+//! rewrite certificate), a seeded redundant ORDER edge must be removed
+//! with a valid certificate, and any corruption of the certificate
+//! ledger must be rejected as `A-E08`.
 
-use nachos_alias::{audit, compile, differential_no_collisions, AliasLabel, Code, StageConfig};
+use nachos_alias::{
+    audit, compile, differential_no_collisions, optimize, AliasLabel, Code, StageConfig,
+};
 use nachos_ir::{
     AffineExpr, Binding, EdgeKind, IntOp, LoopInfo, MemRef, Region, RegionBuilder, UnknownPattern,
 };
@@ -199,6 +207,104 @@ proptest! {
                 .iter()
                 .any(|d| d.code == Code::MissingChain || d.code == Code::PlanDrift),
             "deleted ORDER edge survived the audit"
+        );
+    }
+
+    /// The optimizer's soundness net: rewriting random regions never
+    /// earns an Error diagnostic under any ablation — `CertLint` accepts
+    /// every certificate the optimizer emits — and the surviving NO
+    /// pairs (including stage-5 upgrades) never collide dynamically.
+    #[test]
+    fn optimized_regions_audit_clean(
+        ops in proptest::collection::vec(arb_op(), 1..12),
+    ) {
+        for stages in all_configs() {
+            let (mut region, binding) = build(&ops);
+            let mut analysis = compile(&mut region, stages);
+            optimize(&mut region, &mut analysis);
+            let errors: Vec<_> = audit(&region, &analysis, stages)
+                .into_iter()
+                .filter(|d| d.is_error())
+                .collect();
+            prop_assert!(
+                errors.is_empty(),
+                "optimized pipeline earned errors under {:?}: {:?}",
+                stages,
+                errors
+            );
+            let collisions =
+                differential_no_collisions(&region, &analysis.matrix, &binding, 8);
+            prop_assert!(
+                collisions.is_empty(),
+                "optimized NO pair collided dynamically: {:?}",
+                collisions
+            );
+        }
+    }
+
+    /// Seeded redundancy: re-adding a transitively implied ORDER edge
+    /// (`a → c` alongside planned `a → b → c`) must be deleted by the
+    /// reduction with a certificate the audit then verifies.
+    #[test]
+    fn seeded_redundant_order_edge_is_removed_and_certified(
+        ops in proptest::collection::vec(arb_op(), 2..12),
+    ) {
+        let (mut region, _) = build(&ops);
+        let mut analysis = compile(&mut region, StageConfig::full());
+        // Find a planned two-hop chain a → b → c with no direct a → c.
+        let order = analysis.plan.order.clone();
+        let seeded = order.iter().find_map(|&(a, b)| {
+            order.iter().find_map(|&(b2, c)| {
+                (b2 == b && c != a && !order.contains(&(a, c))).then_some((a, c))
+            })
+        });
+        let Some((a, c)) = seeded else { continue };
+        if region.dfg.add_edge(a, c, EdgeKind::Order).is_err() {
+            continue;
+        }
+        analysis.plan.order.push((a, c));
+        analysis.report.mdes.0 += 1;
+        optimize(&mut region, &mut analysis);
+        let opt = analysis.opt.as_ref().expect("optimizer records an outcome");
+        prop_assert!(
+            opt.stats.order_removed >= 1,
+            "seeded redundant ORDER edge survived: {:?}",
+            analysis.plan.order
+        );
+        prop_assert!(!analysis.plan.order.contains(&(a, c)));
+        let errors: Vec<_> = audit(&region, &analysis, StageConfig::full())
+            .into_iter()
+            .filter(|d| d.is_error())
+            .collect();
+        prop_assert!(errors.is_empty(), "reduction left errors: {errors:?}");
+    }
+
+    /// Seeded corruption: dropping any certificate, or inflating any
+    /// ledger count, must be rejected by `CertLint` as `A-E08` — for
+    /// every seed that produces at least one rewrite.
+    #[test]
+    fn corrupted_certificates_are_always_rejected(
+        ops in proptest::collection::vec(arb_op(), 2..12),
+        tamper in 0usize..3,
+    ) {
+        let (mut region, _) = build(&ops);
+        let mut analysis = compile(&mut region, StageConfig::full());
+        optimize(&mut region, &mut analysis);
+        {
+            let opt = analysis.opt.as_mut().expect("optimizer records an outcome");
+            if opt.certs.is_empty() {
+                continue;
+            }
+            match tamper {
+                0 => drop(opt.certs.pop()),
+                1 => opt.stats.order_removed += 1,
+                _ => opt.stats.may_coalesced += 1,
+            }
+        }
+        let diags = audit(&region, &analysis, StageConfig::full());
+        prop_assert!(
+            diags.iter().any(|d| d.code == Code::BadCertificate),
+            "tampered certificate ledger (mode {tamper}) survived: {diags:?}"
         );
     }
 }
