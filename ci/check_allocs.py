@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: fail when steady-state allocations per engine run
+regress against the committed perf trajectory.
+
+Usage: check_allocs.py COMMITTED_BENCH_JSON FRESH_BENCH_JSON
+
+Compares the per-workload ``allocs_per_run`` column of a freshly measured
+``nachos-bench-v2`` artifact against the committed ``BENCH_sweep.json``.
+Allocation counts are deterministic for a given build (they come from a
+counting global allocator, not from timing), so the tolerance only covers
+allocator/platform skew, not real regressions.
+"""
+
+import json
+import sys
+
+TOLERANCE = 1.10  # 10% headroom for platform/allocator skew
+
+
+def allocs(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    return {
+        w["name"]: w["allocs_per_run"]
+        for w in doc.get("workloads", [])
+        if "allocs_per_run" in w
+    }
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} COMMITTED_BENCH_JSON FRESH_BENCH_JSON")
+    committed = allocs(sys.argv[1])
+    fresh = allocs(sys.argv[2])
+    if not committed:
+        sys.exit(f"{sys.argv[1]}: no allocs_per_run entries to gate against")
+    failures = []
+    for name, base in sorted(committed.items()):
+        now = fresh.get(name)
+        if now is None:
+            failures.append(f"{name}: missing from fresh artifact")
+        elif now > base * TOLERANCE:
+            failures.append(f"{name}: {now} allocs/run vs committed {base}")
+    for f in failures:
+        print(f"ALLOC REGRESSION: {f}", file=sys.stderr)
+    if failures:
+        sys.exit(1)
+    print(f"allocs/run within {TOLERANCE:.0%} of the committed trajectory "
+          f"for all {len(committed)} workloads")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,10 @@
 //! between the two columns is the state the arena pools.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nachos::{simulate, simulate_in, Backend, EnergyModel, SimArena, SimConfig};
+use nachos::{
+    simulate, simulate_in, simulate_with_telemetry, Backend, EnergyModel, NoopSink, SimArena,
+    SimConfig,
+};
 use nachos_alias::StageConfig;
 use nachos_ir::{Binding, Region};
 use nachos_workloads::{by_name, generate};
@@ -100,14 +103,36 @@ fn bench_engine_reuse(c: &mut Criterion) {
             ));
             allocs() - before
         };
+        // Telemetry off must be free: a run with no sink attached pays
+        // one branch per event and zero allocations beyond the sinkless
+        // baseline. `simulate_with_telemetry` with a `NoopSink` bounds it
+        // from the other side — attaching the no-op sink allocates
+        // nothing either.
+        let noop_allocs = {
+            let mut arena = SimArena::new();
+            let mut sink = NoopSink;
+            let _ = simulate_with_telemetry(
+                &mut arena, &region, &binding, backend, &config, &energy, &mut sink,
+            );
+            let before = allocs();
+            let _ = black_box(simulate_with_telemetry(
+                &mut arena, &region, &binding, backend, &config, &energy, &mut sink,
+            ));
+            allocs() - before
+        };
         println!(
             "engine_reuse_povray_8inv/{backend}: {fresh_allocs} allocs/run fresh, \
-             {reuse_allocs} allocs/run arena-reset"
+             {reuse_allocs} allocs/run arena-reset, {noop_allocs} with NoopSink"
         );
         assert!(
             reuse_allocs < fresh_allocs,
             "arena reuse must allocate strictly less than fresh state \
              ({reuse_allocs} vs {fresh_allocs})"
+        );
+        assert!(
+            noop_allocs <= reuse_allocs,
+            "telemetry off must cost nothing: NoopSink runs allocate no more \
+             than sinkless runs ({noop_allocs} vs {reuse_allocs})"
         );
     }
     group.finish();

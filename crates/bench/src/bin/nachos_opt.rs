@@ -11,10 +11,12 @@
 //! error, divergence, or cycle regression — the CI `opt-audit` gate.
 //!
 //! With `--bench FILE`, additionally runs the full 27×5 sweep (the four
-//! bench variants plus the IDEAL oracle), measures steady-state heap
-//! allocations per arena-reset engine run through a counting global
-//! allocator, and writes the combined `nachos-bench-v1` perf artifact
-//! (the committed `BENCH_sweep.json` trajectory).
+//! bench variants plus the IDEAL oracle), measures its wall-clock
+//! throughput and steady-state heap allocations per arena-reset engine
+//! run through a counting global allocator, and writes the combined
+//! `nachos-bench-v2` perf artifact (the committed `BENCH_sweep.json`
+//! trajectory). `--stats FILE` streams the matrix's cycle-level
+//! `nachos-stats-v1` telemetry alongside.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
@@ -23,7 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use nachos::{simulate_in, Backend, EnergyModel, SimArena, SimConfig};
 use nachos_alias::StageConfig;
 use nachos_bench::lint::standard_configs;
-use nachos_bench::opt::{bench_artifact_json, run_opt_suite, OptOptions};
+use nachos_bench::opt::{bench_artifact_json, run_opt_suite, OptOptions, SweepTiming};
 
 /// Counts every heap allocation for the `--bench` artifact's allocs/run
 /// column. Only the binary carries this; the workspace libraries keep
@@ -60,8 +62,11 @@ OPTIONS:
     --threads N          Worker threads for the --bench sweep (0 = auto)
     --out FILE           Write the nachos-opt-v1 report to FILE
                          instead of stdout
-    --bench FILE         Also run the 27x5 sweep + allocation census and
-                         write the nachos-bench-v1 perf artifact to FILE
+    --bench FILE         Also run the 27x5 sweep + throughput/allocation
+                         census and write the nachos-bench-v2 perf
+                         artifact to FILE
+    --stats FILE         With --bench: stream the matrix's cycle-level
+                         nachos-stats-v1 telemetry (stats.jsonl) to FILE
     --strict             Additionally require the acceptance thresholds:
                          >=10% ORDER edges removed or >=5% MAY upgraded,
                          and faster cycles on >=5 workloads (full suite)
@@ -124,6 +129,7 @@ fn main() -> ExitCode {
     let mut threads = 0usize;
     let mut out_path: Option<String> = None;
     let mut bench_path: Option<String> = None;
+    let mut stats_path: Option<String> = None;
     let mut strict = false;
 
     let mut args = std::env::args().skip(1);
@@ -177,6 +183,12 @@ fn main() -> ExitCode {
                 };
                 bench_path = Some(v);
             }
+            "--stats" => {
+                let Some(v) = args.next() else {
+                    return usage_error("--stats requires a path");
+                };
+                stats_path = Some(v);
+            }
             "--strict" => strict = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -188,6 +200,9 @@ fn main() -> ExitCode {
     if bench_path.is_some() && (options.workload.is_some() || options.config.is_some()) {
         return usage_error("--bench covers the full suite; it takes no --workload/--config");
     }
+    if stats_path.is_some() && bench_path.is_none() {
+        return usage_error("--stats requires --bench (it streams the bench matrix)");
+    }
 
     let report = run_opt_suite(&options);
     if let Err(code) = write_or_print(&report.to_json(), out_path.as_deref(), "report") {
@@ -195,6 +210,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &bench_path {
+        let t0 = std::time::Instant::now();
         let suite = match nachos_bench::try_run_suite_opts(options.invocations, threads, true) {
             Ok(s) => s,
             Err(why) => {
@@ -202,6 +218,19 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        let wall = t0.elapsed().as_secs_f64();
+        let runs = suite
+            .results
+            .len()
+            .saturating_mul(suite.sweep.variants.len()) as u64;
+        let timing = SweepTiming {
+            runs,
+            wall_seconds: wall,
+        };
+        eprintln!(
+            "bench sweep: {runs} runs in {wall:.3}s ({:.1} runs/sec)",
+            if wall > 0.0 { runs as f64 / wall } else { 0.0 },
+        );
         let allocs: Vec<(String, u64)> = suite
             .results
             .iter()
@@ -212,9 +241,21 @@ fn main() -> ExitCode {
                 )
             })
             .collect();
-        let artifact = bench_artifact_json(&suite, &report, &allocs, options.invocations);
+        let artifact =
+            bench_artifact_json(&suite, &report, &allocs, options.invocations, Some(timing));
         if let Err(code) = write_or_print(&artifact, Some(path.as_str()), "perf artifact") {
             return code;
+        }
+        if let Some(stats) = &stats_path {
+            let jobs = nachos_bench::suite_jobs();
+            let cfg = nachos_bench::suite_config(options.invocations, 1, true);
+            match nachos_bench::stats::write_stats_stream(stats, &jobs, &cfg) {
+                Ok(n) => eprintln!("stats stream: {n} runs written to {stats}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
     }
 

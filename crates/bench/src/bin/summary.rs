@@ -105,18 +105,24 @@ fn main() {
     println!();
     println!("Per-benchmark detail:");
     println!(
-        "{:<14} {:>10} {:>10} {:>10} | {:>8} {:>8}",
-        "App", "SW %slow", "HW %slow", "base %sl", "%LSQ-E", "%MDE-E"
+        "{:<14} {:>10} {:>10} {:>10} | {:>8} {:>8} | {:>9} {:>7}",
+        "App", "SW %slow", "HW %slow", "base %sl", "%LSQ-E", "%MDE-E", "q-events", "q-depth"
     );
     for r in &results {
         println!(
-            "{:<14} {:>+9.1}% {:>+9.1}% {:>+9.1}% | {:>7.1}% {:>7.1}%",
+            "{:<14} {:>+9.1}% {:>+9.1}% {:>+9.1}% | {:>7.1}% {:>7.1}% | {:>9} {:>7}",
             r.spec.name,
             r.sw_slowdown_pct(),
             r.hw_slowdown_pct(),
             r.baseline_slowdown_pct(),
             r.lsq.sim.energy.pct(r.lsq.sim.energy.lsq()),
             r.hw.sim.energy.pct(r.hw.sim.energy.mde),
+            r.hw.sim.queue_events,
+            r.hw.sim.heap_max_depth,
         );
     }
+    let (qe, qd) = results.iter().fold((0u64, 0u64), |(e, d), r| {
+        (e + r.hw.sim.queue_events, d.max(r.hw.sim.heap_max_depth))
+    });
+    println!("NACHOS queue aggregate: {qe} events pushed, max live depth {qd}");
 }

@@ -65,7 +65,7 @@ const USAGE: &str = "usage: sweep [--threads N] [--invocations N] [--out FILE] [
                      [--optimize] [--journal FILE] [--resume] [--max-retries N] \
                      [--filter SUBSTR] [--variants LIST] [--poison NAME] [--inject smoke] \
                      [--shards N] [--cache PATH|default] [--heartbeat-interval MS] \
-                     [--strict] [--shard-exec] [--help]";
+                     [--stats FILE] [--strict] [--shard-exec] [--help]";
 
 const HELP: &str = "\
 The NACHOS differential sweep harness.
@@ -94,6 +94,12 @@ Flags:
                           $XDG_CACHE_HOME/nachos/sweep (requires --shards)
   --heartbeat-interval MS worker liveness pulse period (0 disables; a
                           worker silent for ~10 intervals is respawned)
+  --stats FILE            after the sweep, re-run the matrix serially with
+                          cycle-level telemetry attached and stream the
+                          nachos-stats-v1 JSONL (one run block per cell,
+                          deterministic matrix order) to FILE; telemetry
+                          is observation-only, so the report, journal and
+                          cache fingerprints are unchanged
   --strict                degraded cells (quarantined, cancelled, panic,
                           deadlock, error, fault_detected) fail the run
   --shard-exec            internal: run as a shard worker, reading the
@@ -137,6 +143,52 @@ fn verdict(sweep: &SweepResult, strict: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Rebuilds the job list the standard sweep ran, for the `--stats` pass.
+fn stats_jobs(filter: &Option<String>, poison: &Option<String>) -> Vec<nachos::sweep::SweepJob> {
+    let mut jobs = nachos_bench::suite_jobs();
+    if let Some(f) = filter {
+        jobs.retain(|j| j.name.contains(f.as_str()));
+    }
+    if let Some(name) = poison {
+        if let Some(job) = jobs.iter_mut().find(|j| &j.name == name) {
+            job.fault = nachos::FaultPlan::single(nachos::FaultSpec::new(
+                nachos::FaultKind::PanicOnEvent,
+                0,
+            ));
+        }
+    }
+    jobs
+}
+
+/// Rebuilds the matrix configuration the standard sweep ran, for the
+/// `--stats` pass (serial by construction, so threads are irrelevant).
+fn stats_cfg(
+    invocations: u64,
+    variant_list: &Option<String>,
+    ideal: bool,
+    optimize: bool,
+) -> nachos::sweep::SweepConfig {
+    let mut cfg = nachos_bench::suite_config(invocations, 1, false);
+    if let Some(list) = variant_list {
+        let variants: Vec<_> = list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .filter_map(nachos_bench::variant_by_label)
+            .collect();
+        if !variants.is_empty() {
+            cfg = cfg.with_variants(variants);
+        }
+    }
+    if ideal && !cfg.variants.iter().any(|v| v.label == "ideal") {
+        cfg = cfg.with_ideal();
+    }
+    if optimize {
+        cfg = cfg.with_optimize(true);
+    }
+    cfg
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
     let mut threads = 0usize;
@@ -155,6 +207,7 @@ fn main() -> ExitCode {
     let mut shard_exec = false;
     let mut cache_arg: Option<String> = None;
     let mut heartbeat_ms = 200u64;
+    let mut stats_path: Option<String> = None;
     let mut strict = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -197,7 +250,8 @@ fn main() -> ExitCode {
             | "--poison"
             | "--shards"
             | "--cache"
-            | "--heartbeat-interval" => args.next(),
+            | "--heartbeat-interval"
+            | "--stats" => args.next(),
             other => return usage_error(&format!("unknown argument: {other}")),
         }) else {
             return usage_error(&format!("{a} requires a value"));
@@ -237,6 +291,7 @@ fn main() -> ExitCode {
             "--variants" => variant_list = Some(value),
             "--poison" => poison = Some(value),
             "--cache" => cache_arg = Some(value),
+            "--stats" => stats_path = Some(value),
             _ => out = Some(value),
         }
     }
@@ -257,6 +312,9 @@ fn main() -> ExitCode {
     }
     if inject.is_some() && shards > 0 {
         return usage_error("--inject smoke runs in-process; it takes no --shards");
+    }
+    if stats_path.is_some() && (inject.is_some() || shard_exec) {
+        return usage_error("--stats applies to the standard sweep");
     }
 
     let (json, summary, code) = match inject.as_deref() {
@@ -513,6 +571,21 @@ fn main() -> ExitCode {
             }
         }
     };
+
+    if let Some(path) = &stats_path {
+        // The telemetry pass re-executes the matrix serially so the
+        // stream order is deterministic; the sweep report above is
+        // untouched (telemetry is observation-only).
+        let jobs = stats_jobs(&filter, &poison);
+        let cfg = stats_cfg(invocations, &variant_list, ideal, optimize);
+        match nachos_bench::stats::write_stats_stream(path, &jobs, &cfg) {
+            Ok(n) => eprintln!("stats stream: {n} runs written to {path}"),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     match out {
         Some(path) => {

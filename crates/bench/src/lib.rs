@@ -21,6 +21,7 @@
 
 pub mod lint;
 pub mod opt;
+pub mod stats;
 
 use nachos::sweep::{
     run_sweep, JobOutcome, RunStatus, SweepConfig, SweepJob, SweepResult, SweepVariant,

@@ -374,12 +374,26 @@ pub fn run_opt_suite(options: &OptOptions) -> OptSuiteReport {
     }
 }
 
-/// Renders the `nachos-bench-v1` perf artifact (`BENCH_sweep.json`): one
+/// Wall-clock measurement of the full sweep, recorded in the perf
+/// artifact so throughput regressions are visible in the committed
+/// trajectory (machine-dependent, like `allocs_per_run`).
+#[derive(Clone, Copy, Debug)]
+pub struct SweepTiming {
+    /// Matrix cells executed (jobs × variants).
+    pub runs: u64,
+    /// Wall-clock seconds for the whole matrix.
+    pub wall_seconds: f64,
+}
+
+/// Renders the `nachos-bench-v2` perf artifact (`BENCH_sweep.json`): one
 /// row per Table II workload combining the 27×5 sweep's cycles per
-/// variant, the optimized NACHOS/NACHOS-SW cycles, the MDE census before
-/// vs. after `nachos-opt` (full-pipeline config), the engine-measured
-/// comparator sites, and — when provided — steady-state heap allocations
-/// per arena-reset run.
+/// variant, the event-queue shape per variant (events pushed, live-depth
+/// high-water mark), the optimized NACHOS/NACHOS-SW cycles, the MDE
+/// census before vs. after `nachos-opt` (full-pipeline config), the
+/// engine-measured comparator sites, and — when provided — steady-state
+/// heap allocations per arena-reset run plus the sweep's measured
+/// throughput. v2 is additions-only over v1: every v1 field is emitted
+/// unchanged.
 ///
 /// `allocs` maps workload name → allocations per run; workloads missing
 /// from it simply omit the field (the library cannot observe the global
@@ -390,11 +404,27 @@ pub fn bench_artifact_json(
     opt: &OptSuiteReport,
     allocs: &[(String, u64)],
     invocations: u64,
+    timing: Option<SweepTiming>,
 ) -> String {
     let mut w = JsonWriter::new();
     w.open_obj();
-    w.str_field("schema", "nachos-bench-v1");
+    w.str_field("schema", "nachos-bench-v2");
     w.u64_field("invocations", invocations);
+    if let Some(t) = timing {
+        w.key("sweep");
+        w.open_obj();
+        w.u64_field("runs", t.runs);
+        w.f64_field("wall_seconds", t.wall_seconds);
+        w.f64_field(
+            "runs_per_sec",
+            if t.wall_seconds > 0.0 {
+                t.runs as f64 / t.wall_seconds
+            } else {
+                0.0
+            },
+        );
+        w.close_obj();
+    }
     w.key("workloads");
     w.open_arr();
     for r in &suite.results {
@@ -409,6 +439,26 @@ pub fn bench_artifact_json(
         w.u64_field("nachos-sw-baseline", r.sw_baseline.sim.cycles);
         if let Some(ideal) = &r.ideal {
             w.u64_field("ideal", ideal.sim.cycles);
+        }
+        w.close_obj();
+        // Queue shape per variant: total events pushed and the live-depth
+        // high-water mark, so a refactor that changes event volume or
+        // queue pressure shows up in the trajectory.
+        w.key("queue");
+        w.open_obj();
+        let mut variant = |label: &str, run: &nachos::ExperimentRun| {
+            w.key(label);
+            w.open_obj();
+            w.u64_field("events", run.sim.queue_events);
+            w.u64_field("max_depth", run.sim.heap_max_depth);
+            w.close_obj();
+        };
+        variant("opt-lsq", &r.lsq);
+        variant("nachos-sw", &r.sw);
+        variant("nachos", &r.hw);
+        variant("nachos-sw-baseline", &r.sw_baseline);
+        if let Some(ideal) = &r.ideal {
+            variant("ideal", ideal);
         }
         w.close_obj();
         // The optimizer's impact under the full pipeline.

@@ -2,7 +2,7 @@
 
 use crate::config::{Backend, SimConfig};
 use crate::energy::EnergyModel;
-use crate::engine::{simulate_in, SimArena, SimResult};
+use crate::engine::{simulate_in, simulate_with_telemetry, SimArena, SimResult, TelemetrySink};
 use crate::error::SimError;
 use nachos_alias::{compile, Analysis, StageConfig};
 use nachos_ir::{Binding, Region};
@@ -14,6 +14,101 @@ pub struct ExperimentRun {
     pub analysis: Option<Analysis>,
     /// Simulation result.
     pub sim: SimResult,
+}
+
+/// A region prepared for simulation under one backend class: MDEs
+/// compiled (and audited) for the NACHOS backends, or stripped and
+/// rewired for OPT-LSQ. Compilation is deterministic in `(region,
+/// stages, optimize, uses_mdes)`, so a `CompiledRegion` can be reused
+/// across backends that share those inputs — the sweep harness compiles
+/// each workload once per distinct stage configuration instead of once
+/// per cell.
+#[derive(Clone, Debug)]
+pub struct CompiledRegion {
+    /// The compiled (or de-MDE'd) region, ready for `simulate`.
+    pub region: Region,
+    /// Compiler analysis (absent for OPT-LSQ, which needs no MDEs).
+    pub analysis: Option<Analysis>,
+}
+
+/// Compiles `region` as `backend` requires: the full MDE pipeline plus
+/// post-compile audit for the NACHOS backends (honouring
+/// `config.optimize`), or MDE stripping + scratchpad dependency wiring
+/// for OPT-LSQ.
+///
+/// # Errors
+///
+/// Returns [`SimError::Validation`] for malformed input graphs and
+/// [`SimError::Audit`] when the independent post-compile audit rejects
+/// the analysis.
+pub fn compile_for_backend(
+    region: &Region,
+    backend: Backend,
+    config: &SimConfig,
+    stages: StageConfig,
+) -> Result<CompiledRegion, SimError> {
+    // Fail fast on malformed input graphs before spending compile and
+    // placement work; `simulate` re-validates the compiled region.
+    nachos_ir::validate_region(region).map_err(SimError::Validation)?;
+    let mut compiled = region.clone();
+    let analysis = if backend.uses_mdes() {
+        let mut analysis = compile(&mut compiled, stages);
+        if config.optimize {
+            nachos_alias::optimize(&mut compiled, &mut analysis);
+        }
+        // Post-compile audit: independently re-verify every alias verdict
+        // and ordering chain — and, when the optimizer ran, every rewrite
+        // certificate (`CertLint`) — before trusting the MDEs with
+        // correctness. The quick configuration skips the enumeration
+        // oracle, so this costs a small fraction of the compile itself.
+        let errors: Vec<_> = nachos_alias::audit_with(
+            &compiled,
+            &analysis,
+            stages,
+            &nachos_alias::AuditConfig::quick(),
+        )
+        .into_iter()
+        .filter(nachos_alias::Diagnostic::is_error)
+        .collect();
+        if !errors.is_empty() {
+            return Err(SimError::Audit(errors));
+        }
+        Some(analysis)
+    } else {
+        // OPT-LSQ needs no MDEs for main memory, but scratchpad data
+        // bypasses the LSQ in every scheme, so its compiler-known
+        // dependencies must still be wired into the dataflow graph.
+        compiled.dfg.clear_mdes();
+        nachos_alias::wire_local_deps(&mut compiled);
+        None
+    };
+    Ok(CompiledRegion {
+        region: compiled,
+        analysis,
+    })
+}
+
+/// Simulates an already-[compiled](compile_for_backend) region,
+/// reusing the state pooled in `arena`. Results are identical to
+/// [`run_backend_with_stages_in`] on the original region with the same
+/// stage configuration.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+pub fn run_backend_compiled_in(
+    arena: &mut SimArena,
+    compiled: &CompiledRegion,
+    binding: &Binding,
+    backend: Backend,
+    config: &SimConfig,
+    energy: &EnergyModel,
+) -> Result<ExperimentRun, SimError> {
+    let sim = simulate_in(arena, &compiled.region, binding, backend, config, energy)?;
+    Ok(ExperimentRun {
+        analysis: compiled.analysis.clone(),
+        sim,
+    })
 }
 
 /// Compiles `region` as required by `backend` (full NACHOS-SW pipeline for
@@ -97,43 +192,47 @@ pub fn run_backend_with_stages_in(
     energy: &EnergyModel,
     stages: StageConfig,
 ) -> Result<ExperimentRun, SimError> {
-    // Fail fast on malformed input graphs before spending compile and
-    // placement work; `simulate` re-validates the compiled region.
-    nachos_ir::validate_region(region).map_err(SimError::Validation)?;
-    let mut compiled = region.clone();
-    let analysis = if backend.uses_mdes() {
-        let mut analysis = compile(&mut compiled, stages);
-        if config.optimize {
-            nachos_alias::optimize(&mut compiled, &mut analysis);
-        }
-        // Post-compile audit: independently re-verify every alias verdict
-        // and ordering chain — and, when the optimizer ran, every rewrite
-        // certificate (`CertLint`) — before trusting the MDEs with
-        // correctness. The quick configuration skips the enumeration
-        // oracle, so this costs a small fraction of the compile itself.
-        let errors: Vec<_> = nachos_alias::audit_with(
-            &compiled,
-            &analysis,
-            stages,
-            &nachos_alias::AuditConfig::quick(),
-        )
-        .into_iter()
-        .filter(nachos_alias::Diagnostic::is_error)
-        .collect();
-        if !errors.is_empty() {
-            return Err(SimError::Audit(errors));
-        }
-        Some(analysis)
-    } else {
-        // OPT-LSQ needs no MDEs for main memory, but scratchpad data
-        // bypasses the LSQ in every scheme, so its compiler-known
-        // dependencies must still be wired into the dataflow graph.
-        compiled.dfg.clear_mdes();
-        nachos_alias::wire_local_deps(&mut compiled);
-        None
-    };
-    let sim = simulate_in(arena, &compiled, binding, backend, config, energy)?;
-    Ok(ExperimentRun { analysis, sim })
+    let compiled = compile_for_backend(region, backend, config, stages)?;
+    let sim = simulate_in(arena, &compiled.region, binding, backend, config, energy)?;
+    Ok(ExperimentRun {
+        analysis: compiled.analysis,
+        sim,
+    })
+}
+
+/// Like [`run_backend_with_stages_in`], with a [`TelemetrySink`]
+/// observing the simulation (see [`crate::simulate_with_telemetry`]).
+/// The sink never changes the result: cycles, stall counters and report
+/// bytes are bit-identical to the unobserved run.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the simulator.
+#[allow(clippy::too_many_arguments)]
+pub fn run_backend_observed_in(
+    arena: &mut SimArena,
+    region: &Region,
+    binding: &Binding,
+    backend: Backend,
+    config: &SimConfig,
+    energy: &EnergyModel,
+    stages: StageConfig,
+    sink: &mut dyn TelemetrySink,
+) -> Result<ExperimentRun, SimError> {
+    let compiled = compile_for_backend(region, backend, config, stages)?;
+    let sim = simulate_with_telemetry(
+        arena,
+        &compiled.region,
+        binding,
+        backend,
+        config,
+        energy,
+        sink,
+    )?;
+    Ok(ExperimentRun {
+        analysis: compiled.analysis,
+        sim,
+    })
 }
 
 /// Runs all three backends on the same region/binding, in the paper's

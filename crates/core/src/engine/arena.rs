@@ -1,6 +1,6 @@
 //! [`SimArena`]: pooled engine state for zero-alloc run reuse.
 //!
-//! A simulation needs a node-state table, an event heap, a port calendar,
+//! A simulation needs a node-state table, an event queue, a port calendar,
 //! a cache hierarchy and the policy's own structures (LSQ entries, MAY
 //! tables, age vectors). None of that state outlives a run, so the
 //! differential sweep used to reallocate all of it 27 × N × 4 times per
@@ -15,29 +15,43 @@
 use crate::config::{Backend, SimConfig};
 use nachos_ir::NodeId;
 use nachos_mem::MemoryHierarchy;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 
 use super::policy::ideal::IdealPolicy;
 use super::policy::nachos_hw::NachosPolicy;
 use super::policy::nachos_sw::NachosSwPolicy;
 use super::policy::optlsq::OptLsqPolicy;
 use super::policy::DisambiguationPolicy;
-use super::state::{Ev, NodeState};
+use super::queue::EventQueue;
+use super::state::NodeTable;
 
 /// Scheduler-core buffers pooled across runs. `Default` is an empty (but
 /// fully valid) set, so the arena stays usable even if a run panics while
 /// holding the buffers.
 #[derive(Default)]
 pub(crate) struct CoreBufs {
-    pub(crate) state: Vec<NodeState>,
-    pub(crate) heap: BinaryHeap<Reverse<(u64, u64, Ev)>>,
-    /// The memory-port calendar's slot map.
-    pub(crate) ports: HashMap<u64, u32>,
+    pub(crate) state: NodeTable,
+    pub(crate) queue: EventQueue,
+    /// The memory-port calendar's slot vector.
+    pub(crate) ports: Vec<u32>,
     /// Pooled hierarchy, reused (reset) when the config matches.
     pub(crate) hierarchy: Option<MemoryHierarchy>,
     pub(crate) store_nodes: Vec<NodeId>,
     pub(crate) operands: Vec<u64>,
+    /// Iteration-vector scratch (loop nest indices).
+    pub(crate) iv: Vec<i64>,
+    /// Unknown-pointer value scratch.
+    pub(crate) unknown_vals: Vec<u64>,
+}
+
+/// Mutable access to one concrete pooled policy: the engine matches on
+/// this once per run and drives a monomorphized event loop, so the
+/// per-event policy hooks inline instead of going through vtable
+/// dispatch.
+pub(crate) enum PolicyMut<'a> {
+    OptLsq(&'a mut OptLsqPolicy),
+    NachosSw(&'a mut NachosSwPolicy),
+    Nachos(&'a mut NachosPolicy),
+    Ideal(&'a mut IdealPolicy),
 }
 
 /// A reusable per-worker simulation arena.
@@ -68,7 +82,7 @@ impl SimArena {
         &mut self,
         backend: Backend,
         config: &SimConfig,
-    ) -> (&mut CoreBufs, &mut dyn DisambiguationPolicy) {
+    ) -> (&mut CoreBufs, PolicyMut<'_>) {
         let Self {
             bufs,
             optlsq,
@@ -76,14 +90,32 @@ impl SimArena {
             nachos_hw,
             ideal,
         } = self;
-        let policy: &mut dyn DisambiguationPolicy = match backend {
-            Backend::OptLsq => optlsq.get_or_insert_with(|| OptLsqPolicy::new(config)),
-            Backend::NachosSw => nachos_sw.get_or_insert_with(NachosSwPolicy::default),
-            Backend::Nachos => nachos_hw.get_or_insert_with(NachosPolicy::default),
-            Backend::Ideal => ideal.get_or_insert_with(IdealPolicy::default),
+        fn ready<P: DisambiguationPolicy>(p: &mut P, backend: Backend, config: &SimConfig) {
+            debug_assert_eq!(p.backend(), backend, "arena pooled wrong policy");
+            p.prepare_run(config);
+        }
+        let policy = match backend {
+            Backend::OptLsq => {
+                let p = optlsq.get_or_insert_with(|| OptLsqPolicy::new(config));
+                ready(p, backend, config);
+                PolicyMut::OptLsq(p)
+            }
+            Backend::NachosSw => {
+                let p = nachos_sw.get_or_insert_with(NachosSwPolicy::default);
+                ready(p, backend, config);
+                PolicyMut::NachosSw(p)
+            }
+            Backend::Nachos => {
+                let p = nachos_hw.get_or_insert_with(NachosPolicy::default);
+                ready(p, backend, config);
+                PolicyMut::Nachos(p)
+            }
+            Backend::Ideal => {
+                let p = ideal.get_or_insert_with(IdealPolicy::default);
+                ready(p, backend, config);
+                PolicyMut::Ideal(p)
+            }
         };
-        debug_assert_eq!(policy.backend(), backend, "arena pooled wrong policy");
-        policy.prepare_run(config);
         (bufs, policy)
     }
 }

@@ -1,60 +1,98 @@
 //! Per-cycle bandwidth calendars for structural hazards (cache ports at
 //! the grid edge, LSQ allocation slots, per-site comparators).
 
-use std::collections::HashMap;
-
 /// A per-cycle bandwidth calendar: `claim(at)` returns the earliest cycle
 /// `>= at` with a free slot and consumes it.
+///
+/// Slot counts live in a dense `Vec` offset from `base` — claims are
+/// clustered (an invocation's worth of cycles), so the vector stays as
+/// short as the busy window and a claim is a bump plus a linear probe,
+/// with none of the hashing the old `HashMap<u64, u32>` layout paid on
+/// every access. Cycles outside the vector (before `base` or past the
+/// end) are free, exactly as absent map entries were.
 #[derive(Clone, Debug)]
 pub(crate) struct Calendar {
     width: u32,
-    pub(crate) used: HashMap<u64, u32>,
+    /// Cycle of `used[0]`. Set lazily by the first claim so per-site
+    /// calendars reset each invocation never materialize the gap from
+    /// cycle zero.
+    base: u64,
+    pub(crate) used: Vec<u32>,
 }
 
 impl Calendar {
     pub(crate) fn new(width: u32) -> Self {
-        Self::from_parts(width, HashMap::new())
+        Self::from_parts(width, Vec::new())
     }
 
-    /// Builds a calendar around a pooled (possibly dirty) slot map.
-    pub(crate) fn from_parts(width: u32, mut used: HashMap<u64, u32>) -> Self {
+    /// Builds a calendar around a pooled (possibly dirty) slot vector.
+    pub(crate) fn from_parts(width: u32, mut used: Vec<u32>) -> Self {
         // Invariant: widths come from SimConfig fields that `simulate`
         // rejects (BadConfig) when zero.
         assert!(width > 0, "calendar width validated before construction");
         used.clear();
-        Self { width, used }
+        Self {
+            width,
+            base: 0,
+            used,
+        }
     }
 
     /// Empties the calendar in place and adopts a (validated) new width.
     pub(crate) fn reset(&mut self, width: u32) {
         assert!(width > 0, "calendar width validated before construction");
         self.width = width;
+        self.base = 0;
         self.used.clear();
     }
 
-    /// Releases the slot map for pooling.
-    pub(crate) fn into_used(self) -> HashMap<u64, u32> {
+    /// Releases the slot vector for pooling.
+    pub(crate) fn into_used(self) -> Vec<u32> {
         self.used
     }
 
     pub(crate) fn claim(&mut self, at: u64) -> u64 {
-        let mut t = at;
+        if self.used.is_empty() {
+            self.base = at;
+        } else if at < self.base {
+            // A claim behind the window: those cycles are free (either
+            // never claimed or pruned). Grow the window backwards.
+            let gap = usize::try_from(self.base - at).expect("claim gap fits usize");
+            self.used.splice(0..0, std::iter::repeat_n(0, gap));
+            self.base = at;
+        }
+        let mut i = usize::try_from(at - self.base).expect("claim offset fits usize");
         loop {
-            let u = self.used.entry(t).or_insert(0);
-            if *u < self.width {
-                *u += 1;
-                return t;
+            if i >= self.used.len() {
+                // Idle gap (or fresh tail): cycles between the last entry
+                // and `at` were never claimed, so they materialize as 0.
+                self.used.resize(i + 1, 0);
             }
-            t += 1;
+            if self.used[i] < self.width {
+                self.used[i] += 1;
+                return self.base + i as u64;
+            }
+            i += 1;
         }
     }
 
     /// Drops bookkeeping for cycles before `t`. Invocations are
     /// block-atomic, so entries older than the current invocation's start
     /// can never be claimed again; without pruning, a long sweep grows one
-    /// map entry per busy cycle for the whole run.
+    /// slot per busy cycle for the whole run. In practice every claim
+    /// precedes the next invocation's start, so the drain clears the
+    /// vector outright.
     pub(crate) fn prune_below(&mut self, t: u64) {
-        self.used.retain(|&cycle, _| cycle >= t);
+        if t <= self.base {
+            return;
+        }
+        let k = usize::try_from(t - self.base).map_or(self.used.len(), |k| k.min(self.used.len()));
+        if k == self.used.len() {
+            self.used.clear();
+        } else {
+            self.used.drain(..k);
+        }
+        self.base = t;
     }
 }
 
@@ -79,5 +117,18 @@ mod tests {
         // Pruned cycles can be claimed again, but block-atomic invocations
         // never go back in time, so that's unreachable in the engine.
         assert_eq!(c.claim(0), 0);
+    }
+
+    /// A reset calendar claiming at a large cycle anchors its window
+    /// there instead of materializing the gap from zero.
+    #[test]
+    fn lazy_base_skips_the_gap() {
+        let mut c = Calendar::new(1);
+        c.reset(1);
+        assert_eq!(c.claim(1_000_000), 1_000_000);
+        assert_eq!(c.used.len(), 1);
+        // Earlier cycles are still free and still claimable.
+        assert_eq!(c.claim(999_998), 999_998);
+        assert_eq!(c.claim(1_000_000), 1_000_001);
     }
 }

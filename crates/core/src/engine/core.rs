@@ -7,6 +7,11 @@
 //! contains **zero** backend-specific branches — every point where the
 //! schemes diverge is a call through the
 //! [`DisambiguationPolicy`](super::policy::DisambiguationPolicy) trait.
+//!
+//! Hot-path layout: per-node state is a structure of arrays
+//! ([`NodeTable`]), events flow through the bucketed calendar queue
+//! ([`EventQueue`]), and an optional [`TelemetrySink`] observes cycle
+//! boundaries and backpressure windows without perturbing either.
 
 use crate::config::{Backend, CancelToken, SimConfig};
 use crate::energy::EventCounts;
@@ -16,13 +21,13 @@ use crate::value::{apply, LoadObserver};
 use nachos_cgra::Placement;
 use nachos_ir::{Binding, EdgeKind, MemSpace, NodeId, OpKind, Region};
 use nachos_mem::{DataMemory, MemoryHierarchy};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 use super::arena::CoreBufs;
 use super::calendar::Calendar;
 use super::policy::{DisambiguationPolicy, EdgeGate};
-use super::state::{Ev, NodeState, StallCause};
+use super::queue::EventQueue;
+use super::state::{Ev, NodeTable, StallCause};
+use super::telemetry::{BackpressureEvent, CycleRecord, RunSummary, TelemetrySink};
 use super::StallCounts;
 
 /// The shared execution substrate. Policies reach into the `pub(crate)`
@@ -41,15 +46,18 @@ pub(crate) struct SchedCore<'a> {
     pub(crate) loads: LoadObserver,
     pub(crate) counts: EventCounts,
     pub(crate) clock: u64,
-    /// Per-invocation node state (rebuilt each invocation).
-    pub(crate) state: Vec<NodeState>,
+    /// Per-invocation node state (rebuilt each invocation), SoA layout.
+    pub(crate) state: NodeTable,
     pub(crate) mem_ports: Calendar,
     /// Cycle-weighted stall attribution for the whole run.
     pub(crate) stalls: StallCounts,
     /// Fault-injection opportunity counters and fired-fault log.
     pub(crate) fault: FaultState,
-    heap: BinaryHeap<Reverse<(u64, u64, Ev)>>,
-    seq: u64,
+    queue: EventQueue,
+    /// Opt-in observer; `None` costs one branch per event.
+    sink: Option<&'a mut dyn TelemetrySink>,
+    /// Events handled at the current `clock` cycle (telemetry census).
+    cyc_events: u64,
     pub(crate) inv: u64,
     pub(crate) iv: Vec<i64>,
     pub(crate) unknown_vals: Vec<u64>,
@@ -80,13 +88,13 @@ impl<'a> SchedCore<'a> {
         config: &'a SimConfig,
         placement: Placement,
         bufs: &mut CoreBufs,
+        sink: Option<&'a mut dyn TelemetrySink>,
     ) -> Self {
         let n = region.dfg.num_nodes();
         let mut state = std::mem::take(&mut bufs.state);
-        state.clear();
-        state.resize(n, NodeState::default());
-        let mut heap = std::mem::take(&mut bufs.heap);
-        heap.clear();
+        state.reset(n);
+        let mut queue = std::mem::take(&mut bufs.queue);
+        queue.clear();
         let hierarchy = match bufs.hierarchy.take() {
             Some(mut h) if *h.config() == config.hierarchy => {
                 h.reset();
@@ -110,11 +118,12 @@ impl<'a> SchedCore<'a> {
             mem_ports,
             stalls: StallCounts::default(),
             fault: FaultState::default(),
-            heap,
-            seq: 0,
+            queue,
+            sink,
+            cyc_events: 0,
             inv: 0,
-            iv: Vec::new(),
-            unknown_vals: Vec::new(),
+            iv: std::mem::take(&mut bufs.iv),
+            unknown_vals: std::mem::take(&mut bufs.unknown_vals),
             store_nodes: std::mem::take(&mut bufs.store_nodes),
             operands: std::mem::take(&mut bufs.operands),
         }
@@ -124,27 +133,30 @@ impl<'a> SchedCore<'a> {
     pub(crate) fn reclaim(self, bufs: &mut CoreBufs) {
         let Self {
             mut state,
-            mut heap,
+            mut queue,
             mem_ports,
             hierarchy,
             mut store_nodes,
             operands,
+            iv,
+            unknown_vals,
             ..
         } = self;
-        state.clear();
-        heap.clear();
+        state.reset(0);
+        queue.clear();
         store_nodes.clear();
         bufs.state = state;
-        bufs.heap = heap;
+        bufs.queue = queue;
         bufs.ports = mem_ports.into_used();
         bufs.hierarchy = Some(hierarchy);
         bufs.store_nodes = store_nodes;
         bufs.operands = operands;
+        bufs.iv = iv;
+        bufs.unknown_vals = unknown_vals;
     }
 
     pub(crate) fn push(&mut self, at: u64, ev: Ev) {
-        self.seq += 1;
-        self.heap.push(Reverse((at, self.seq, ev)));
+        self.queue.push(at, ev);
     }
 
     pub(crate) fn node_kind(&self, n: NodeId) -> &OpKind {
@@ -155,21 +167,46 @@ impl<'a> SchedCore<'a> {
         is_scratch(self.region, n)
     }
 
-    pub(crate) fn run_invocation(
+    /// Emits the per-cycle telemetry census for the current `clock`
+    /// cycle, if a sink is attached and the cycle handled any events.
+    fn flush_cycle(&mut self) {
+        if self.cyc_events == 0 {
+            return;
+        }
+        let rec = CycleRecord {
+            cycle: self.clock,
+            invocation: self.inv,
+            events: self.cyc_events,
+            queue_depth: self.queue.len() as u64,
+            stalls: self.stalls,
+            may_checks: self.counts.may_checks,
+        };
+        self.cyc_events = 0;
+        if let Some(s) = self.sink.as_mut() {
+            s.on_cycle(&rec);
+        }
+    }
+
+    pub(crate) fn run_invocation<P: DisambiguationPolicy>(
         &mut self,
-        policy: &mut dyn DisambiguationPolicy,
+        policy: &mut P,
         inv: u64,
     ) -> Result<(), SimError> {
         self.inv = inv;
         let t0 = self.clock;
         let region = self.region;
         let nest_total = region.loops.total_invocations().max(1);
-        self.iv = if region.loops.is_empty() {
-            Vec::new()
-        } else {
-            region.loops.iteration_vector(inv % nest_total)
-        };
-        self.unknown_vals = self.binding.unknown_values(inv);
+        self.iv.clear();
+        if !region.loops.is_empty() {
+            let mut iv = std::mem::take(&mut self.iv);
+            region
+                .loops
+                .iteration_vector_into(inv % nest_total, &mut iv);
+            self.iv = iv;
+        }
+        let mut unknown_vals = std::mem::take(&mut self.unknown_vals);
+        self.binding.unknown_values_into(inv, &mut unknown_vals);
+        self.unknown_vals = unknown_vals;
 
         // Rebuild per-invocation node state. The policy decides how each
         // non-local memory-dependence edge gates its destination; data
@@ -177,8 +214,9 @@ impl<'a> SchedCore<'a> {
         // compiler wired explicitly — the LSQ never sees local accesses)
         // are gated identically under every backend.
         policy.begin_invocation(self, t0);
+        self.state.reset(region.dfg.num_nodes());
         for n in region.dfg.node_ids() {
-            let mut st = NodeState::default();
+            let (mut data, mut token, mut may) = (0u32, 0u32, 0u32);
             for e in region.dfg.in_edges(n) {
                 let local = is_scratch(region, e.src) && is_scratch(region, e.dst);
                 let gate = match e.kind {
@@ -188,13 +226,16 @@ impl<'a> SchedCore<'a> {
                     _ => policy.edge_gate(self, e),
                 };
                 match gate {
-                    EdgeGate::Data => st.data_pending += 1,
-                    EdgeGate::Token => st.token_pending += 1,
-                    EdgeGate::May => st.may_pending += 1,
+                    EdgeGate::Data => data += 1,
+                    EdgeGate::Token => token += 1,
+                    EdgeGate::May => may += 1,
                     EdgeGate::Ignore => {}
                 }
             }
-            self.state[n.index()] = st;
+            let i = n.index();
+            self.state.data_pending[i] = data;
+            self.state.token_pending[i] = token;
+            self.state.may_pending[i] = may;
         }
         // Program-order setup: LSQ allocation, MAY-site construction.
         policy.after_gating(self, t0);
@@ -220,17 +261,17 @@ impl<'a> SchedCore<'a> {
         );
         for &n in &stores {
             let (addr, size) = self.eval_mem_ref(n);
-            let st = &mut self.state[n.index()];
-            st.addr = addr;
-            st.size = size;
-            st.addr_ready = Some(t0 + agen);
+            let i = n.index();
+            self.state.addr[i] = addr;
+            self.state.size[i] = size;
+            self.state.addr_ready[i] = t0 + agen;
         }
         self.store_nodes = stores;
         policy.on_stores_resolved(self, t0, agen);
 
         // Seed source nodes.
         for n in region.dfg.node_ids() {
-            if self.state[n.index()].data_pending == 0 {
+            if self.state.data_pending[n.index()] == 0 {
                 self.push(t0, Ev::Data(n)); // zero-pending: fires immediately
             }
         }
@@ -245,7 +286,7 @@ impl<'a> SchedCore<'a> {
         let budget = self.config.watchdog.budget(region.dfg.num_nodes());
         let deadline = t0.saturating_add(budget);
         let cancel = self.config.cancel.clone();
-        while let Some(Reverse((t, _, ev))) = self.heap.pop() {
+        while let Some((t, ev)) = self.queue.pop() {
             debug_assert!(t >= t0);
             if t > deadline {
                 return Err(self.deadlock(DeadlockCause::BudgetExhausted, t, budget));
@@ -260,14 +301,20 @@ impl<'a> SchedCore<'a> {
             self.handle(policy, t, ev)?;
         }
 
-        // The heap drained: every node must have completed. A node left
+        // The queue drained: every node must have completed. A node left
         // incomplete means some gate never opened — a dropped token, a
         // never-released MAY gate — and the run would silently produce
         // partial results. Convert the starvation into a diagnosed
         // deadlock instead.
-        if self.state.iter().any(|st| st.completed.is_none()) {
+        if self.state.completed.contains(&super::state::NO_CYCLE) {
             let at = self.clock;
             return Err(self.deadlock(DeadlockCause::Starved, at, budget));
+        }
+
+        // Close the invocation's last cycle in the telemetry stream
+        // before the drain advances the clock event-free.
+        if self.sink.is_some() {
+            self.flush_cycle();
         }
 
         // Let the policy drain its structures (e.g. LSQ retirement) so the
@@ -323,16 +370,16 @@ impl<'a> SchedCore<'a> {
         let mut incomplete = vec![false; self.state.len()];
         let mut stalled = Vec::new();
         for n in self.region.dfg.node_ids() {
-            let st = &self.state[n.index()];
-            if st.completed.is_none() {
-                incomplete[n.index()] = true;
+            let i = n.index();
+            if !self.state.is_completed(i) {
+                incomplete[i] = true;
                 stalled.push(StalledNode {
-                    node: n.index(),
-                    data_pending: st.data_pending,
-                    token_pending: st.token_pending,
-                    may_pending: st.may_pending,
-                    fired: st.fired.is_some(),
-                    issued: st.issued,
+                    node: i,
+                    data_pending: self.state.data_pending[i],
+                    token_pending: self.state.token_pending[i],
+                    may_pending: self.state.may_pending[i],
+                    fired: self.state.has_fired(i),
+                    issued: self.state.issued[i],
                 });
             }
         }
@@ -370,13 +417,19 @@ impl<'a> SchedCore<'a> {
         }))
     }
 
-    fn handle(
+    fn handle<P: DisambiguationPolicy>(
         &mut self,
-        policy: &mut dyn DisambiguationPolicy,
+        policy: &mut P,
         t: u64,
         ev: Ev,
     ) -> Result<(), SimError> {
-        self.clock = self.clock.max(t);
+        if t > self.clock {
+            if self.sink.is_some() {
+                self.flush_cycle();
+            }
+            self.clock = t;
+        }
+        self.cyc_events += 1;
         if let Some(FaultKind::PanicOnEvent) = self.poll_fault(FaultClass::Event) {
             // Deliberate: exercises the sweep harness's per-run panic
             // isolation (`catch_unwind` at the worker boundary).
@@ -384,24 +437,23 @@ impl<'a> SchedCore<'a> {
         }
         match ev {
             Ev::Data(n) => {
-                let st = &mut self.state[n.index()];
-                if st.fired.is_some() {
+                let i = n.index();
+                if self.state.has_fired(i) {
                     return Ok(());
                 }
-                st.data_pending = st.data_pending.saturating_sub(1);
-                if st.data_pending == 0 {
+                self.state.data_pending[i] = self.state.data_pending[i].saturating_sub(1);
+                if self.state.data_pending[i] == 0 {
                     self.fire(policy, t, n);
                 }
             }
             Ev::Token(n) => {
-                let backend = self.backend;
-                let st = &mut self.state[n.index()];
-                match st.token_pending.checked_sub(1) {
-                    Some(left) => st.token_pending = left,
+                let i = n.index();
+                match self.state.token_pending[i].checked_sub(1) {
+                    Some(left) => self.state.token_pending[i] = left,
                     None => {
                         return Err(SimError::ProtocolViolation {
-                            backend,
-                            node: n.index(),
+                            backend: self.backend,
+                            node: i,
                             message: "ordering-token underflow: an extra completion \
                                       token arrived"
                                 .into(),
@@ -411,14 +463,13 @@ impl<'a> SchedCore<'a> {
                 self.push(t, Ev::TryMem(n));
             }
             Ev::Release(n) => {
-                let backend = self.backend;
-                let st = &mut self.state[n.index()];
-                match st.may_pending.checked_sub(1) {
-                    Some(left) => st.may_pending = left,
+                let i = n.index();
+                match self.state.may_pending[i].checked_sub(1) {
+                    Some(left) => self.state.may_pending[i] = left,
                     None => {
                         return Err(SimError::ProtocolViolation {
-                            backend,
-                            node: n.index(),
+                            backend: self.backend,
+                            node: i,
                             message: "MAY-gate release underflow: an extra comparator \
                                       release arrived"
                                 .into(),
@@ -434,8 +485,8 @@ impl<'a> SchedCore<'a> {
     }
 
     /// All data (and forward) operands have arrived: start execution.
-    fn fire(&mut self, policy: &mut dyn DisambiguationPolicy, t: u64, n: NodeId) {
-        self.state[n.index()].fired = Some(t);
+    fn fire<P: DisambiguationPolicy>(&mut self, policy: &mut P, t: u64, n: NodeId) {
+        self.state.fired[n.index()] = t;
         let region = self.region;
         let kind = node_kind(region, n);
         match kind {
@@ -445,10 +496,10 @@ impl<'a> SchedCore<'a> {
                 let (addr, size) = self.eval_mem_ref(n);
                 let agen = self.config.latency.mem_agen;
                 let addr_t = t + agen;
-                let st = &mut self.state[n.index()];
-                st.addr = addr;
-                st.size = size;
-                st.addr_ready = Some(addr_t);
+                let i = n.index();
+                self.state.addr[i] = addr;
+                self.state.size[i] = size;
+                self.state.addr_ready[i] = addr_t;
                 policy.on_load_address(self, addr_t, n);
                 self.push(addr_t, Ev::TryMem(n));
             }
@@ -457,7 +508,7 @@ impl<'a> SchedCore<'a> {
                 // the data operand is now available.
                 self.counts.int_ops += 1;
                 let v = self.eval_node(n);
-                self.state[n.index()].value = v;
+                self.state.value[n.index()] = v;
                 policy.on_store_data(self, t, n);
                 // Forwarding happens from the *in-flight* value: the
                 // moment the store's data operand exists, it can be
@@ -475,27 +526,25 @@ impl<'a> SchedCore<'a> {
                         policy.on_forward_edge(self, at, e.dst);
                     }
                 }
-                let at = self.state[n.index()]
-                    .addr_ready
-                    .expect("set at start")
-                    .max(t);
-                self.push(at, Ev::TryMem(n));
+                let ready = self.state.addr_ready[n.index()];
+                debug_assert_ne!(ready, super::state::NO_CYCLE, "set at start");
+                self.push(ready.max(t), Ev::TryMem(n));
             }
             OpKind::Int(_) => {
                 self.counts.int_ops += 1;
                 let v = self.eval_node(n);
-                self.state[n.index()].value = v;
+                self.state.value[n.index()] = v;
                 self.push(t + self.config.latency.op_latency(kind), Ev::Complete(n));
             }
             OpKind::Fp(_) => {
                 self.counts.fp_ops += 1;
                 let v = self.eval_node(n);
-                self.state[n.index()].value = v;
+                self.state.value[n.index()] = v;
                 self.push(t + self.config.latency.op_latency(kind), Ev::Complete(n));
             }
             OpKind::Input { .. } | OpKind::Const { .. } | OpKind::Output => {
                 let v = self.eval_node(n);
-                self.state[n.index()].value = v;
+                self.state.value[n.index()] = v;
                 self.push(t, Ev::Complete(n));
             }
         }
@@ -513,7 +562,7 @@ impl<'a> SchedCore<'a> {
                 .dfg
                 .in_edges(n)
                 .filter(|e| e.kind == EdgeKind::Data)
-                .map(|e| self.state[e.src.index()].value),
+                .map(|e| self.state.value[e.src.index()]),
         );
         let v = apply(kind, &ops, self.inv);
         self.operands = ops;
@@ -524,28 +573,42 @@ impl<'a> SchedCore<'a> {
     /// readiness, the policy decides admission. (Under OPT-LSQ, stores may
     /// bind and pre-search before their data operand arrives; issuing to
     /// the cache always requires the node to have fired.)
-    fn try_mem(&mut self, policy: &mut dyn DisambiguationPolicy, t: u64, n: NodeId) {
-        let st = &self.state[n.index()];
-        if st.issued {
+    fn try_mem<P: DisambiguationPolicy>(&mut self, policy: &mut P, t: u64, n: NodeId) {
+        let i = n.index();
+        if self.state.issued[i] {
             return;
         }
-        let Some(addr_t) = st.addr_ready else { return };
+        let Some(addr_t) = self.state.addr_ready_at(i) else {
+            return;
+        };
         if t < addr_t {
             return;
         }
-        let fired = st.fired.is_some();
+        let fired = self.state.has_fired(i);
         policy.admit_mem(self, t, n, fired);
     }
 
     /// Closes a memory op's stall-attribution window (opened when a ready
     /// op was observed blocked) and charges the recorded mechanism.
     pub(crate) fn charge_block_stall(&mut self, t: u64, n: NodeId) {
-        if let Some((since, cause)) = self.state[n.index()].blocked_since.take() {
+        if let Some((since, cause)) = self.state.take_block(n.index()) {
             let cycles = t.saturating_sub(since);
             match cause {
                 StallCause::LsqSearch => self.stalls.lsq_search += cycles,
                 StallCause::Token => self.stalls.token += cycles,
                 StallCause::MayGate => self.stalls.may_gate += cycles,
+            }
+            if self.sink.is_some() {
+                let ev = BackpressureEvent {
+                    invocation: self.inv,
+                    node: n.index(),
+                    cause,
+                    from: since,
+                    until: t,
+                };
+                if let Some(s) = self.sink.as_mut() {
+                    s.on_backpressure(&ev);
+                }
             }
         }
     }
@@ -562,7 +625,7 @@ impl<'a> SchedCore<'a> {
             .dfg
             .in_edges(n)
             .find(|e| e.kind == EdgeKind::Forward)
-            .map(|e| self.state[e.src.index()].value)
+            .map(|e| self.state.value[e.src.index()])
             .expect("forward edge present")
     }
 
@@ -572,22 +635,22 @@ impl<'a> SchedCore<'a> {
         self.charge_block_stall(t, n);
         let is_load = self.node_kind(n).is_load();
         if self.is_scratch(n) {
-            self.state[n.index()].issued = true;
+            self.state.issued[n.index()] = true;
             self.scratch_access(t, n);
             return;
         }
         if is_load && self.has_forward_in(n) {
             // Memory dependence became a data dependence: no cache access.
-            self.state[n.index()].issued = true;
+            self.state.issued[n.index()] = true;
             let v = self.forward_value(n);
             let v = self.consume_forward(t, n, v, "forward into node");
-            self.state[n.index()].value = v;
+            self.state.value[n.index()] = v;
             self.counts.forwards += 1;
             self.record_load(n, v);
             self.push(t + 1, Ev::Complete(n));
             return;
         }
-        self.state[n.index()].issued = true;
+        self.state.issued[n.index()] = true;
         self.cache_access(t, n, 0);
     }
 
@@ -610,13 +673,14 @@ impl<'a> SchedCore<'a> {
     /// Performs the scratchpad access: 1-cycle latency, no cache energy.
     pub(crate) fn scratch_access(&mut self, t: u64, n: NodeId) {
         let is_load = self.node_kind(n).is_load();
-        let (addr, size) = (self.state[n.index()].addr, self.state[n.index()].size);
+        let i = n.index();
+        let (addr, size) = (self.state.addr[i], self.state.size[i]);
         if is_load {
             let v = self.mem.read(addr, size);
-            self.state[n.index()].value = v;
+            self.state.value[i] = v;
             self.record_load(n, v);
         } else {
-            let v = self.state[n.index()].value;
+            let v = self.state.value[i];
             self.mem.write(addr, size, v);
         }
         self.push(t + 1, Ev::Complete(n));
@@ -637,7 +701,8 @@ impl<'a> SchedCore<'a> {
         // Cycles spent queued for an edge memory port.
         self.stalls.mem_port += issue - t;
         let is_load = self.node_kind(n).is_load();
-        let (addr, size) = (self.state[n.index()].addr, self.state[n.index()].size);
+        let i = n.index();
+        let (addr, size) = (self.state.addr[i], self.state.size[i]);
         let hops = self.placement.hops_to_mem(n);
         // Request + response each traverse the FU<->cache connection once.
         self.counts.mem_links += 2;
@@ -645,10 +710,10 @@ impl<'a> SchedCore<'a> {
         let res = self.hierarchy.access(addr, !is_load, issue);
         if is_load {
             let v = self.mem.read(addr, size);
-            self.state[n.index()].value = v;
+            self.state.value[i] = v;
             self.record_load(n, v);
         } else {
-            let v = self.state[n.index()].value;
+            let v = self.state.value[i];
             self.mem.write(addr, size, v);
         }
         let route = self.config.latency.route_latency(hops);
@@ -667,11 +732,11 @@ impl<'a> SchedCore<'a> {
     }
 
     /// A node finished: propagate values, tokens and completion wakeups.
-    fn complete(&mut self, policy: &mut dyn DisambiguationPolicy, t: u64, n: NodeId) {
-        if self.state[n.index()].completed.is_some() {
+    fn complete<P: DisambiguationPolicy>(&mut self, policy: &mut P, t: u64, n: NodeId) {
+        if self.state.is_completed(n.index()) {
             return;
         }
-        self.state[n.index()].completed = Some(t);
+        self.state.completed[n.index()] = t;
         let region = self.region;
         for e in region.dfg.out_edges(n) {
             let dst = e.dst;
@@ -701,9 +766,9 @@ impl<'a> SchedCore<'a> {
         policy.on_complete(self, t, n);
     }
 
-    pub(crate) fn finish(
+    pub(crate) fn finish<P: DisambiguationPolicy>(
         &mut self,
-        policy: &mut dyn DisambiguationPolicy,
+        policy: &mut P,
         energy: &crate::energy::EnergyModel,
     ) -> super::SimResult {
         let mut counts = self.counts;
@@ -722,6 +787,22 @@ impl<'a> SchedCore<'a> {
             }
         }
         let comparator_sites = site_at.iter().filter(|&&s| s).count() as u64;
+        let queue_events = self.queue.pushes();
+        let heap_max_depth = self.queue.max_depth();
+        if self.sink.is_some() {
+            self.flush_cycle();
+            let summary = RunSummary {
+                backend: self.backend,
+                cycles: self.clock,
+                invocations: self.config.invocations,
+                queue_events,
+                heap_max_depth,
+                stalls: self.stalls,
+            };
+            if let Some(s) = self.sink.as_mut() {
+                s.on_run_end(&summary);
+            }
+        }
         super::SimResult {
             backend: self.backend,
             cycles: self.clock,
@@ -735,6 +816,8 @@ impl<'a> SchedCore<'a> {
             bloom,
             stalls: self.stalls,
             comparator_sites,
+            queue_events,
+            heap_max_depth,
             injected,
         }
     }

@@ -46,14 +46,22 @@ pub(crate) mod arena;
 pub(crate) mod calendar;
 pub(crate) mod core;
 pub(crate) mod policy;
+pub(crate) mod queue;
 pub(crate) mod state;
+pub mod telemetry;
 
 #[cfg(test)]
 mod tests;
 
 pub use arena::SimArena;
+pub use state::StallCause;
+pub use telemetry::{
+    BackpressureEvent, CycleRecord, NoopSink, RunSummary, StatsWriter, TelemetrySink,
+};
 
+use self::arena::PolicyMut;
 use self::core::SchedCore;
+use self::policy::DisambiguationPolicy;
 
 /// Cycle-weighted stall attribution: how long memory operations sat ready
 /// but unable to proceed, bucketed by the resource or ordering mechanism
@@ -122,6 +130,10 @@ pub struct SimResult {
     /// fan-in destinations, scratchpad-local edges excluded). The figure
     /// `nachos-opt` coalescing shrinks; zero for MDE-free backends.
     pub comparator_sites: u64,
+    /// Total events pushed through the calendar queue over the run.
+    pub queue_events: u64,
+    /// High-water mark of the queue's live depth over the run.
+    pub heap_max_depth: u64,
     /// Deterministic descriptions of every injected fault that fired
     /// during the run (empty outside fault-injection runs).
     pub injected: Vec<String>,
@@ -181,6 +193,41 @@ pub fn simulate_in(
     config: &SimConfig,
     energy: &EnergyModel,
 ) -> Result<SimResult, SimError> {
+    simulate_observed(arena, region, binding, backend, config, energy, None)
+}
+
+/// Like [`simulate_in`], with a [`TelemetrySink`] attached: the sink
+/// observes cycle boundaries, backpressure windows and the run summary.
+///
+/// Telemetry is observation only — the returned [`SimResult`] (cycles,
+/// stalls, memory image, load digest) is bit-identical to running
+/// [`simulate_in`] without a sink (`tests/prop_telemetry.rs` pins this).
+///
+/// # Errors
+///
+/// Identical to [`simulate`].
+pub fn simulate_with_telemetry(
+    arena: &mut SimArena,
+    region: &Region,
+    binding: &Binding,
+    backend: Backend,
+    config: &SimConfig,
+    energy: &EnergyModel,
+    sink: &mut dyn TelemetrySink,
+) -> Result<SimResult, SimError> {
+    simulate_observed(arena, region, binding, backend, config, energy, Some(sink))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simulate_observed<'a>(
+    arena: &mut SimArena,
+    region: &'a Region,
+    binding: &'a Binding,
+    backend: Backend,
+    config: &'a SimConfig,
+    energy: &EnergyModel,
+    sink: Option<&'a mut dyn TelemetrySink>,
+) -> Result<SimResult, SimError> {
     nachos_ir::validate_region(region).map_err(SimError::Validation)?;
     if config.mem_ports == 0 {
         return Err(SimError::BadConfig("mem_ports must be positive".into()));
@@ -214,15 +261,30 @@ pub fn simulate_in(
     }
     let placement = Placement::compute(&region.dfg, config.grid)?;
     let (bufs, policy) = arena.split(backend, config);
-    let mut core = SchedCore::new(region, binding, backend, config, placement, bufs);
-    let mut outcome = Ok(());
-    for inv in 0..config.invocations {
-        if let Err(e) = core.run_invocation(policy, inv) {
-            outcome = Err(e);
-            break;
-        }
-    }
-    let result = outcome.map(|()| core.finish(policy, energy));
+    let mut core = SchedCore::new(region, binding, backend, config, placement, bufs, sink);
+    // Drive a monomorphized event loop per backend: the policy hooks sit
+    // on the engine's hottest path, and concrete dispatch lets them
+    // inline where a `dyn` call could not.
+    let result = match policy {
+        PolicyMut::OptLsq(p) => drive(&mut core, p, config, energy),
+        PolicyMut::NachosSw(p) => drive(&mut core, p, config, energy),
+        PolicyMut::Nachos(p) => drive(&mut core, p, config, energy),
+        PolicyMut::Ideal(p) => drive(&mut core, p, config, energy),
+    };
     core.reclaim(bufs);
     result
+}
+
+/// Runs every invocation and finalizes the result for one concrete
+/// policy type.
+fn drive<P: DisambiguationPolicy>(
+    core: &mut SchedCore,
+    policy: &mut P,
+    config: &SimConfig,
+    energy: &EnergyModel,
+) -> Result<SimResult, SimError> {
+    for inv in 0..config.invocations {
+        core.run_invocation(policy, inv)?;
+    }
+    Ok(core.finish(policy, energy))
 }

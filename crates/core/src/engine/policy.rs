@@ -137,20 +137,18 @@ pub(crate) trait DisambiguationPolicy {
 /// once its token and MAY gates are clear; otherwise the stall-attribution
 /// window opens against the mechanism still holding it.
 pub(crate) fn dataflow_admit(core: &mut SchedCore, t: u64, n: NodeId, fired: bool) {
-    let st = &core.state[n.index()];
-    if !fired || st.token_pending > 0 || st.may_pending > 0 {
+    let i = n.index();
+    let tokens = core.state.token_pending[i];
+    if !fired || tokens > 0 || core.state.may_pending[i] > 0 {
         // A fired op with a ready address is stalled purely by the
         // ordering mechanism: start the attribution clock.
         if fired {
-            let cause = if st.token_pending > 0 {
+            let cause = if tokens > 0 {
                 StallCause::Token
             } else {
                 StallCause::MayGate
             };
-            let st = &mut core.state[n.index()];
-            if st.blocked_since.is_none() {
-                st.blocked_since = Some((t, cause));
-            }
+            core.state.open_block(i, t, cause);
         }
         return;
     }

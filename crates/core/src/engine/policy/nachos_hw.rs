@@ -6,7 +6,6 @@
 
 use crate::config::{Backend, SimConfig};
 use nachos_ir::{Edge, EdgeKind, NodeId};
-use std::collections::HashMap;
 
 use super::super::calendar::Calendar;
 use super::super::core::{is_scratch, SchedCore};
@@ -23,13 +22,27 @@ struct MayEdge {
     checked: bool,
 }
 
+/// "Node hosts no comparator site" sentinel in [`NachosPolicy::site_of`].
+const NO_SITE: usize = usize::MAX;
+
 #[derive(Default)]
 pub(crate) struct NachosPolicy {
     may_edges: Vec<MayEdge>,
     /// Younger nodes waiting for an older op's completion (conflict case).
     conflict_waiters: Vec<Vec<(NodeId, u32)>>,
-    /// Comparator-site calendars, one per MAY-receiving node.
-    sites: HashMap<NodeId, Calendar>,
+    /// Comparator-site slot per node ([`NO_SITE`] = none), rebuilt each
+    /// invocation. Dense-by-`NodeId` so the check path is an index, not a
+    /// hash probe.
+    site_of: Vec<usize>,
+    /// Comparator-site calendars, indexed by the slots in `site_of`.
+    /// Pooled across invocations (slots are re-assigned in deterministic
+    /// edge order, so capacity carries over).
+    site_cals: Vec<Calendar>,
+    /// Per-node MAY-edge index lists (edges where the node is older or
+    /// younger), in ascending edge order. Built once per invocation so
+    /// address resolution walks only the node's own edges instead of
+    /// scanning the whole table.
+    edges_of: Vec<Vec<u32>>,
     /// Scratch for the indices of edges to re-check.
     to_check: Vec<usize>,
 }
@@ -41,13 +54,7 @@ impl NachosPolicy {
     fn propagate_may_addresses(&mut self, core: &mut SchedCore, addr_t: u64, n: NodeId) {
         let mut to_check = std::mem::take(&mut self.to_check);
         to_check.clear();
-        to_check.extend(
-            self.may_edges
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| e.older == n || e.younger == n)
-                .map(|(idx, _)| idx),
-        );
+        to_check.extend(self.edges_of[n.index()].iter().map(|&idx| idx as usize));
         for &idx in &to_check {
             self.try_may_check(core, addr_t, idx);
         }
@@ -63,8 +70,8 @@ impl NachosPolicy {
         }
         let (older, younger, hops) = (e.older, e.younger, e.hops);
         let (Some(older_addr_t), Some(younger_addr_t)) = (
-            core.state[older.index()].addr_ready,
-            core.state[younger.index()].addr_ready,
+            core.state.addr_ready_at(older.index()),
+            core.state.addr_ready_at(younger.index()),
         ) else {
             return;
         };
@@ -72,22 +79,20 @@ impl NachosPolicy {
         let ready = now
             .max(older_addr_t + core.config.latency.route_latency(hops))
             .max(younger_addr_t);
-        let site = self
-            .sites
-            .get_mut(&younger)
-            .expect("site registered for may edge");
-        let check_t = site.claim(ready);
+        let slot = self.site_of[younger.index()];
+        debug_assert_ne!(slot, NO_SITE, "site registered for may edge");
+        let check_t = self.site_cals[slot].claim(ready);
         // Cycles the check spent queued behind the site's single comparator.
         core.stalls.comparator += check_t - ready;
         self.may_edges[idx].checked = true;
         core.counts.may_checks += 1;
         let a = (
-            core.state[older.index()].addr,
-            core.state[older.index()].size,
+            core.state.addr[older.index()],
+            core.state.size[older.index()],
         );
         let b = (
-            core.state[younger.index()].addr,
-            core.state[younger.index()].size,
+            core.state.addr[younger.index()],
+            core.state.size[younger.index()],
         );
         let mut conflict = a.0 < b.0 + u64::from(b.1) && b.0 < a.0 + u64::from(a.1);
         match core.poll_fault(FaultClass::MayCheck) {
@@ -111,7 +116,7 @@ impl NachosPolicy {
         }
         if !conflict {
             core.push(check_t + 1, Ev::Release(younger));
-        } else if let Some(done) = core.state[older.index()].completed {
+        } else if let Some(done) = core.state.completed_at(older.index()) {
             let release = (done + core.config.latency.route_latency(hops)).max(check_t + 1);
             core.push(release, Ev::Release(younger));
         } else {
@@ -128,7 +133,9 @@ impl DisambiguationPolicy for NachosPolicy {
     fn prepare_run(&mut self, _config: &SimConfig) {
         self.may_edges.clear();
         self.conflict_waiters.clear();
-        self.sites.clear();
+        self.site_of.clear();
+        self.site_cals.clear();
+        self.edges_of.clear();
     }
 
     fn edge_gate(&mut self, _core: &SchedCore, e: &Edge) -> EdgeGate {
@@ -152,20 +159,39 @@ impl DisambiguationPolicy for NachosPolicy {
         for w in &mut self.conflict_waiters {
             w.clear();
         }
+        self.site_of.clear();
+        self.site_of.resize(n, NO_SITE);
+        if self.edges_of.len() < n {
+            self.edges_of.resize(n, Vec::new());
+        }
+        for l in &mut self.edges_of {
+            l.clear();
+        }
         let width = core.config.comparators_per_site;
+        let mut slots = 0usize;
         for e in region.dfg.edges() {
             if e.kind == EdgeKind::May && !(is_scratch(region, e.src) && is_scratch(region, e.dst))
             {
+                let idx = u32::try_from(self.may_edges.len()).expect("edge count fits u32");
+                self.edges_of[e.src.index()].push(idx);
+                if e.dst != e.src {
+                    self.edges_of[e.dst.index()].push(idx);
+                }
                 self.may_edges.push(MayEdge {
                     older: e.src,
                     younger: e.dst,
                     hops: core.placement.hops(e.src, e.dst),
                     checked: false,
                 });
-                self.sites
-                    .entry(e.dst)
-                    .and_modify(|c| c.reset(width))
-                    .or_insert_with(|| Calendar::new(width));
+                if self.site_of[e.dst.index()] == NO_SITE {
+                    self.site_of[e.dst.index()] = slots;
+                    if slots < self.site_cals.len() {
+                        self.site_cals[slots].reset(width);
+                    } else {
+                        self.site_cals.push(Calendar::new(width));
+                    }
+                    slots += 1;
+                }
             }
         }
     }

@@ -58,10 +58,7 @@ impl OptLsqPolicy {
     /// Records an op blocked by an LSQ search: queues the retry and opens
     /// the stall-attribution window.
     fn lsq_block(&mut self, core: &mut SchedCore, t: u64, n: NodeId) {
-        let st = &mut core.state[n.index()];
-        if st.blocked_since.is_none() {
-            st.blocked_since = Some((t, StallCause::LsqSearch));
-        }
+        core.state.open_block(n.index(), t, StallCause::LsqSearch);
         self.blocked.push(n);
     }
 
@@ -164,18 +161,15 @@ impl DisambiguationPolicy for OptLsqPolicy {
             // wired scratchpad dependencies (ORDER/MAY token edges from
             // `wire_local_deps`) still gate issue, exactly as they do
             // under the MDE backends.
-            let st = &core.state[n.index()];
-            if !fired || st.token_pending > 0 || st.may_pending > 0 {
+            let i = n.index();
+            if !fired || core.state.token_pending[i] > 0 || core.state.may_pending[i] > 0 {
                 if fired {
-                    let st = &mut core.state[n.index()];
-                    if st.blocked_since.is_none() {
-                        st.blocked_since = Some((t, StallCause::Token));
-                    }
+                    core.state.open_block(i, t, StallCause::Token);
                 }
                 return;
             }
             core.charge_block_stall(t, n);
-            core.state[n.index()].issued = true;
+            core.state.issued[i] = true;
             core.scratch_access(t, n);
             return;
         }
@@ -193,7 +187,7 @@ impl DisambiguationPolicy for OptLsqPolicy {
             return;
         }
         if !self.bound[n.index()] {
-            let (addr, size) = (core.state[n.index()].addr, core.state[n.index()].size);
+            let (addr, size) = (core.state.addr[n.index()], core.state.size[n.index()]);
             self.lsq.bind_address(age, addr, size);
             self.bound[n.index()] = true;
             if core.node_kind(n).is_store() && fired {
@@ -214,7 +208,7 @@ impl DisambiguationPolicy for OptLsqPolicy {
                         // data operand will re-trigger the issue.
                         return;
                     }
-                    core.state[n.index()].issued = true;
+                    core.state.issued[n.index()] = true;
                     core.cache_access(t, n, 0);
                 }
                 StoreSearch::Blocked(_) => self.lsq_block(core, t, n),
@@ -223,17 +217,17 @@ impl DisambiguationPolicy for OptLsqPolicy {
             match self.lsq.search_load(age) {
                 LoadSearch::CanIssue => {
                     core.charge_block_stall(t, n);
-                    core.state[n.index()].issued = true;
+                    core.state.issued[n.index()] = true;
                     let penalty = self.lsq.config().load_to_use_penalty;
                     core.cache_access(t, n, penalty);
                 }
                 LoadSearch::Forward(older_age) => {
                     core.charge_block_stall(t, n);
-                    core.state[n.index()].issued = true;
+                    core.state.issued[n.index()] = true;
                     let older = self.age_nodes[older_age as usize];
-                    let v = core.state[older.index()].value;
+                    let v = core.state.value[older.index()];
                     let v = core.consume_forward(t, n, v, "LSQ forward into node");
-                    core.state[n.index()].value = v;
+                    core.state.value[n.index()] = v;
                     core.counts.forwards += 1;
                     core.record_load(n, v);
                     let penalty = self.lsq.config().load_to_use_penalty;

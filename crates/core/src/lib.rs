@@ -53,10 +53,14 @@ pub mod value;
 pub use analytic::DecentralizedModel;
 pub use config::{Backend, CancelToken, SimConfig, WatchdogConfig};
 pub use driver::{
-    pct_slowdown, run_all_backends, run_backend, run_backend_in, run_backend_with_stages,
-    run_backend_with_stages_in, ExperimentRun,
+    compile_for_backend, pct_slowdown, run_all_backends, run_backend, run_backend_compiled_in,
+    run_backend_in, run_backend_observed_in, run_backend_with_stages, run_backend_with_stages_in,
+    CompiledRegion, ExperimentRun,
 };
 pub use energy::{EnergyBreakdown, EnergyModel, EventCounts};
-pub use engine::{simulate, simulate_in, SimArena, SimResult, StallCounts};
+pub use engine::{
+    simulate, simulate_in, simulate_with_telemetry, BackpressureEvent, CycleRecord, NoopSink,
+    RunSummary, SimArena, SimResult, StallCause, StallCounts, StatsWriter, TelemetrySink,
+};
 pub use error::{DeadlockCause, DeadlockInfo, SimError, StalledNode, WaitForEdge};
 pub use fault::{FaultClass, FaultKind, FaultPlan, FaultSpec};

@@ -67,7 +67,7 @@ pub mod journal;
 pub mod shard;
 
 use crate::config::{Backend, SimConfig};
-use crate::driver::{run_backend_with_stages_in, ExperimentRun};
+use crate::driver::{compile_for_backend, run_backend_compiled_in, CompiledRegion, ExperimentRun};
 use crate::energy::EnergyModel;
 use crate::engine::SimArena;
 use crate::error::SimError;
@@ -745,6 +745,10 @@ fn run_job(
         .extend(job.fault.faults.iter().copied());
     let fp = journal::job_fingerprint(&job.region, &job.binding, &sim_cfg);
     let reference = reference::execute(&job.region, &job.binding, cfg.sim.invocations);
+    // Variants sharing a stage configuration and MDE requirement reuse
+    // one compile: within a job, compilation depends only on those two
+    // inputs (and `sim_cfg.optimize`, constant across the matrix).
+    let mut compiles = CompileCache::default();
     let runs = cfg
         .variants
         .iter()
@@ -761,6 +765,7 @@ fn run_job(
                 &cfg.energy,
                 &reference,
                 arena,
+                &mut compiles,
                 key,
                 cfg.retry,
             );
@@ -802,6 +807,7 @@ fn run_cell(
     energy: &EnergyModel,
     reference: &ReferenceResult,
     arena: &mut SimArena,
+    compiles: &mut CompileCache,
     key: RunKey,
     retry: RetryPolicy,
 ) -> VariantOutcome {
@@ -809,7 +815,7 @@ fn run_cell(
     let mut attempts: Vec<Attempt> = Vec::new();
     loop {
         let seed = journal::derive_seed(key, attempts.len() as u32);
-        let mut out = run_variant(job, v, sim_cfg, energy, reference, arena);
+        let mut out = run_variant(job, v, sim_cfg, energy, reference, arena, compiles);
         attempts.push(Attempt {
             status: out.status,
             seed,
@@ -830,6 +836,38 @@ fn run_cell(
     }
 }
 
+/// A job-local cache of [`CompiledRegion`]s keyed by what compilation
+/// actually depends on: the stage configuration and whether the backend
+/// consumes MDEs (`sim_cfg.optimize` is constant across a job's variant
+/// matrix, and fault plans apply at simulation time, never at compile
+/// time). The bench matrix compiles each workload twice (full +
+/// baseline stages) plus one MDE-free rewire instead of once per cell.
+#[derive(Default)]
+struct CompileCache {
+    entries: Vec<(bool, StageConfig, CompiledRegion)>,
+}
+
+impl CompileCache {
+    fn get_or_compile(
+        &mut self,
+        region: &Region,
+        v: &SweepVariant,
+        sim_cfg: &SimConfig,
+    ) -> Result<&CompiledRegion, SimError> {
+        let key = (v.backend.uses_mdes(), v.stages);
+        if let Some(i) = self
+            .entries
+            .iter()
+            .position(|(mdes, stages, _)| (*mdes, *stages) == key)
+        {
+            return Ok(&self.entries[i].2);
+        }
+        let compiled = compile_for_backend(region, v.backend, sim_cfg, v.stages)?;
+        self.entries.push((key.0, key.1, compiled));
+        Ok(&self.entries.last().expect("just pushed").2)
+    }
+}
+
 /// Runs one attempt of a (job, variant) cell and classifies the outcome.
 /// This is the per-run isolation boundary: a panic inside the engine is
 /// caught here and recorded as [`RunStatus::Panic`] instead of poisoning
@@ -841,18 +879,12 @@ fn run_variant(
     energy: &EnergyModel,
     reference: &ReferenceResult,
     arena: &mut SimArena,
+    compiles: &mut CompileCache,
 ) -> VariantOutcome {
     let fault_active = sim_cfg.fault.applies_to(v.backend);
     let caught = catch_unwind(AssertUnwindSafe(|| {
-        run_backend_with_stages_in(
-            arena,
-            &job.region,
-            &job.binding,
-            v.backend,
-            sim_cfg,
-            energy,
-            v.stages,
-        )
+        let compiled = compiles.get_or_compile(&job.region, v, sim_cfg)?;
+        run_backend_compiled_in(arena, compiled, &job.binding, v.backend, sim_cfg, energy)
     }));
     let (status, run, error, detail) = match caught {
         Err(payload) => {

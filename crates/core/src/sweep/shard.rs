@@ -859,6 +859,7 @@ where
         let fp = journal::job_fingerprint(&job.region, &job.binding, &sim_cfg);
         sim_cfg.cancel = Some(token.clone());
         let reference = reference::execute(&job.region, &job.binding, cfg.sim.invocations);
+        let mut compiles = super::CompileCache::default();
         for c in group {
             if token.is_cancelled() {
                 summary.cancelled = true;
@@ -885,6 +886,7 @@ where
                 &cfg.energy,
                 &reference,
                 &mut arena,
+                &mut compiles,
                 key,
                 cfg.retry,
             );

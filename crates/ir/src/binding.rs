@@ -79,10 +79,16 @@ impl Binding {
     /// Materializes the unknown-pointer values for one invocation.
     #[must_use]
     pub fn unknown_values(&self, invocation: u64) -> Vec<u64> {
-        self.unknowns
-            .iter()
-            .map(|p| p.resolve(invocation))
-            .collect()
+        let mut vals = Vec::new();
+        self.unknown_values_into(invocation, &mut vals);
+        vals
+    }
+
+    /// Like [`Binding::unknown_values`], writing into a caller-owned
+    /// buffer (cleared first) so hot callers skip the allocation.
+    pub fn unknown_values_into(&self, invocation: u64, vals: &mut Vec<u64>) {
+        vals.clear();
+        vals.extend(self.unknowns.iter().map(|p| p.resolve(invocation)));
     }
 
     /// Builds the evaluation context for one invocation, given the

@@ -138,7 +138,20 @@ impl LoopNest {
     /// Panics if any loop has a zero trip count.
     #[must_use]
     pub fn iteration_vector(&self, k: u64) -> Vec<i64> {
-        let mut iv = vec![0i64; self.loops.len()];
+        let mut iv = Vec::new();
+        self.iteration_vector_into(k, &mut iv);
+        iv
+    }
+
+    /// Like [`LoopNest::iteration_vector`], writing into a caller-owned
+    /// buffer (cleared first) so hot callers skip the allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any loop has a zero trip count.
+    pub fn iteration_vector_into(&self, k: u64, iv: &mut Vec<i64>) {
+        iv.clear();
+        iv.resize(self.loops.len(), 0);
         let mut rem = k;
         for idx in (0..self.loops.len()).rev() {
             let l = &self.loops[idx];
@@ -148,7 +161,6 @@ impl LoopNest {
             rem /= trips;
             iv[idx] = l.lower + pos as i64 * l.step;
         }
-        iv
     }
 }
 

@@ -1,7 +1,6 @@
 //! The two-level cache hierarchy with non-blocking (MSHR-merged) misses.
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
-use std::collections::HashMap;
 
 /// Where an access was satisfied.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,8 +61,10 @@ pub struct MemoryHierarchy {
     config: HierarchyConfig,
     l1: Cache,
     llc: Cache,
-    /// line address → completion cycle of the outstanding fill.
-    inflight: HashMap<u64, u64>,
+    /// `(line address, completion cycle)` of each outstanding fill. At
+    /// most `mshrs` entries (16 in the paper config), so a linear scan
+    /// beats a hash probe on the engine's access path.
+    inflight: Vec<(u64, u64)>,
     merges: u64,
 }
 
@@ -80,7 +81,7 @@ impl MemoryHierarchy {
             config,
             l1: Cache::new(config.l1),
             llc: Cache::new(config.llc),
-            inflight: HashMap::new(),
+            inflight: Vec::new(),
             merges: 0,
         }
     }
@@ -89,9 +90,13 @@ impl MemoryHierarchy {
     pub fn access(&mut self, addr: u64, is_write: bool, now: u64) -> AccessResult {
         let line = self.l1.line_of(addr);
         // Retire completed fills.
-        self.inflight.retain(|_, &mut done| done > now);
+        self.inflight.retain(|&(_, done)| done > now);
 
-        if let Some(&done) = self.inflight.get(&line) {
+        if let Some(done) = self
+            .inflight
+            .iter()
+            .find_map(|&(l, done)| (l == line).then_some(done))
+        {
             // Merge into the outstanding miss; data usable when the fill
             // lands, plus the L1 array access.
             self.merges += 1;
@@ -104,12 +109,13 @@ impl MemoryHierarchy {
 
         let issue = if self.inflight.len() >= self.config.mshrs {
             // Structural stall: wait for the oldest outstanding fill.
-            let oldest = *self
+            let oldest = self
                 .inflight
-                .values()
+                .iter()
+                .map(|&(_, done)| done)
                 .min()
                 .expect("inflight nonempty when full");
-            self.inflight.retain(|_, &mut done| done > oldest);
+            self.inflight.retain(|&(_, done)| done > oldest);
             oldest.max(now)
         } else {
             now
@@ -133,7 +139,7 @@ impl MemoryHierarchy {
             )
         };
         let complete_at = issue + latency;
-        self.inflight.insert(line, complete_at);
+        self.inflight.push((line, complete_at));
         AccessResult {
             complete_at,
             outcome,
