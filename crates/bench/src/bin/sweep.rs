@@ -22,6 +22,21 @@
 //! result cache keyed by the same content hashes (`default` picks
 //! `$XDG_CACHE_HOME/nachos/sweep`).
 //!
+//! `--deadline-secs N` puts the whole invocation under a wall-clock
+//! budget: when it expires, the sweep is cancelled cooperatively through
+//! the shared [`CancelToken`] (workers included), cancelled cells are
+//! *not* journaled (a later `--resume` re-executes them), and the
+//! process exits with the dedicated code 4 — so CI soak jobs can bound a
+//! sweep without ever hanging or corrupting its journal.
+//!
+//! `--connect PATH` turns this binary into a thin client of a running
+//! `nachos-sweepd`: the matrix-defining flags become a `nachos-jobs-v1`
+//! submission, the job is watched to a terminal state (transparently
+//! reconnecting if the daemon restarts mid-job), and the fetched report
+//! — byte-identical to a local run of the same matrix — lands at
+//! `--out`. Backpressure is honored: a `queue_full` rejection waits the
+//! daemon's `retry_after_ms` hint and resubmits.
+//!
 //! `--filter SUBSTR` keeps only workloads whose name contains the
 //! substring; `--variants a,b,c` selects report columns by label from
 //! {opt-lsq, nachos-sw, nachos, nachos-sw-baseline, ideal}.
@@ -55,17 +70,25 @@
 
 use nachos::json::write_atomic;
 use nachos::sweep::cache::ResultCache;
+use nachos::sweep::daemon::{JobStatus, MatrixSpec};
+use nachos::sweep::journal::{parse_json, Json};
 use nachos::sweep::shard::{run_shard_worker, run_sweep_sharded, ShardConfig};
-use nachos::sweep::{journal::Journal, run_sweep_journaled, RunStatus, SweepResult};
+use nachos::sweep::{journal::Journal, run_sweep_journaled, SweepResult};
+use nachos::CancelToken;
+use nachos_bench::exitcode::{self, Verdict};
+use nachos_bench::matrix;
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: sweep [--threads N] [--invocations N] [--out FILE] [--ideal] \
                      [--optimize] [--journal FILE] [--resume] [--max-retries N] \
                      [--filter SUBSTR] [--variants LIST] [--poison NAME] [--inject smoke] \
                      [--shards N] [--cache PATH|default] [--heartbeat-interval MS] \
-                     [--stats FILE] [--strict] [--shard-exec] [--help]";
+                     [--deadline-secs N] [--connect PATH] [--stats FILE] [--strict] \
+                     [--shard-exec] [--help]";
 
 const HELP: &str = "\
 The NACHOS differential sweep harness.
@@ -94,6 +117,19 @@ Flags:
                           $XDG_CACHE_HOME/nachos/sweep (requires --shards)
   --heartbeat-interval MS worker liveness pulse period (0 disables; a
                           worker silent for ~10 intervals is respawned)
+  --deadline-secs N       wall-clock budget for the whole sweep: on
+                          expiry the remaining cells are cancelled
+                          cooperatively (shard workers included), the
+                          journal stays clean and resumable (cancelled
+                          cells are never journaled), and the process
+                          exits 4
+  --connect PATH          run as a client of the nachos-sweepd listening
+                          on the Unix socket PATH: submit this matrix,
+                          watch the job to a terminal state (reconnecting
+                          across daemon restarts), fetch the report to
+                          --out; incompatible with the local
+                          orchestration flags (--journal/--resume/
+                          --shards/--cache/--inject/--stats)
   --stats FILE            after the sweep, re-run the matrix serially with
                           cycle-level telemetry attached and stream the
                           nachos-stats-v1 JSONL (one run block per cell,
@@ -106,13 +142,19 @@ Flags:
                           dispatch header and cell list from stdin
   --help                  this text
 
-Exit codes:
+Exit codes — each reachable by exactly one condition:
   0  every run completed; without --strict, degraded-but-deterministic
      cells (e.g. a quarantined poison workload) also exit 0
-  1  usage error, I/O error, or worker protocol error
+  1  usage error: the invocation itself is wrong (unknown flag, bad
+     value, a matrix spec that resolves to nothing)
   2  divergence: at least one run mismatched the reference executor
-     (also: any --inject smoke deviation)
-  3  --strict only: no mismatch, but at least one degraded cell
+     (under --inject smoke: at least one expectation deviation)
+  3  strict degradation (--strict only): no mismatch, but at least one
+     degraded cell
+  4  deadline exceeded: the --deadline-secs (or daemon-side) wall-clock
+     budget cancelled the sweep before it settled
+  5  environment failure: journal/report/cache I/O, a worker protocol
+     error, or an unreachable daemon socket
 
 Cache layout and invalidation: entries live at <root>/<hh>/<key>.rec,
 one checksum-framed record per file, where <key> is the 16-hex FNV-1a
@@ -126,67 +168,18 @@ entries are detected by checksum, removed, and re-executed.
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("{msg}");
     eprintln!("{USAGE}");
-    ExitCode::FAILURE
+    Verdict::Usage.exit()
 }
 
-/// Maps a finished sweep to the documented exit contract: mismatches are
-/// exit 2 always; other degradations are exit 3 under `--strict` and
-/// exit 0 otherwise.
-fn verdict(sweep: &SweepResult, strict: bool) -> ExitCode {
-    let statuses = sweep.statuses();
-    if statuses.iter().any(|(_, _, s)| *s == RunStatus::Mismatch) {
-        return ExitCode::from(2);
-    }
-    if strict && statuses.iter().any(|(_, _, s)| *s != RunStatus::Ok) {
-        return ExitCode::from(3);
-    }
-    ExitCode::SUCCESS
+fn environment_error(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    Verdict::Environment.exit()
 }
 
-/// Rebuilds the job list the standard sweep ran, for the `--stats` pass.
-fn stats_jobs(filter: &Option<String>, poison: &Option<String>) -> Vec<nachos::sweep::SweepJob> {
-    let mut jobs = nachos_bench::suite_jobs();
-    if let Some(f) = filter {
-        jobs.retain(|j| j.name.contains(f.as_str()));
-    }
-    if let Some(name) = poison {
-        if let Some(job) = jobs.iter_mut().find(|j| &j.name == name) {
-            job.fault = nachos::FaultPlan::single(nachos::FaultSpec::new(
-                nachos::FaultKind::PanicOnEvent,
-                0,
-            ));
-        }
-    }
-    jobs
-}
-
-/// Rebuilds the matrix configuration the standard sweep ran, for the
-/// `--stats` pass (serial by construction, so threads are irrelevant).
-fn stats_cfg(
-    invocations: u64,
-    variant_list: &Option<String>,
-    ideal: bool,
-    optimize: bool,
-) -> nachos::sweep::SweepConfig {
-    let mut cfg = nachos_bench::suite_config(invocations, 1, false);
-    if let Some(list) = variant_list {
-        let variants: Vec<_> = list
-            .split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .filter_map(nachos_bench::variant_by_label)
-            .collect();
-        if !variants.is_empty() {
-            cfg = cfg.with_variants(variants);
-        }
-    }
-    if ideal && !cfg.variants.iter().any(|v| v.label == "ideal") {
-        cfg = cfg.with_ideal();
-    }
-    if optimize {
-        cfg = cfg.with_optimize(true);
-    }
-    cfg
+/// Maps a finished sweep to the documented exit contract.
+fn verdict(sweep: &SweepResult, strict: bool, deadline_hit: bool) -> ExitCode {
+    let (mismatches, degraded) = exitcode::counts(sweep);
+    exitcode::classify(mismatches, degraded, strict, deadline_hit).exit()
 }
 
 #[allow(clippy::too_many_lines)]
@@ -207,6 +200,8 @@ fn main() -> ExitCode {
     let mut shard_exec = false;
     let mut cache_arg: Option<String> = None;
     let mut heartbeat_ms = 200u64;
+    let mut deadline_secs = 0u64;
+    let mut connect: Option<String> = None;
     let mut stats_path: Option<String> = None;
     let mut strict = false;
     let mut args = std::env::args().skip(1);
@@ -251,6 +246,8 @@ fn main() -> ExitCode {
             | "--shards"
             | "--cache"
             | "--heartbeat-interval"
+            | "--deadline-secs"
+            | "--connect"
             | "--stats" => args.next(),
             other => return usage_error(&format!("unknown argument: {other}")),
         }) else {
@@ -285,12 +282,19 @@ fn main() -> ExitCode {
                     ))
                 }
             },
+            "--deadline-secs" => match value.parse() {
+                Ok(s) => deadline_secs = s,
+                Err(_) => {
+                    return usage_error(&format!("--deadline-secs takes seconds, got {value:?}"))
+                }
+            },
             "--inject" => inject = Some(value),
             "--journal" => journal_path = Some(value),
             "--filter" => filter = Some(value),
             "--variants" => variant_list = Some(value),
             "--poison" => poison = Some(value),
             "--cache" => cache_arg = Some(value),
+            "--connect" => connect = Some(value),
             "--stats" => stats_path = Some(value),
             _ => out = Some(value),
         }
@@ -316,6 +320,54 @@ fn main() -> ExitCode {
     if stats_path.is_some() && (inject.is_some() || shard_exec) {
         return usage_error("--stats applies to the standard sweep");
     }
+    if connect.is_some()
+        && (journal_path.is_some()
+            || resume
+            || shards > 0
+            || cache_arg.is_some()
+            || inject.is_some()
+            || stats_path.is_some()
+            || shard_exec)
+    {
+        return usage_error(
+            "--connect is the client side: orchestration (--journal/--resume/--shards/\
+             --cache/--inject/--stats/--shard-exec) lives in the daemon",
+        );
+    }
+
+    // The submitted (or locally-run) matrix, as data. One resolver —
+    // `nachos_bench::matrix::resolve` — interprets it on both sides of
+    // the socket, which is what keeps daemon-fetched reports
+    // byte-identical to local runs.
+    let spec = MatrixSpec {
+        invocations,
+        threads,
+        ideal,
+        optimize,
+        max_retries,
+        filter: filter.clone(),
+        variants: matrix::parse_variants(variant_list.as_deref()),
+        poison: poison.clone(),
+        deadline_secs,
+        watchdog: None,
+    };
+
+    if let Some(sock) = connect {
+        return run_client(&sock, &spec, out.as_deref(), strict);
+    }
+
+    // The wall-clock deadline: one shared token, cancelled by a
+    // detached timer thread. `run_sweep_sharded` forwards the token to
+    // every worker, so the budget binds in both execution modes.
+    let deadline_token = (deadline_secs > 0 && inject.is_none() && !shard_exec).then(|| {
+        let token = CancelToken::new();
+        let timer = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_secs(deadline_secs));
+            timer.cancel();
+        });
+        token
+    });
 
     let (json, summary, code) = match inject.as_deref() {
         Some("smoke") if ideal => {
@@ -335,9 +387,9 @@ fn main() -> ExitCode {
                 .map(|(job, variant, status)| format!("{job} [{variant}] {status}"))
                 .collect();
             let code = if failures.is_empty() {
-                ExitCode::SUCCESS
+                Verdict::Success.exit()
             } else {
-                ExitCode::from(2)
+                Verdict::Divergence.exit()
             };
             (
                 sweep.to_json(),
@@ -352,45 +404,13 @@ fn main() -> ExitCode {
         }
         Some(other) => return usage_error(&format!("--inject knows 'smoke', got {other:?}")),
         None => {
-            let mut jobs = nachos_bench::suite_jobs();
-            if let Some(f) = &filter {
-                jobs.retain(|j| j.name.contains(f.as_str()));
-                if jobs.is_empty() {
-                    return usage_error(&format!("--filter {f:?} matches no workload"));
-                }
+            let (jobs, mut cfg) = match matrix::resolve(&spec) {
+                Ok(r) => r,
+                Err(e) => return usage_error(&e),
+            };
+            if let Some(token) = &deadline_token {
+                cfg.sim.cancel = Some(token.clone());
             }
-            if let Some(name) = &poison {
-                let Some(job) = jobs.iter_mut().find(|j| &j.name == name) else {
-                    return usage_error(&format!("--poison knows no workload {name:?}"));
-                };
-                job.fault = nachos::FaultPlan::single(nachos::FaultSpec::new(
-                    nachos::FaultKind::PanicOnEvent,
-                    0,
-                ));
-            }
-            let mut cfg = nachos_bench::suite_config(invocations, threads, false);
-            if let Some(list) = &variant_list {
-                let mut variants = Vec::new();
-                for label in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-                    match nachos_bench::variant_by_label(label) {
-                        Some(v) => variants.push(v),
-                        None => {
-                            return usage_error(&format!("--variants knows no label {label:?}"))
-                        }
-                    }
-                }
-                if variants.is_empty() {
-                    return usage_error("--variants requires at least one label");
-                }
-                cfg = cfg.with_variants(variants);
-            }
-            if ideal && !cfg.variants.iter().any(|v| v.label == "ideal") {
-                cfg = cfg.with_ideal();
-            }
-            if optimize {
-                cfg = cfg.with_optimize(true);
-            }
-            cfg = cfg.with_retries(max_retries);
 
             // Worker mode: execute the shard streamed over stdin and
             // exit — no report of its own.
@@ -406,15 +426,12 @@ fn main() -> ExitCode {
                             if s.cancelled { ", cancelled" } else { "" },
                         );
                         if s.protocol_errors > 0 {
-                            ExitCode::FAILURE
+                            Verdict::Environment.exit()
                         } else {
-                            ExitCode::SUCCESS
+                            Verdict::Success.exit()
                         }
                     }
-                    Err(e) => {
-                        eprintln!("shard worker failed: {e}");
-                        ExitCode::FAILURE
-                    }
+                    Err(e) => environment_error(&format!("shard worker failed: {e}")),
                 };
             }
 
@@ -426,8 +443,9 @@ fn main() -> ExitCode {
                 let exe = match std::env::current_exe() {
                     Ok(p) => p.display().to_string(),
                     Err(e) => {
-                        eprintln!("cannot locate own executable for workers: {e}");
-                        return ExitCode::FAILURE;
+                        return environment_error(&format!(
+                            "cannot locate own executable for workers: {e}"
+                        ))
                     }
                 };
                 let mut worker_cmd = vec![
@@ -474,17 +492,13 @@ fn main() -> ExitCode {
                     match ResultCache::open(root) {
                         Ok(c) => scfg.cache = Some(c),
                         Err(e) => {
-                            eprintln!("cannot open result cache: {e}");
-                            return ExitCode::FAILURE;
+                            return environment_error(&format!("cannot open result cache: {e}"))
                         }
                     }
                 }
                 let (sweep, stats, sstats) = match run_sweep_sharded(&jobs, &cfg, &scfg) {
                     Ok(r) => r,
-                    Err(e) => {
-                        eprintln!("sharded sweep failed: {e}");
-                        return ExitCode::FAILURE;
-                    }
+                    Err(e) => return environment_error(&format!("sharded sweep failed: {e}")),
                 };
                 if !sweep.all_match() {
                     eprintln!("DIVERGENCE: {:?}", sweep.mismatches());
@@ -521,7 +535,17 @@ fn main() -> ExitCode {
                     sweep.jobs.len(),
                     sweep.variants.len()
                 );
-                (sweep.to_json(), summary, verdict(&sweep, strict))
+                let deadline_hit = deadline_token
+                    .as_ref()
+                    .is_some_and(CancelToken::is_cancelled);
+                if deadline_hit {
+                    eprintln!("DEADLINE: wall-clock budget of {deadline_secs}s exhausted");
+                }
+                (
+                    sweep.to_json(),
+                    summary,
+                    verdict(&sweep, strict, deadline_hit),
+                )
             } else {
                 let journal = match &journal_path {
                     Some(p) => {
@@ -533,8 +557,7 @@ fn main() -> ExitCode {
                         match opened {
                             Ok(j) => Some(j),
                             Err(e) => {
-                                eprintln!("cannot open journal {p}: {e}");
-                                return ExitCode::FAILURE;
+                                return environment_error(&format!("cannot open journal {p}: {e}"))
                             }
                         }
                     }
@@ -567,7 +590,17 @@ fn main() -> ExitCode {
                     sweep.jobs.len(),
                     sweep.variants.len()
                 );
-                (sweep.to_json(), summary, verdict(&sweep, strict))
+                let deadline_hit = deadline_token
+                    .as_ref()
+                    .is_some_and(CancelToken::is_cancelled);
+                if deadline_hit {
+                    eprintln!("DEADLINE: wall-clock budget of {deadline_secs}s exhausted");
+                }
+                (
+                    sweep.to_json(),
+                    summary,
+                    verdict(&sweep, strict, deadline_hit),
+                )
             }
         }
     };
@@ -576,22 +609,23 @@ fn main() -> ExitCode {
         // The telemetry pass re-executes the matrix serially so the
         // stream order is deterministic; the sweep report above is
         // untouched (telemetry is observation-only).
-        let jobs = stats_jobs(&filter, &poison);
-        let cfg = stats_cfg(invocations, &variant_list, ideal, optimize);
+        let serial = MatrixSpec {
+            threads: 1,
+            ..spec.clone()
+        };
+        let Ok((jobs, cfg)) = matrix::resolve(&serial) else {
+            return usage_error("--stats could not re-resolve the matrix");
+        };
         match nachos_bench::stats::write_stats_stream(path, &jobs, &cfg) {
             Ok(n) => eprintln!("stats stream: {n} runs written to {path}"),
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return environment_error(&e.to_string()),
         }
     }
 
     match out {
         Some(path) => {
             if let Err(e) = write_atomic(Path::new(&path), &json) {
-                eprintln!("cannot write report {path}: {e}");
-                return ExitCode::FAILURE;
+                return environment_error(&format!("cannot write report {path}: {e}"));
             }
             eprintln!("wrote {summary} to {path}");
         }
@@ -601,4 +635,196 @@ fn main() -> ExitCode {
         }
     }
     code
+}
+
+// ---------------------------------------------------------------------
+// Client mode (--connect)
+// ---------------------------------------------------------------------
+
+fn env_ms(name: &str, default: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default),
+    )
+}
+
+/// Connects within a wall-clock budget, retrying while the socket is
+/// absent or refusing (a daemon restart leaves both windows open).
+fn connect_within(sock: &str, budget: Duration) -> std::io::Result<UnixStream> {
+    let deadline = Instant::now() + budget;
+    loop {
+        match UnixStream::connect(sock) {
+            Ok(s) => return Ok(s),
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+}
+
+/// One request, one response line, on a fresh connection.
+fn roundtrip(sock: &str, request: &str, budget: Duration) -> std::io::Result<Json> {
+    let stream = connect_within(sock, budget)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    out.write_all(request.as_bytes())?;
+    out.write_all(b"\n")?;
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    parse_json(line.trim()).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "daemon sent an unparseable response",
+        )
+    })
+}
+
+/// The `--connect` client: submit (honoring backpressure), watch to a
+/// terminal state across daemon restarts, fetch the report, and map the
+/// terminal state onto the exit-code contract.
+#[allow(clippy::too_many_lines)]
+fn run_client(sock: &str, spec: &MatrixSpec, out: Option<&str>, strict: bool) -> ExitCode {
+    // Budgets are env-overridable so soak jobs can bound the client
+    // without patching it: NACHOS_CONNECT_TIMEOUT_MS gates the first
+    // contact, NACHOS_RECONNECT_TIMEOUT_MS every later reconnect (the
+    // daemon may be mid-restart after a kill).
+    let connect_budget = env_ms("NACHOS_CONNECT_TIMEOUT_MS", 15_000);
+    let reconnect_budget = env_ms("NACHOS_RECONNECT_TIMEOUT_MS", 120_000);
+
+    // Submit, resubmitting on queue_full after the daemon's own hint.
+    let submit = format!(
+        "{{\"jobs\": \"nachos-jobs-v1\", \"cmd\": \"submit\", \"spec\": {}}}",
+        spec.to_json()
+    );
+    let mut budget = connect_budget;
+    let job = loop {
+        let resp = match roundtrip(sock, &submit, budget) {
+            Ok(r) => r,
+            Err(e) => return environment_error(&format!("cannot reach daemon at {sock}: {e}")),
+        };
+        if resp.get("ok") == Some(&Json::Bool(true)) {
+            match resp.get("job").and_then(Json::as_u64) {
+                Some(id) => break id,
+                None => return environment_error("daemon accepted the job but sent no id"),
+            }
+        }
+        match resp.get("error").and_then(Json::as_str) {
+            Some("queue_full") => {
+                let hint = resp
+                    .get("retry_after_ms")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(500);
+                eprintln!("daemon queue full; retrying in {hint}ms");
+                std::thread::sleep(Duration::from_millis(hint.min(5_000)));
+                budget = reconnect_budget;
+            }
+            Some("bad_spec") => {
+                return usage_error(
+                    resp.get("detail")
+                        .and_then(Json::as_str)
+                        .unwrap_or("daemon rejected the matrix spec"),
+                )
+            }
+            Some(other) => return environment_error(&format!("daemon refused the job: {other}")),
+            None => return environment_error("daemon sent a malformed rejection"),
+        }
+    };
+    eprintln!("submitted as job {job} on {sock}");
+
+    // Watch until terminal. A dropped connection (daemon killed or
+    // restarting) is survivable: reconnect and re-watch — the job's
+    // durable journal means its id and state outlive the process.
+    let watch = format!("{{\"jobs\": \"nachos-jobs-v1\", \"cmd\": \"watch\", \"job\": {job}}}");
+    let mut last_state: Option<String> = None;
+    let terminal = 'outer: loop {
+        let stream = match connect_within(sock, reconnect_budget) {
+            Ok(s) => s,
+            Err(e) => return environment_error(&format!("daemon never came back: {e}")),
+        };
+        let Ok(read_half) = stream.try_clone() else {
+            continue;
+        };
+        let mut reader = BufReader::new(read_half);
+        let mut w = stream;
+        if w.write_all(watch.as_bytes()).is_err() || w.write_all(b"\n").is_err() {
+            continue;
+        }
+        loop {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => {
+                    eprintln!("daemon connection lost; reconnecting");
+                    break;
+                }
+                Ok(_) => {}
+            }
+            let Some(resp) = parse_json(line.trim()) else {
+                continue;
+            };
+            if resp.get("ok") != Some(&Json::Bool(true)) {
+                return environment_error(&format!("watch failed: {}", line.trim()));
+            }
+            let Some(state) = resp.get("state").and_then(Json::as_str) else {
+                continue;
+            };
+            if last_state.as_deref() != Some(state) {
+                eprintln!("job {job}: {state}");
+                last_state = Some(state.to_owned());
+            }
+            let Some(status) = JobStatus::from_label(state) else {
+                continue;
+            };
+            if status.is_terminal() {
+                break 'outer (status, resp);
+            }
+        }
+    };
+
+    let (status, snap) = terminal;
+    let detail = snap
+        .get("detail")
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_owned();
+    match status {
+        JobStatus::Settled => {}
+        JobStatus::DeadlineExceeded => {
+            eprintln!("job {job} exceeded its deadline: {detail}");
+            return Verdict::DeadlineExceeded.exit();
+        }
+        other => {
+            return environment_error(&format!("job {job} ended {other}: {detail}"));
+        }
+    }
+
+    // Fetch the report — byte-identical to a local run of the same
+    // matrix, because both sides resolve the same spec through the same
+    // resolver and the same journaled harness.
+    let fetch = format!("{{\"jobs\": \"nachos-jobs-v1\", \"cmd\": \"fetch\", \"job\": {job}}}");
+    let resp = match roundtrip(sock, &fetch, reconnect_budget) {
+        Ok(r) => r,
+        Err(e) => return environment_error(&format!("cannot fetch report: {e}")),
+    };
+    if resp.get("ok") != Some(&Json::Bool(true)) {
+        return environment_error(&format!("daemon would not serve the report: {resp:?}"));
+    }
+    let Some(report) = resp.get("report").and_then(Json::as_str) else {
+        return environment_error("fetch response carries no report");
+    };
+    let mismatches = resp.get("mismatches").and_then(Json::as_u64).unwrap_or(0);
+    let degraded = resp.get("degraded").and_then(Json::as_u64).unwrap_or(0);
+    match out {
+        Some(path) => {
+            if let Err(e) = write_atomic(Path::new(&path), report) {
+                return environment_error(&format!("cannot write report {path}: {e}"));
+            }
+            eprintln!("wrote job {job} report to {path}");
+        }
+        None => print!("{report}"),
+    }
+    if mismatches > 0 {
+        eprintln!("DIVERGENCE: {mismatches} mismatched cells");
+    }
+    exitcode::classify(mismatches, degraded, strict, false).exit()
 }

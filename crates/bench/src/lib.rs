@@ -19,7 +19,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exitcode;
 pub mod lint;
+pub mod matrix;
 pub mod opt;
 pub mod stats;
 

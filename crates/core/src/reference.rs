@@ -6,6 +6,7 @@
 //! memory state and load observations exactly; the integration and
 //! property tests enforce that.
 
+use crate::config::CancelToken;
 use crate::value::{apply, sequential_order, LoadObserver};
 use nachos_ir::{Binding, EdgeKind, NodeId, OpKind, Region};
 use nachos_mem::DataMemory;
@@ -30,6 +31,20 @@ pub struct ReferenceResult {
 /// program-order memory chain is added) or the binding is incomplete.
 #[must_use]
 pub fn execute(region: &Region, binding: &Binding, invocations: u64) -> ReferenceResult {
+    execute_cancellable(region, binding, invocations, None).expect("no token to cancel on")
+}
+
+/// Like [`execute`], but polling `cancel` once per invocation: a tripped
+/// token stops the walk and returns `None`, so a wall-clock deadline can
+/// bound even the reference pass of a huge-invocation sweep (the cycle
+/// engine polls its own token per event; this closes the other half).
+#[must_use]
+pub fn execute_cancellable(
+    region: &Region,
+    binding: &Binding,
+    invocations: u64,
+    cancel: Option<&CancelToken>,
+) -> Option<ReferenceResult> {
     let order = sequential_order(region).expect("region must be a sequential trace");
     let nest_total = region.loops.total_invocations().max(1);
     let mut mem = DataMemory::new();
@@ -37,6 +52,9 @@ pub fn execute(region: &Region, binding: &Binding, invocations: u64) -> Referenc
     let mut values = vec![0u64; region.dfg.num_nodes()];
 
     for inv in 0..invocations {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return None;
+        }
         let iv = if region.loops.is_empty() {
             Vec::new()
         } else {
@@ -65,7 +83,7 @@ pub fn execute(region: &Region, binding: &Binding, invocations: u64) -> Referenc
             };
         }
     }
-    ReferenceResult { mem, loads }
+    Some(ReferenceResult { mem, loads })
 }
 
 /// Collects a node's data-operand values in deterministic (edge-insertion)
@@ -157,6 +175,29 @@ mod tests {
         // 5 invocations over a 2-trip nest: wraps cleanly.
         let res = execute(&r, &simple_binding(1), 5);
         assert_eq!(res.mem.footprint(), 16);
+    }
+
+    #[test]
+    fn cancellation_stops_the_reference_walk() {
+        let mut b = RegionBuilder::new("t");
+        let g = b.global("g", 64, 0);
+        let m = MemRef::affine(g, AffineExpr::zero());
+        let x = b.input();
+        b.store(m.clone(), &[x]);
+        b.load(m, &[]);
+        let r = b.finish();
+        let tripped = CancelToken::new();
+        tripped.cancel();
+        assert_eq!(
+            execute_cancellable(&r, &simple_binding(1), 8, Some(&tripped)),
+            None
+        );
+        // An inert token changes nothing.
+        let inert = CancelToken::new();
+        let cancellable = execute_cancellable(&r, &simple_binding(1), 8, Some(&inert)).unwrap();
+        let plain = execute(&r, &simple_binding(1), 8);
+        assert_eq!(cancellable.mem, plain.mem);
+        assert_eq!(cancellable.loads.digest(), plain.loads.digest());
     }
 
     #[test]

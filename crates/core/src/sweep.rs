@@ -62,6 +62,7 @@
 //! ```
 
 pub mod cache;
+pub mod daemon;
 pub mod heartbeat;
 pub mod journal;
 pub mod shard;
@@ -684,6 +685,53 @@ fn worker(
     (mine, retired)
 }
 
+/// The outcome of a job whose reference pass was cancelled: journaled
+/// cells still replay (they settled before the cut and cost nothing),
+/// every other cell is [`RunStatus::Cancelled`]. Nothing new is
+/// journaled, so a resume re-executes the cancelled cells in full.
+fn cancelled_job(
+    job: &SweepJob,
+    cfg: &SweepConfig,
+    sim_cfg: &SimConfig,
+    journal: Option<&Journal>,
+    sup: &Supervisor,
+) -> JobOutcome {
+    let fp = journal::job_fingerprint(&job.region, &job.binding, sim_cfg);
+    let runs = cfg
+        .variants
+        .iter()
+        .map(|v| {
+            let key = journal::run_key(fp, v);
+            if let Some(rec) = journal.and_then(|j| j.lookup(key)) {
+                sup.replayed.fetch_add(1, Ordering::Relaxed);
+                return VariantOutcome::from_record(v, rec.clone());
+            }
+            VariantOutcome {
+                variant: v.label.clone(),
+                backend: v.backend,
+                status: RunStatus::Cancelled,
+                run: None,
+                error: None,
+                detail: Some("cancelled before the reference execution completed".to_owned()),
+                injected: Vec::new(),
+                attempts: vec![Attempt {
+                    status: RunStatus::Cancelled,
+                    seed: journal::derive_seed(key, 0),
+                }],
+                metrics: None,
+            }
+        })
+        .collect();
+    JobOutcome {
+        name: job.name.clone(),
+        reference: ReferenceResult {
+            mem: DataMemory::new(),
+            loads: crate::value::LoadObserver::new(),
+        },
+        runs,
+    }
+}
+
 /// The outcome of a job whose setup killed `strikes` workers: every cell
 /// is [`RunStatus::Quarantined`] with the deterministic panic message,
 /// and the reference is empty (it never completed). Quarantined cells are
@@ -744,7 +792,17 @@ fn run_job(
         .faults
         .extend(job.fault.faults.iter().copied());
     let fp = journal::job_fingerprint(&job.region, &job.binding, &sim_cfg);
-    let reference = reference::execute(&job.region, &job.binding, cfg.sim.invocations);
+    // A tripped cancel token stops even the reference pass: a sweep under
+    // a wall-clock deadline must not hide in the in-order executor while
+    // the engine (which polls per event) would have yielded long ago.
+    let Some(reference) = reference::execute_cancellable(
+        &job.region,
+        &job.binding,
+        cfg.sim.invocations,
+        cfg.sim.cancel.as_ref(),
+    ) else {
+        return cancelled_job(job, cfg, &sim_cfg, journal, sup);
+    };
     // Variants sharing a stage configuration and MDE requirement reuse
     // one compile: within a job, compilation depends only on those two
     // inputs (and `sim_cfg.optimize`, constant across the matrix).
@@ -1399,7 +1457,11 @@ mod tests {
             .statuses()
             .iter()
             .all(|(_, _, s)| *s == RunStatus::Cancelled));
-        assert_eq!(stats.executed, 3);
+        assert_eq!(
+            stats.executed, 0,
+            "a pre-tripped token stops the job before its reference pass, \
+             so no cell executes"
+        );
         drop(jrn);
         let resumed = Journal::resume(&path).unwrap();
         assert_eq!(

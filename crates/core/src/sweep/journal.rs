@@ -44,7 +44,7 @@ pub use crate::json::fnv1a;
 use std::collections::HashMap;
 use std::fmt::{self, Write as _};
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufRead as _, BufReader, Read as _, Seek as _, SeekFrom, Write as _};
+use std::io::{self, BufReader, Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -616,7 +616,11 @@ impl Journal {
     /// schema is foreign is counted ([`Journal::skipped`], with
     /// checksum failures also in [`Journal::corrupt`]) and dropped —
     /// every valid record before *and after* it is kept, and the
-    /// dropped cells simply re-execute.
+    /// dropped cells simply re-execute. Record length is capped at
+    /// [`MAX_RECORD_LEN`] during recovery: a corrupt frame header that
+    /// claims (or simply is) a multi-GiB "line" is streamed past and
+    /// counted, never buffered, so a hostile or trashed journal cannot
+    /// OOM the resume path.
     ///
     /// # Errors
     ///
@@ -632,9 +636,17 @@ impl Journal {
                 let mut reader = BufReader::new(f);
                 let mut buf = Vec::new();
                 loop {
-                    buf.clear();
-                    if reader.read_until(b'\n', &mut buf)? == 0 {
-                        break;
+                    match read_bounded_line(&mut reader, &mut buf, MAX_RECORD_LEN)? {
+                        BoundedLine::Eof => break,
+                        // An oversized line can only be corruption (no
+                        // legitimate record is near the cap); its bytes
+                        // were discarded as they streamed past.
+                        BoundedLine::Oversized { .. } => {
+                            skipped += 1;
+                            corrupt += 1;
+                            continue;
+                        }
+                        BoundedLine::Line => {}
                     }
                     // Invalid UTF-8 is corruption like any other: drop
                     // the line, keep reading the rest of the file.
@@ -773,9 +785,88 @@ impl Journal {
     }
 }
 
+/// Upper bound on one recovered record line, in bytes. Real journal
+/// records are a few KiB; the margin is ~1000×. Anything longer is by
+/// definition corruption (e.g. a frame header whose newline was
+/// overwritten, fusing it onto gigabytes of foreign bytes) and is
+/// skipped without ever being buffered.
+pub const MAX_RECORD_LEN: usize = 4 << 20;
+
+/// Outcome of one [`read_bounded_line`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundedLine {
+    /// A line of at most the cap landed in the buffer (trailing `\n`
+    /// included when present; the final line of a file may lack one).
+    Line,
+    /// The line exceeded the cap: the buffer is empty and every byte up
+    /// to (and including) the next newline was read and discarded.
+    Oversized {
+        /// Total length of the discarded line, in bytes.
+        discarded: u64,
+    },
+    /// End of input with no pending bytes.
+    Eof,
+}
+
+/// Reads one newline-terminated line into `buf`, refusing to buffer
+/// more than `cap` bytes: an oversized line is consumed to its newline
+/// in streaming fashion (constant memory) and reported as
+/// [`BoundedLine::Oversized`] so recovery paths can count-and-skip a
+/// multi-GiB corrupt record instead of allocating for it. The daemon's
+/// request reader shares this guard — a hostile client line cannot OOM
+/// the server either.
+///
+/// # Errors
+///
+/// Propagates underlying read errors.
+pub fn read_bounded_line<R: io::BufRead + ?Sized>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    cap: usize,
+) -> io::Result<BoundedLine> {
+    buf.clear();
+    let mut discarded: u64 = 0;
+    let mut oversized = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if oversized {
+                BoundedLine::Oversized { discarded }
+            } else if buf.is_empty() {
+                BoundedLine::Eof
+            } else {
+                BoundedLine::Line
+            });
+        }
+        let (terminated, n) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => (true, pos + 1),
+            None => (false, chunk.len()),
+        };
+        if oversized {
+            discarded += n as u64;
+        } else if buf.len() + n > cap {
+            // Crossing the cap: drop what we buffered and switch to
+            // streaming-discard until the newline.
+            oversized = true;
+            discarded = (buf.len() + n) as u64;
+            buf.clear();
+        } else {
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        reader.consume(n);
+        if terminated {
+            return Ok(if oversized {
+                BoundedLine::Oversized { discarded }
+            } else {
+                BoundedLine::Line
+            });
+        }
+    }
+}
+
 /// Whether the file's last byte is something other than `\n` — the
 /// signature of an append interrupted mid-record.
-fn file_lacks_final_newline(path: &Path) -> io::Result<bool> {
+pub(crate) fn file_lacks_final_newline(path: &Path) -> io::Result<bool> {
     let mut f = File::open(path)?;
     let len = f.seek(SeekFrom::End(0))?;
     if len == 0 {
@@ -1312,6 +1403,92 @@ mod tests {
         drop(j);
         let j = Journal::resume(&path).unwrap();
         assert_eq!(j.replay_len(), 1, "absorb wrote exactly one line");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bounded_line_reader_streams_past_oversized_lines() {
+        use std::io::Cursor;
+        let mut input = Vec::new();
+        input.extend_from_slice(b"short\n");
+        input.extend_from_slice(&[b'x'; 100]);
+        input.push(b'\n');
+        input.extend_from_slice(b"after\n");
+        input.extend_from_slice(b"tail-no-newline");
+        let mut r = Cursor::new(input);
+        let mut buf = Vec::new();
+        assert_eq!(
+            read_bounded_line(&mut r, &mut buf, 16).unwrap(),
+            BoundedLine::Line
+        );
+        assert_eq!(buf, b"short\n");
+        assert_eq!(
+            read_bounded_line(&mut r, &mut buf, 16).unwrap(),
+            BoundedLine::Oversized { discarded: 101 },
+        );
+        assert!(buf.is_empty(), "oversized bytes are never buffered");
+        assert_eq!(
+            read_bounded_line(&mut r, &mut buf, 16).unwrap(),
+            BoundedLine::Line
+        );
+        assert_eq!(buf, b"after\n");
+        assert_eq!(
+            read_bounded_line(&mut r, &mut buf, 16).unwrap(),
+            BoundedLine::Line,
+            "a final unterminated line is still delivered"
+        );
+        assert_eq!(buf, b"tail-no-newline");
+        assert_eq!(
+            read_bounded_line(&mut r, &mut buf, 16).unwrap(),
+            BoundedLine::Eof
+        );
+        // An unterminated oversized tail is reported, not buffered.
+        let mut r = Cursor::new(vec![b'y'; 64]);
+        assert_eq!(
+            read_bounded_line(&mut r, &mut buf, 16).unwrap(),
+            BoundedLine::Oversized { discarded: 64 },
+        );
+    }
+
+    /// The satellite regression for corrupt oversized records: a frame
+    /// header fused onto a payload far beyond [`MAX_RECORD_LEN`] (the
+    /// on-disk shape a multi-GiB corruption takes — the discard path is
+    /// constant-memory, so only the cap-crossing needs exercising) is
+    /// skipped and counted, and every record on either side survives.
+    #[test]
+    fn resume_skips_and_counts_an_oversized_corrupt_record() {
+        let dir = std::env::temp_dir().join("nachos-journal-oversize-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        let rec_a = demo_record(21);
+        let mut rec_b = demo_record(23);
+        rec_b.key = RunKey(0xbeef);
+        {
+            let j = Journal::create(&path).unwrap();
+            j.append(&rec_a).unwrap();
+        }
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            // A plausible-looking frame header whose record body claims
+            // gigabytes: 16 hex digits, a space, then an endless line.
+            f.write_all(b"ffffffffffffffff ").unwrap();
+            let chunk = vec![b'x'; 1 << 20];
+            for _ in 0..(MAX_RECORD_LEN / (1 << 20) + 3) {
+                f.write_all(&chunk).unwrap();
+            }
+            f.write_all(b"\n").unwrap();
+        }
+        {
+            let j = Journal::resume(&path).unwrap();
+            j.append(&rec_b).unwrap();
+        }
+        let j = Journal::resume(&path).unwrap();
+        assert_eq!(j.replay_len(), 2, "records on both sides survive");
+        assert_eq!(j.skipped(), 1, "the oversized line is skipped once");
+        assert_eq!(j.corrupt(), 1, "and counted as corruption");
+        assert_eq!(j.lookup(rec_a.key), Some(&rec_a.outcome));
+        assert_eq!(j.lookup(rec_b.key), Some(&rec_b.outcome));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -858,7 +858,15 @@ where
         let mut sim_cfg = effective_sim(job, cfg);
         let fp = journal::job_fingerprint(&job.region, &job.binding, &sim_cfg);
         sim_cfg.cancel = Some(token.clone());
-        let reference = reference::execute(&job.region, &job.binding, cfg.sim.invocations);
+        let Some(reference) = reference::execute_cancellable(
+            &job.region,
+            &job.binding,
+            cfg.sim.invocations,
+            Some(&token),
+        ) else {
+            summary.cancelled = true;
+            break 'jobs;
+        };
         let mut compiles = super::CompileCache::default();
         for c in group {
             if token.is_cancelled() {
